@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/examplesdata"
+	"repro/internal/gantt"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/rat"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Re-exported core types. The implementation lives in internal packages; the
+// aliases below form the supported public surface.
+type (
+	// Rat is an exact rational number; all periods and cycle-times are Rats.
+	Rat = rat.Rat
+	// Pipeline is the application: a linear chain of stages.
+	Pipeline = pipeline.Pipeline
+	// Platform is the heterogeneous target: speeds and link bandwidths.
+	Platform = platform.Platform
+	// Mapping assigns each stage its ordered replica list.
+	Mapping = mapping.Mapping
+	// Instance is a fully-timed (pipeline, platform, mapping) triple.
+	Instance = model.Instance
+	// CommModel selects Overlap or Strict communications.
+	CommModel = model.CommModel
+	// Result carries the computed period, Mct and metadata.
+	Result = core.Result
+	// Resource is the per-processor cycle-time decomposition.
+	Resource = model.Resource
+	// Trace is a simulated schedule prefix.
+	Trace = sim.Trace
+	// GanttOptions controls ASCII Gantt rendering.
+	GanttOptions = gantt.Options
+	// MappingResult is a mapping found by the search heuristics.
+	MappingResult = sched.Result
+	// Report is the full per-resource analysis produced by Analyze.
+	Report = core.Report
+	// ResourceReport is one row of a Report.
+	ResourceReport = core.ResourceReport
+	// Perturbation configures dynamic-platform Monte-Carlo sampling.
+	Perturbation = dynamic.Perturbation
+	// DynamicStats summarizes a Monte-Carlo run.
+	DynamicStats = dynamic.Stats
+)
+
+// Communication models.
+const (
+	// Overlap is the OVERLAP ONE-PORT model (full duplex, compute overlap).
+	Overlap = model.Overlap
+	// Strict is the STRICT ONE-PORT model (serialized receive/compute/send).
+	Strict = model.Strict
+)
+
+// NewPipeline builds an n-stage pipeline from stage sizes (FLOP) and the
+// n-1 file sizes (bytes).
+func NewPipeline(work []int64, fileSizes []int64) (*Pipeline, error) {
+	return pipeline.New(work, fileSizes)
+}
+
+// NewPlatform builds a platform from processor speeds (FLOP/s) and the
+// bandwidth matrix (bytes/s; 0 = no link).
+func NewPlatform(speeds []int64, bandwidths [][]int64) (*Platform, error) {
+	return platform.New(speeds, bandwidths)
+}
+
+// UniformPlatform builds a homogeneous fully-connected platform.
+func UniformPlatform(n int, speed, bandwidth int64) *Platform {
+	return platform.Uniform(n, speed, bandwidth)
+}
+
+// StarPlatform builds the logical platform induced by a physical star
+// network: b_{u,v} = min(linkCaps[u], linkCaps[v]).
+func StarPlatform(speeds, linkCaps []int64) (*Platform, error) {
+	return platform.Star(speeds, linkCaps)
+}
+
+// NewMapping builds and validates a mapping (stage -> ordered replica list).
+func NewMapping(replicas [][]int, numProcs int) (*Mapping, error) {
+	return mapping.New(replicas, numProcs)
+}
+
+// NewInstance assembles and validates a timed instance.
+func NewInstance(pipe *Pipeline, plat *Platform, mapp *Mapping) (*Instance, error) {
+	return model.FromMapped(pipe, plat, mapp)
+}
+
+// InstanceFromTimes builds an instance directly from operation durations:
+// comp[i][a] is the computation time of replica a of stage i, and
+// comm[i][a][b] the transfer time of file F_i from replica a to replica b.
+func InstanceFromTimes(comp [][]Rat, comm [][][]Rat) (*Instance, error) {
+	return model.FromTimes(comp, comm)
+}
+
+// Throughput computes the exact steady-state period of the instance under
+// the given model, choosing the best algorithm (Theorem 1 for Overlap, the
+// unfolded timed Petri net for Strict).
+func Throughput(inst *Instance, cm CommModel) (Result, error) {
+	return core.Period(inst, cm)
+}
+
+// ThroughputTPN forces the general unfolded-TPN computation (both models).
+func ThroughputTPN(inst *Instance, cm CommModel) (Result, error) {
+	return core.PeriodTPN(inst, cm)
+}
+
+// Resources returns the per-processor cycle-time decomposition
+// (Cin/Ccomp/Cout and the per-model Cexec); Mct is their maximum.
+func Resources(inst *Instance) []Resource {
+	return inst.Resources()
+}
+
+// CriticalResources returns the resources attaining Mct under the model.
+func CriticalResources(inst *Instance, cm CommModel) []Resource {
+	return inst.CriticalResources(cm)
+}
+
+// Analyze produces the full report: period, critical-cycle resources and
+// columns, per-resource utilization/slack and per-replica stream periods.
+func Analyze(inst *Instance, cm CommModel) (*Report, error) {
+	return core.Analyze(inst, cm)
+}
+
+// Simulate unrolls the instance's schedule for `periods` macro-periods
+// (periods × lcm(m_i) data sets) and returns the busy-interval trace.
+func Simulate(inst *Instance, cm CommModel, periods int) (*Trace, error) {
+	return sim.Run(inst, cm, periods)
+}
+
+// RenderGantt writes an ASCII Gantt chart of a trace (cf. Figures 7 and 12).
+func RenderGantt(w io.Writer, tr *Trace, opts GanttOptions) error {
+	return gantt.Render(w, tr, opts)
+}
+
+// FindMappingGreedy searches for a high-throughput mapping greedily.
+func FindMappingGreedy(pipe *Pipeline, plat *Platform, cm CommModel) (MappingResult, error) {
+	return sched.Greedy(pipe, plat, cm)
+}
+
+// FindMappingRandom runs randomized hill climbing with restarts.
+func FindMappingRandom(pipe *Pipeline, plat *Platform, cm CommModel, rng *rand.Rand, restarts, moves int) (MappingResult, error) {
+	return sched.RandomSearch(pipe, plat, cm, rng, restarts, moves)
+}
+
+// FindMappingBest runs every heuristic (greedy, random restarts, simulated
+// annealing) and returns the best mapping found.
+func FindMappingBest(pipe *Pipeline, plat *Platform, cm CommModel, rng *rand.Rand) (MappingResult, error) {
+	return sched.BestOf(pipe, plat, cm, rng)
+}
+
+// LatencyStats summarizes steady-state end-to-end data-set latency with
+// arrivals throttled to the period (the latency/throughput trade-off of the
+// replication literature).
+type LatencyStats = sim.LatencyStats
+
+// Latency measures per-data-set latency over a steady-state window.
+func Latency(inst *Instance, cm CommModel, periods int) (*LatencyStats, error) {
+	return sim.Latency(inst, cm, periods)
+}
+
+// MonteCarloDynamic evaluates the period distribution under random
+// speed/bandwidth fluctuations (the paper's future-work direction).
+func MonteCarloDynamic(inst *Instance, cm CommModel, pert Perturbation, runs int, seed int64, parallelism int) (DynamicStats, error) {
+	return dynamic.MonteCarlo(inst, cm, pert, runs, seed, parallelism)
+}
+
+// ExampleA returns the paper's Example A instance (Figure 2), reconstructed
+// from the published numbers: overlap period 189, strict period 1384/6.
+func ExampleA() *Instance { return examplesdata.ExampleA() }
+
+// ExampleB returns the paper's Example B instance (Figure 6): overlap-model
+// period 3500/12 with no critical resource (Mct = 3100/12).
+func ExampleB() *Instance { return examplesdata.ExampleB() }
+
+// ExampleC returns an instance with the paper's Example C replication
+// structure (5, 21, 27, 11): m = 10395 paths, still polynomial to evaluate.
+func ExampleC() *Instance { return examplesdata.ExampleC() }

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	pipe, err := NewPipeline([]int64{200, 1500, 800}, []int64{1000, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := UniformPlatform(6, 100, 1000)
+	mapp, err := NewMapping([][]int{{0}, {1, 2, 3}, {4}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(pipe, plat, mapp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Throughput(inst, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period.Sign() <= 0 {
+		t.Fatal("non-positive period")
+	}
+	if res.Period.Less(res.Mct) {
+		t.Fatal("period below Mct")
+	}
+	tpn, err := ThroughputTPN(inst, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpn.Period.Equal(res.Period) {
+		t.Fatalf("TPN %v vs poly %v", tpn.Period, res.Period)
+	}
+}
+
+func TestExamplesExposed(t *testing.T) {
+	a, err := Throughput(ExampleA(), Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Period.Float64() != 189 {
+		t.Errorf("Example A overlap period = %v", a.Period)
+	}
+	b, err := Throughput(ExampleB(), Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HasCriticalResource() {
+		t.Error("Example B should have no critical resource")
+	}
+	if got := len(CriticalResources(ExampleB(), Overlap)); got != 1 {
+		t.Errorf("Example B Mct resources = %d", got)
+	}
+	if ExampleC().PathCount() != 10395 {
+		t.Error("Example C path count wrong")
+	}
+}
+
+func TestResourcesDecomposition(t *testing.T) {
+	rs := Resources(ExampleA())
+	if len(rs) != 7 {
+		t.Fatalf("resources = %d, want 7", len(rs))
+	}
+	for _, r := range rs {
+		if r.CexecStrict.Less(r.CexecOverlap) {
+			t.Errorf("resource %s: strict Cexec below overlap", r.Name)
+		}
+	}
+}
+
+func TestSimulateAndRender(t *testing.T) {
+	tr, err := Simulate(ExampleB(), Overlap, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res, _ := Throughput(ExampleB(), Overlap)
+	period := res.Period.MulInt(tr.PathCount)
+	err = RenderGantt(&b, tr, GanttOptions{From: period, To: period.MulInt(3), Width: 80, PeriodMarks: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "P2-out") {
+		t.Error("Gantt missing P2-out row")
+	}
+}
+
+func TestMappingSearchAPI(t *testing.T) {
+	pipe, _ := NewPipeline([]int64{10, 400, 10}, []int64{10, 10})
+	plat := UniformPlatform(6, 10, 100)
+	gr, err := FindMappingGreedy(pipe, plat, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := FindMappingRandom(pipe, plat, Overlap, rand.New(rand.NewSource(1)), 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Period.Sign() <= 0 || rs.Period.Sign() <= 0 {
+		t.Fatal("non-positive periods from search")
+	}
+}
+
+func TestMonteCarloDynamicAPI(t *testing.T) {
+	st, err := MonteCarloDynamic(ExampleB(), Overlap, Perturbation{JitterPct: 5}, 10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 10 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+}
+
+func TestStarPlatformAPI(t *testing.T) {
+	plat, err := StarPlatform([]int64{10, 20}, []int64{5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plat.Bandwidths[0][1] != 3 {
+		t.Errorf("star bandwidth = %d", plat.Bandwidths[0][1])
+	}
+}
+
+func TestLatencyAPI(t *testing.T) {
+	st, err := Latency(ExampleB(), Overlap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Min.Sign() <= 0 || st.Max.Less(st.Min) {
+		t.Fatalf("bad latency stats: %+v", st)
+	}
+}
+
+func TestFindMappingBestAPI(t *testing.T) {
+	pipe, _ := NewPipeline([]int64{10, 400, 10}, []int64{10, 10})
+	plat := UniformPlatform(6, 10, 100)
+	best, err := FindMappingBest(pipe, plat, Overlap, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Period.Sign() <= 0 {
+		t.Fatal("non-positive period")
+	}
+}
+
+func TestAnalyzeAPI(t *testing.T) {
+	rep, err := Analyze(ExampleB(), Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasCriticalResource() {
+		t.Fatal("Example B should have no critical resource")
+	}
+	if len(rep.Resources) != 7 {
+		t.Fatalf("resources = %d", len(rep.Resources))
+	}
+}

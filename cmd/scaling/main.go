@@ -1,0 +1,32 @@
+// Command scaling regenerates the runtime-vs-duplication observation of
+// Section 5 ("the computation times closely depend on the duplication
+// factor of each stage"): it times the Theorem 1 polynomial algorithm
+// against the general unfolded-TPN method as the replication product grows.
+//
+// Usage:
+//
+//	scaling [-seed 2009]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2009, "random seed for the instance times")
+	flag.Parse()
+	pts, err := exper.RuntimeSweep(*seed, exper.DefaultSweepPairs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Runtime vs duplication factor (overlap model, 2-stage instances)")
+	if err := exper.WriteSweep(os.Stdout, pts); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,177 @@
+// Command validate is the repository's self-check: on random instances it
+// computes the period in up to six independent ways and verifies that they
+// agree exactly:
+//
+//  1. Theorem 1 polynomial algorithm (overlap model only);
+//  2. unfolded-TPN critical cycle via token contraction + Karp;
+//  3. unfolded-TPN critical cycle via Howard policy iteration;
+//  4. max-plus spectral radius of the net's recurrence matrix;
+//  5. exact unrolling of the net (steady-state firing rate);
+//  6. the from-first-principles operational simulator.
+//
+// Any disagreement prints the offending instance and exits non-zero.
+//
+// Usage:
+//
+//	validate [-runs 200] [-seed 1] [-maxrep 4] [-stages 4] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/mpa"
+	"repro/internal/rat"
+	"repro/internal/sim"
+	"repro/internal/tpn"
+)
+
+func main() {
+	runs := flag.Int("runs", 200, "number of random instances")
+	seed := flag.Int64("seed", 1, "base random seed")
+	maxRep := flag.Int("maxrep", 4, "maximum replication per stage")
+	maxStages := flag.Int("stages", 4, "maximum number of stages")
+	quiet := flag.Bool("quiet", false, "only print failures and the summary")
+	flag.Parse()
+
+	t0 := time.Now()
+	bad := 0
+	for k := 0; k < *runs; k++ {
+		rng := rand.New(rand.NewSource(*seed + int64(k)))
+		inst := randomInstance(rng, 2+rng.Intn(*maxStages-1), *maxRep)
+		for _, cm := range model.Models() {
+			if err := check(inst, cm); err != nil {
+				bad++
+				fmt.Fprintf(os.Stderr, "FAIL run %d (%v, reps %v): %v\n",
+					k, cm, inst.ReplicationCounts(), err)
+			}
+		}
+		if !*quiet && (k+1)%50 == 0 {
+			fmt.Printf("checked %d/%d instances (%v)\n", k+1, *runs, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "validate: %d disagreements\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("validate: %d instances x 2 models, all engines agree (%v)\n",
+		*runs, time.Since(t0).Round(time.Millisecond))
+}
+
+func check(inst *model.Instance, cm model.CommModel) error {
+	net, err := tpn.Build(inst, cm)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	m := inst.PathCount()
+
+	// 2. contraction + Karp.
+	crit, err := net.MaxCycleRatio()
+	if err != nil {
+		return fmt.Errorf("contract: %w", err)
+	}
+	period := crit.Ratio.DivInt(m)
+
+	// 1. polynomial algorithm (overlap only).
+	if cm == model.Overlap {
+		poly, err := core.PeriodOverlapPoly(inst)
+		if err != nil {
+			return fmt.Errorf("poly: %w", err)
+		}
+		if !poly.Period.Equal(period) {
+			return fmt.Errorf("poly %v != tpn %v", poly.Period, period)
+		}
+	}
+
+	// 3. Howard.
+	how, err := net.System().MaxRatioHoward()
+	if err != nil {
+		return fmt.Errorf("howard: %w", err)
+	}
+	if !how.Ratio.Equal(crit.Ratio) {
+		return fmt.Errorf("howard %v != karp %v", how.Ratio, crit.Ratio)
+	}
+
+	// 4. max-plus spectral radius.
+	eig, err := mpa.CycleTime(net)
+	if err != nil {
+		return fmt.Errorf("mpa: %w", err)
+	}
+	if !eig.Equal(crit.Ratio) {
+		return fmt.Errorf("mpa %v != karp %v", eig, crit.Ratio)
+	}
+
+	// 5. unrolling.
+	measured, err := net.MeasuredPeriod(int(10*m)+20, int(2*m))
+	if err != nil {
+		return fmt.Errorf("unroll: %w", err)
+	}
+	if !measured.Equal(crit.Ratio) {
+		return fmt.Errorf("unrolled %v != analytic %v", measured, crit.Ratio)
+	}
+
+	// 6. operational simulator: its completion times must equal the net
+	// unrolling data set for data set (exact, no asymptotics involved).
+	const periods = 10
+	op, err := sim.RunOperational(inst, cm, periods*int(m))
+	if err != nil {
+		return fmt.Errorf("operational: %w", err)
+	}
+	start, err := net.Unroll(periods)
+	if err != nil {
+		return fmt.Errorf("unroll occurrences: %w", err)
+	}
+	lastStage := inst.NumStages() - 1
+	for k := 0; k < periods; k++ {
+		for r := 0; r < int(m); r++ {
+			ti := net.TransitionAt(r, net.Cols-1)
+			want := start[ti][k].Add(net.Transitions[ti].Time)
+			ds := k*int(m) + r
+			if !op.CompEnd[lastStage][ds].Equal(want) {
+				return fmt.Errorf("operational completion of data set %d = %v, TPN says %v",
+					ds, op.CompEnd[lastStage][ds], want)
+			}
+		}
+	}
+
+	// Invariant: P >= Mct always.
+	if period.Less(inst.Mct(cm)) {
+		return fmt.Errorf("period %v below Mct %v", period, inst.Mct(cm))
+	}
+	return nil
+}
+
+func randomInstance(rng *rand.Rand, n, maxRep int) *model.Instance {
+	reps := make([]int, n)
+	for i := range reps {
+		reps[i] = 1 + rng.Intn(maxRep)
+	}
+	draw := func() rat.Rat { return rat.FromInt(1 + rng.Int63n(30)) }
+	comp := make([][]rat.Rat, n)
+	for i := range comp {
+		comp[i] = make([]rat.Rat, reps[i])
+		for a := range comp[i] {
+			comp[i][a] = draw()
+		}
+	}
+	comm := make([][][]rat.Rat, n-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, reps[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, reps[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = draw()
+			}
+		}
+	}
+	inst, err := model.FromTimes(comp, comm)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

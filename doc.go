@@ -1,0 +1,39 @@
+// Package repro computes the steady-state throughput of replicated
+// streaming workflows (linear pipelines) mapped onto fully heterogeneous
+// platforms, reproducing
+//
+//	A. Benoit, M. Gallet, B. Gaujal, Y. Robert,
+//	"Computing the throughput of replicated workflows on heterogeneous
+//	platforms", ICPP 2009.
+//
+// A workflow is a chain of stages S0..S(n-1); stage k costs w_k FLOP and
+// ships a δ_k-byte file to its successor. A mapping assigns each stage one
+// or more processors (replication); replicas serve data sets in round-robin
+// order. Given the mapping, this package computes the exact period P (the
+// steady-state interval between consecutive data-set completions, the
+// inverse of the throughput) under two communication models:
+//
+//   - Overlap (OVERLAP ONE-PORT): receiving, computing and sending overlap
+//     on a processor; computed with the paper's polynomial algorithm
+//     (Theorem 1).
+//   - Strict (STRICT ONE-PORT): the three activities are serialized;
+//     computed by building the unfolded timed Petri net and extracting its
+//     critical cycle.
+//
+// All arithmetic is exact (int64 rationals), so the headline comparison of
+// the paper — whether P strictly exceeds the largest resource cycle-time
+// Mct, i.e. whether the schedule has no critical resource — is decided
+// exactly rather than within floating-point noise.
+//
+// # Quick start
+//
+//	pipe, _ := repro.NewPipeline([]int64{200, 1500, 800}, []int64{1000, 4000})
+//	plat := repro.UniformPlatform(6, 100, 1000)
+//	mapp, _ := repro.NewMapping([][]int{{0}, {1, 2, 3}, {4}}, 6)
+//	inst, _ := repro.NewInstance(pipe, plat, mapp)
+//	res, _ := repro.Throughput(inst, repro.Overlap)
+//	fmt.Println("period:", res.Period, "Mct:", res.Mct)
+//
+// See the examples/ directory for runnable programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+package repro

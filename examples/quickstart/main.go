@@ -1,0 +1,70 @@
+// Quickstart: build a pipeline, a heterogeneous platform and a replicated
+// mapping, then compute the exact throughput under both communication
+// models and inspect the per-resource cycle-times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 4-stage workflow (cf. the paper's Figure 1): stage sizes in FLOP,
+	// inter-stage file sizes in bytes.
+	pipe, err := repro.NewPipeline(
+		[]int64{200, 1500, 800, 300},
+		[]int64{1000, 4000, 500},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seven heterogeneous processors, complete logical interconnect.
+	plat, err := repro.NewPlatform(
+		[]int64{100, 80, 120, 60, 90, 110, 100}, // speeds (FLOP/s)
+		[][]int64{
+			{0, 500, 400, 300, 600, 500, 400},
+			{500, 0, 450, 350, 550, 500, 420},
+			{400, 450, 0, 380, 520, 480, 440},
+			{300, 350, 380, 0, 560, 470, 410},
+			{600, 550, 520, 560, 0, 530, 450},
+			{500, 500, 480, 470, 530, 0, 430},
+			{400, 420, 440, 410, 450, 430, 0},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Map the heavy stage S1 onto two processors and S2 onto two more:
+	// replicas serve data sets round-robin.
+	mapp, err := repro.NewMapping([][]int{{0}, {1, 2}, {3, 4}, {5}}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inst, err := repro.NewInstance(pipe, plat, mapp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline: %v\nmapping:  %v\npaths:    %d (lcm of replication counts)\n\n",
+		pipe, mapp, inst.PathCount())
+
+	for _, cm := range []repro.CommModel{repro.Overlap, repro.Strict} {
+		res, err := repro.Throughput(inst, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v model: period %v (%.4f), throughput %.6f data sets/s\n",
+			cm, res.Period, res.Period.Float64(), res.Throughput().Float64())
+		fmt.Printf("  lower bound Mct = %v; critical resource: %v\n",
+			res.Mct, res.HasCriticalResource())
+		for _, r := range repro.CriticalResources(inst, cm) {
+			fmt.Printf("  busiest: %s (stage S%d)  Cin=%.3f Ccomp=%.3f Cout=%.3f\n",
+				r.Name, r.Stage, r.Cin.Float64(), r.Ccomp.Float64(), r.Cout.Float64())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/model"
+	"repro/internal/petri"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+// ResourceReport extends the cycle-time decomposition of one processor with
+// steady-state information derived from the timed Petri net.
+type ResourceReport struct {
+	model.Resource
+	// Utilization is Cexec / Period: the asymptotic fraction of time the
+	// processor's busiest component (overlap) or the whole processor
+	// (strict) is occupied. Strictly below 1 on every resource iff the
+	// schedule has no critical resource.
+	Utilization rat.Rat
+	// Slack is Period - Cexec (idle time per data set on the resource).
+	Slack rat.Rat
+	// StreamPeriod is the per-data-set period of the replica's own
+	// completion stream: its transitions' asymptotic firing interval divided
+	// by m. Fast replicas in a decoupled part of the net can stream faster
+	// than the system period.
+	StreamPeriod rat.Rat
+}
+
+// Report is the full analysis of a mapping under one model.
+type Report struct {
+	Result
+	Resources []ResourceReport
+	// CriticalCycleResources names the processors whose operations lie on a
+	// critical cycle of the unfolded net (the cycle that dictates the
+	// period). For overlap mappings the critical cycle stays within one TPN
+	// column (one stage's computation or one file's transmission); for
+	// strict mappings it may weave through several (Figure 8).
+	CriticalCycleResources []string
+	// CriticalCycleColumns lists the distinct TPN columns the critical
+	// cycle traverses (even = computation of stage col/2, odd = transfer of
+	// file (col-1)/2).
+	CriticalCycleColumns []int
+	// NetStats summarizes the unfolded net.
+	NetStats petri.Stats
+}
+
+// Analyze computes the full report. It always unfolds the TPN (subject to
+// tpn.MaxRows), since the critical-cycle witness and per-stream rates come
+// from the net; the period itself is cross-checked against the polynomial
+// algorithm for the overlap model.
+func Analyze(inst *model.Instance, cm model.CommModel) (*Report, error) {
+	net, err := tpn.Build(inst, cm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := periodFromNet(inst, cm, net)
+	if err != nil {
+		return nil, err
+	}
+	if cm == model.Overlap {
+		poly, err := PeriodOverlapPoly(inst)
+		if err != nil {
+			return nil, err
+		}
+		if !poly.Period.Equal(res.Period) {
+			return nil, fmt.Errorf("core: internal disagreement: poly %v vs tpn %v", poly.Period, res.Period)
+		}
+	}
+	rep := &Report{Result: res, NetStats: net.Stats()}
+
+	// Critical cycle witness -> resources and columns.
+	sys := net.System()
+	crit, err := sys.MaxRatio()
+	if err != nil {
+		return nil, err
+	}
+	procSet := map[string]bool{}
+	colSet := map[int]bool{}
+	for _, ei := range crit.Cycle {
+		tr := net.Transitions[sys.G.Edges[ei].From]
+		colSet[tr.Col] = true
+		procSet[fmt.Sprintf("P%d", tr.Proc)] = true
+		if tr.Dst >= 0 {
+			procSet[fmt.Sprintf("P%d", tr.Dst)] = true
+		}
+	}
+	for p := range procSet {
+		rep.CriticalCycleResources = append(rep.CriticalCycleResources, p)
+	}
+	sort.Strings(rep.CriticalCycleResources)
+	for c := range colSet {
+		rep.CriticalCycleColumns = append(rep.CriticalCycleColumns, c)
+	}
+	sort.Ints(rep.CriticalCycleColumns)
+
+	// Per-transition asymptotic rates -> per-replica stream periods.
+	rates, err := sys.VertexRates()
+	if err != nil {
+		return nil, err
+	}
+	streamOf := map[int]rat.Rat{} // global proc id -> max rate over its transitions
+	for ti, tr := range net.Transitions {
+		if tr.Kind != petri.KindCompute {
+			continue
+		}
+		cur := streamOf[tr.Proc]
+		streamOf[tr.Proc] = rat.Max(cur, rates[ti])
+	}
+	m := inst.PathCount()
+	for _, r := range inst.Resources() {
+		rr := ResourceReport{Resource: r}
+		rr.Utilization = r.Cexec(cm).Div(res.Period)
+		rr.Slack = res.Period.Sub(r.Cexec(cm))
+		rr.StreamPeriod = streamOf[r.Proc].DivInt(m)
+		rep.Resources = append(rep.Resources, rr)
+	}
+	return rep, nil
+}
+
+// Write renders the report as a human-readable table.
+func (r *Report) Write(w io.Writer) error {
+	fmt.Fprintf(w, "model %v: period %v (%.4f), throughput %.6f, Mct %v\n",
+		r.Model, r.Period, r.Period.Float64(), r.Throughput().Float64(), r.Mct)
+	if r.HasCriticalResource() {
+		fmt.Fprintln(w, "critical resource exists (period = Mct)")
+	} else {
+		fmt.Fprintf(w, "NO critical resource: gap %.2f%% — every resource idles each period\n",
+			r.Gap().Float64()*100)
+	}
+	fmt.Fprintf(w, "critical cycle: resources %v, TPN columns %v\n",
+		r.CriticalCycleResources, r.CriticalCycleColumns)
+	fmt.Fprintf(w, "unfolded net: %d transitions, %d places, %d tokens (%d rows)\n",
+		r.NetStats.Transitions, r.NetStats.Places, r.NetStats.Tokens, r.NetStats.Rows)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "proc\tstage\tCexec\tutilization\tslack\tstream period")
+	for _, rr := range r.Resources {
+		fmt.Fprintf(tw, "%s\tS%d\t%.3f\t%.1f%%\t%.3f\t%.3f\n",
+			rr.Name, rr.Stage, rr.Cexec(r.Model).Float64(),
+			rr.Utilization.Float64()*100, rr.Slack.Float64(), rr.StreamPeriod.Float64())
+	}
+	return tw.Flush()
+}

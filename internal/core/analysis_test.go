@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+// exampleBLike rebuilds Example B locally (avoiding an import cycle with
+// examplesdata, which imports core in its tests).
+func exampleBLike(t *testing.T) *model.Instance {
+	t.Helper()
+	ri := rat.FromInt
+	inst, err := model.FromTimes(
+		[][]rat.Rat{
+			{ri(100), ri(100), ri(100)},
+			{ri(100), ri(100), ri(100), ri(100)},
+		},
+		[][][]rat.Rat{{
+			{ri(1000), ri(100), ri(100), ri(1000)},
+			{ri(100), ri(100), ri(1000), ri(1000)},
+			{ri(1000), ri(1000), ri(1000), ri(100)},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestAnalyzeExampleB(t *testing.T) {
+	inst := exampleBLike(t)
+	rep, err := Analyze(inst, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Period.Equal(rat.New(3500, 12)) {
+		t.Fatalf("period = %v", rep.Period)
+	}
+	if rep.HasCriticalResource() {
+		t.Fatal("Example B has no critical resource")
+	}
+	// Every resource's utilization is strictly below 1.
+	for _, rr := range rep.Resources {
+		if !rr.Utilization.Less(rat.One()) {
+			t.Errorf("resource %s utilization %v >= 1", rr.Name, rr.Utilization)
+		}
+		if rr.Slack.Sign() <= 0 {
+			t.Errorf("resource %s has non-positive slack %v", rr.Name, rr.Slack)
+		}
+		if rr.StreamPeriod.Sign() <= 0 {
+			t.Errorf("resource %s stream period %v", rr.Name, rr.StreamPeriod)
+		}
+		// Stream periods cannot exceed the system period.
+		if rep.Period.Less(rr.StreamPeriod) {
+			t.Errorf("resource %s streams slower than the system period", rr.Name)
+		}
+	}
+	// The single communication column (col 1) carries the critical cycle.
+	if len(rep.CriticalCycleColumns) != 1 || rep.CriticalCycleColumns[0] != 1 {
+		t.Errorf("critical columns = %v, want [1]", rep.CriticalCycleColumns)
+	}
+	// The critical cycle must involve P2 (the Mct resource) among others.
+	found := false
+	for _, p := range rep.CriticalCycleResources {
+		if p == "P2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("critical cycle resources %v missing P2", rep.CriticalCycleResources)
+	}
+	var b strings.Builder
+	if err := rep.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"NO critical resource", "stream period", "P2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeCriticalColumnsOverlapSingle(t *testing.T) {
+	// Property: under the overlap model the critical cycle stays within one
+	// column (Subsection 4.1).
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 2+rng.Intn(3), 3, 1, 25)
+		rep, err := Analyze(inst, model.Overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.CriticalCycleColumns) != 1 {
+			t.Fatalf("trial %d: overlap critical cycle spans columns %v",
+				trial, rep.CriticalCycleColumns)
+		}
+	}
+}
+
+func TestAnalyzeStreamDecoupling(t *testing.T) {
+	// Two replicas of the last stage with very different speeds: the fast
+	// replica's stream period must be strictly smaller than the system's
+	// (structural decoupling of sibling output streams).
+	ri := rat.FromInt
+	inst, err := model.FromTimes(
+		[][]rat.Rat{{ri(1)}, {ri(100), ri(2)}},
+		[][][]rat.Rat{{{ri(1), ri(1)}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(inst, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// System period: slow replica computes 100 every 2 data sets => 50.
+	if !rep.Period.Equal(ri(50)) {
+		t.Fatalf("period = %v, want 50", rep.Period)
+	}
+	var slow, fast ResourceReport
+	for _, rr := range rep.Resources {
+		switch {
+		case rr.Stage == 1 && rr.Replica == 0:
+			slow = rr
+		case rr.Stage == 1 && rr.Replica == 1:
+			fast = rr
+		}
+	}
+	if !slow.StreamPeriod.Equal(ri(50)) {
+		t.Errorf("slow replica stream period = %v, want 50", slow.StreamPeriod)
+	}
+	if !fast.StreamPeriod.Less(slow.StreamPeriod) {
+		t.Errorf("fast replica stream period %v not below slow %v",
+			fast.StreamPeriod, slow.StreamPeriod)
+	}
+}
+
+func TestAnalyzeStrictCrossColumn(t *testing.T) {
+	// Example-A-like strict analysis: the critical cycle may span multiple
+	// columns, and Analyze must report the net stats of the strict build.
+	rng := rand.New(rand.NewSource(57))
+	inst := randomInstance(rng, 3, 3, 1, 20)
+	rep, err := Analyze(inst, model.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NetStats.Transitions == 0 || rep.NetStats.Tokens == 0 {
+		t.Fatalf("net stats empty: %+v", rep.NetStats)
+	}
+	if len(rep.CriticalCycleResources) == 0 {
+		t.Fatal("no critical cycle resources reported")
+	}
+}

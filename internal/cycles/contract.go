@@ -1,0 +1,378 @@
+package cycles
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rat"
+)
+
+// MaxRatio computes the maximum cycle ratio λ* = max_C cost(C)/tokens(C)
+// exactly, by contracting token-carrying edges and running Karp's maximum
+// mean cycle algorithm on the contracted graph.
+//
+// Requirements: the zero-token subgraph must be acyclic (Validate enforces
+// this; it holds for every TPN the paper constructs, because all token-free
+// places advance lexicographically in (row, column)). Returns ErrNoCycle if
+// the graph is acyclic.
+//
+// The witness cycle in the result is expressed as edge indices of the
+// original system.
+func (s *System) MaxRatio() (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !s.hasCycle() {
+		return Result{}, ErrNoCycle
+	}
+	comp, ncomp := s.G.SCC()
+	best := Result{}
+	found := false
+	for c := 0; c < ncomp; c++ {
+		r, ok, err := s.maxRatioSCC(comp, c)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok && (!found || best.Ratio.Less(r.Ratio)) {
+			best = r
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrNoCycle
+	}
+	if best.Cycle == nil {
+		// Tie-breaking in Karp's witness walk can fail to isolate a critical
+		// cycle; recover one from the tight subgraph at the (correct) ratio.
+		best.Cycle = s.tightCycleWitness(best.Ratio)
+	}
+	return best, nil
+}
+
+// contractedEdge is an edge of the token-contracted graph: it starts with a
+// token edge of the original system and follows a longest zero-token path.
+type contractedEdge struct {
+	from, to int     // indices into the token-edge list
+	cost     rat.Rat // token edge cost + longest zero-token path cost
+	tokens   int64
+	// path reconstruction: the token edge index, then the zero-token edge
+	// indices of the longest path from its head to the target's tail.
+	tokenEdge int
+	pathEdges []int
+}
+
+// maxRatioSCC contracts one strongly connected component and runs Karp on it.
+func (s *System) maxRatioSCC(comp []int, c int) (Result, bool, error) {
+	// Intra-component edges, split into token edges and zero-token edges.
+	var tokenEdges, zeroEdges []int
+	for i, e := range s.G.Edges {
+		if comp[e.From] != c || comp[e.To] != c {
+			continue
+		}
+		if s.Tokens[e.ID] > 0 {
+			tokenEdges = append(tokenEdges, i)
+		} else {
+			zeroEdges = append(zeroEdges, i)
+		}
+	}
+	if len(tokenEdges) == 0 {
+		// Component with no token edge: acyclic by liveness (validated), so
+		// it contributes no cycle.
+		return Result{}, false, nil
+	}
+
+	// Map component vertices to local ids and build the zero-token DAG.
+	local := make(map[int]int)
+	var verts []int
+	addVert := func(v int) int {
+		if id, ok := local[v]; ok {
+			return id
+		}
+		id := len(verts)
+		local[v] = id
+		verts = append(verts, v)
+		return id
+	}
+	for _, ei := range tokenEdges {
+		addVert(s.G.Edges[ei].From)
+		addVert(s.G.Edges[ei].To)
+	}
+	for _, ei := range zeroEdges {
+		addVert(s.G.Edges[ei].From)
+		addVert(s.G.Edges[ei].To)
+	}
+	n := len(verts)
+	dag := graph.New(n)
+	for _, ei := range zeroEdges {
+		e := s.G.Edges[ei]
+		dag.AddEdge(local[e.From], local[e.To], ei)
+	}
+	order, err := dag.TopoOrder()
+	if err != nil {
+		return Result{}, false, ErrDeadlock
+	}
+
+	// Tails of token edges, for quick "is this vertex a contraction target".
+	tailsOf := make(map[int][]int) // local vertex -> token edge list positions
+	for pos, ei := range tokenEdges {
+		tailsOf[local[s.G.Edges[ei].From]] = append(tailsOf[local[s.G.Edges[ei].From]], pos)
+	}
+
+	// For each token edge, longest zero-token path from its head to every
+	// reachable vertex (DAG DP), generating contracted edges to every token
+	// edge tail reached.
+	var cedges []contractedEdge
+	adj := dag.Adj()
+	for pos, ei := range tokenEdges {
+		head := local[s.G.Edges[ei].To]
+		dist := make([]rat.Rat, n)
+		has := make([]bool, n)
+		pred := make([]int, n) // incoming zero edge on longest path
+		for i := range pred {
+			pred[i] = -1
+		}
+		has[head] = true
+		for _, u := range order {
+			if !has[u] {
+				continue
+			}
+			for _, zi := range adj[u] {
+				ze := dag.Edges[zi]
+				cand := dist[u].Add(s.Cost[ze.ID])
+				if !has[ze.To] || dist[ze.To].Less(cand) {
+					dist[ze.To] = cand
+					has[ze.To] = true
+					pred[ze.To] = ze.ID
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !has[v] {
+				continue
+			}
+			for _, toPos := range tailsOf[v] {
+				// Reconstruct the zero-token path head -> v.
+				var path []int
+				for x := v; pred[x] != -1; {
+					path = append([]int{pred[x]}, path...)
+					x = local[s.G.Edges[pred[x]].From]
+				}
+				cedges = append(cedges, contractedEdge{
+					from:      pos,
+					to:        toPos,
+					cost:      s.Cost[ei].Add(dist[v]),
+					tokens:    int64(s.Tokens[ei]),
+					tokenEdge: ei,
+					pathEdges: path,
+				})
+			}
+		}
+	}
+	if len(cedges) == 0 {
+		return Result{}, false, nil
+	}
+
+	// Expand multi-token contracted edges so Karp's uniform-token assumption
+	// holds. (The paper's TPNs only use single-token places; this keeps the
+	// engine general.)
+	expanded, nverts := expandTokens(cedges, len(tokenEdges))
+	lambda, cyc, ok := karpMaxMean(expanded, nverts)
+	if !ok {
+		return Result{}, false, nil
+	}
+	// Translate the contracted witness cycle back to original edges.
+	var witness []int
+	for _, ce := range cyc {
+		if ce.tokenEdge >= 0 {
+			witness = append(witness, ce.tokenEdge)
+			witness = append(witness, ce.pathEdges...)
+		}
+	}
+	return Result{Ratio: lambda, Cycle: witness}, true, nil
+}
+
+// meanEdge is an edge for Karp's algorithm: weight per single token.
+type meanEdge struct {
+	from, to  int
+	cost      rat.Rat
+	tokenEdge int   // original token edge (or -1 for expansion filler)
+	pathEdges []int // zero-token path following the token edge
+}
+
+// expandTokens converts contracted edges with k>1 tokens into k unit edges
+// through fresh intermediate vertices (cost on the first hop).
+func expandTokens(cedges []contractedEdge, n int) ([]meanEdge, int) {
+	var out []meanEdge
+	for _, ce := range cedges {
+		if ce.tokens == 1 {
+			out = append(out, meanEdge{ce.from, ce.to, ce.cost, ce.tokenEdge, ce.pathEdges})
+			continue
+		}
+		prev := ce.from
+		for k := int64(0); k < ce.tokens; k++ {
+			to := ce.to
+			if k < ce.tokens-1 {
+				to = n
+				n++
+			}
+			cost := rat.Zero()
+			te := -1
+			var pe []int
+			if k == 0 {
+				cost = ce.cost
+				te = ce.tokenEdge
+				pe = ce.pathEdges
+			}
+			out = append(out, meanEdge{prev, to, cost, te, pe})
+			prev = to
+		}
+	}
+	return out, n
+}
+
+// karpMaxMean computes the maximum mean-weight cycle over a graph given by
+// unit-token edges, exactly, together with a witness cycle. It handles
+// graphs that are not strongly connected by working per SCC.
+func karpMaxMean(edges []meanEdge, n int) (rat.Rat, []meanEdge, bool) {
+	g := graph.New(n)
+	for i, e := range edges {
+		g.AddEdge(e.from, e.to, i)
+	}
+	comp, ncomp := g.SCC()
+	best := rat.Zero()
+	var bestCycle []meanEdge
+	found := false
+	for c := 0; c < ncomp; c++ {
+		lambda, cyc, ok := karpSCC(g, edges, comp, c)
+		if ok && (!found || best.Less(lambda)) {
+			best, bestCycle, found = lambda, cyc, true
+		}
+	}
+	return best, bestCycle, found
+}
+
+// karpSCC runs Karp's algorithm on one strongly connected component.
+func karpSCC(g *graph.Digraph, edges []meanEdge, comp []int, c int) (rat.Rat, []meanEdge, bool) {
+	var verts []int
+	for v := 0; v < g.N; v++ {
+		if comp[v] == c {
+			verts = append(verts, v)
+		}
+	}
+	var within []int
+	for i, e := range g.Edges {
+		if comp[e.From] == c && comp[e.To] == c {
+			within = append(within, i)
+		}
+	}
+	if len(within) == 0 {
+		return rat.Zero(), nil, false // trivial SCC without self loop
+	}
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	n := len(verts)
+
+	// D[k][v] = max weight of a k-edge progression from source to v.
+	D := make([][]rat.Rat, n+1)
+	has := make([][]bool, n+1)
+	parent := make([][]int, n+1) // edge (index into `edges`) achieving D[k][v]
+	for k := 0; k <= n; k++ {
+		D[k] = make([]rat.Rat, n)
+		has[k] = make([]bool, n)
+		parent[k] = make([]int, n)
+		for i := range parent[k] {
+			parent[k][i] = -1
+		}
+	}
+	has[0][0] = true
+	for k := 1; k <= n; k++ {
+		for _, gi := range within {
+			e := g.Edges[gi]
+			me := edges[e.ID]
+			u, v := idx[e.From], idx[e.To]
+			if !has[k-1][u] {
+				continue
+			}
+			cand := D[k-1][u].Add(me.cost)
+			if !has[k][v] || D[k][v].Less(cand) {
+				D[k][v] = cand
+				has[k][v] = true
+				parent[k][v] = e.ID
+			}
+		}
+	}
+
+	// λ* = max_v min_k (D[n][v]-D[k][v])/(n-k).
+	found := false
+	best := rat.Zero()
+	bestV := -1
+	for v := 0; v < n; v++ {
+		if !has[n][v] {
+			continue
+		}
+		inner := rat.Zero()
+		innerSet := false
+		for k := 0; k < n; k++ {
+			if !has[k][v] {
+				continue
+			}
+			cand := D[n][v].Sub(D[k][v]).DivInt(int64(n - k))
+			if !innerSet || cand.Less(inner) {
+				inner = cand
+				innerSet = true
+			}
+		}
+		if !innerSet {
+			continue
+		}
+		if !found || best.Less(inner) {
+			best = inner
+			bestV = v
+			found = true
+		}
+	}
+	if !found {
+		return rat.Zero(), nil, false
+	}
+
+	// Witness: walk the n-edge progression ending at bestV back; some vertex
+	// repeats, and the enclosed sub-walk is a maximum mean cycle.
+	pathV := make([]int, n+1) // local vertices along the progression
+	pathE := make([]int, n+1) // edge arriving at pathV[k] (edges index)
+	pathV[n] = bestV
+	for k := n; k >= 1; k-- {
+		ei := parent[k][pathV[k]]
+		pathE[k] = ei
+		pathV[k-1] = idx[edges[ei].from]
+	}
+	seen := make(map[int]int) // local vertex -> first position
+	var cyc []meanEdge
+	for k := 0; k <= n; k++ {
+		if j, ok := seen[pathV[k]]; ok {
+			for t := j + 1; t <= k; t++ {
+				cyc = append(cyc, edges[pathE[t]])
+			}
+			break
+		}
+		seen[pathV[k]] = k
+	}
+	if len(cyc) == 0 {
+		panic(fmt.Sprintf("cycles: karp witness reconstruction failed (n=%d)", n))
+	}
+	// The enclosed cycle is not guaranteed to be *the* critical one in rare
+	// tie situations; recompute its mean and, if it is below λ*, fall back to
+	// a tight-cycle search by the caller. We signal that by returning the
+	// ratio only; callers that need certified witnesses use VerifyRatio.
+	mean := rat.Zero()
+	for _, e := range cyc {
+		mean = mean.Add(e.cost)
+	}
+	mean = mean.DivInt(int64(len(cyc)))
+	if !mean.Equal(best) {
+		// Keep λ* (which is correct) but drop the unreliable witness.
+		return best, nil, true
+	}
+	return best, cyc, true
+}

@@ -1,0 +1,225 @@
+package cycles
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// MaxRatioHoward computes the maximum cycle ratio with Howard's policy
+// iteration, exactly in rational arithmetic. It is the engine the
+// (max,+)-algebra literature uses for timed event graphs and serves as an
+// independent implementation cross-checked against MaxRatio.
+func (s *System) MaxRatioHoward() (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !s.hasCycle() {
+		return Result{}, ErrNoCycle
+	}
+	comp, ncomp := s.G.SCC()
+	best := rat.Zero()
+	var bestCycle []int
+	found := false
+	for c := 0; c < ncomp; c++ {
+		lambda, cyc, ok, err := s.howardSCC(comp, c)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok && (!found || best.Less(lambda)) {
+			best, bestCycle, found = lambda, cyc, true
+		}
+	}
+	if !found {
+		return Result{}, ErrNoCycle
+	}
+	return Result{Ratio: best, Cycle: bestCycle}, nil
+}
+
+// howardSCC runs policy iteration on one strongly connected component,
+// maximizing the cycle ratio.
+func (s *System) howardSCC(comp []int, c int) (rat.Rat, []int, bool, error) {
+	var verts []int
+	for v := 0; v < s.G.N; v++ {
+		if comp[v] == c {
+			verts = append(verts, v)
+		}
+	}
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	n := len(verts)
+	out := make([][]int, n) // local vertex -> edge indices (into s.G.Edges)
+	nedges := 0
+	for i, e := range s.G.Edges {
+		if comp[e.From] == c && comp[e.To] == c {
+			out[idx[e.From]] = append(out[idx[e.From]], i)
+			nedges++
+		}
+	}
+	if nedges == 0 {
+		return rat.Zero(), nil, false, nil
+	}
+	// In a non-trivial SCC every vertex has an outgoing intra-SCC edge.
+	policy := make([]int, n)
+	for v := 0; v < n; v++ {
+		if len(out[v]) == 0 {
+			return rat.Zero(), nil, false, fmt.Errorf("cycles: vertex %d has no outgoing edge inside its SCC", verts[v])
+		}
+		policy[v] = out[v][0]
+	}
+
+	lambda := make([]rat.Rat, n) // per-vertex cycle ratio under current policy
+	value := make([]rat.Rat, n)  // bias values
+	succ := func(ei int) int { return idx[s.G.Edges[ei].To] }
+
+	maxIter := 2*nedges*n + 16 // safety cap; Howard terminates far earlier
+	for iter := 0; iter < maxIter; iter++ {
+		// --- Value determination on the policy (functional) graph. ---
+		// Find the cycle each vertex reaches and its ratio.
+		state := make([]int, n) // 0 unvisited, 1 in progress, 2 done
+		cycleOf := make([]int, n)
+		var cycles [][]int // each: edge list of a policy cycle
+		var cycleRatio []rat.Rat
+		var cycleAnchor []int // a vertex on the cycle
+		for v0 := 0; v0 < n; v0++ {
+			if state[v0] != 0 {
+				continue
+			}
+			// Walk the functional graph recording the path.
+			var path []int
+			v := v0
+			for state[v] == 0 {
+				state[v] = 1
+				path = append(path, v)
+				v = succ(policy[v])
+			}
+			var cid int
+			if state[v] == 1 {
+				// Found a new cycle starting at v.
+				cid = len(cycles)
+				var ce []int
+				cost := rat.Zero()
+				tokens := int64(0)
+				x := v
+				for {
+					ce = append(ce, policy[x])
+					cost = cost.Add(s.Cost[policy[x]])
+					tokens += int64(s.Tokens[policy[x]])
+					x = succ(policy[x])
+					if x == v {
+						break
+					}
+				}
+				if tokens == 0 {
+					return rat.Zero(), nil, false, ErrDeadlock
+				}
+				cycles = append(cycles, ce)
+				cycleRatio = append(cycleRatio, cost.DivInt(tokens))
+				cycleAnchor = append(cycleAnchor, v)
+			} else {
+				cid = cycleOf[v]
+			}
+			for _, u := range path {
+				state[u] = 2
+				cycleOf[u] = cid
+			}
+		}
+		// Values: anchor vertices get 0; propagate backwards along policy
+		// edges: value[u] = cost(u) - λ·tokens(u) + value[succ(u)].
+		computed := make([]bool, n)
+		for ci := range cycles {
+			a := cycleAnchor[ci]
+			value[a] = rat.Zero()
+			lambda[a] = cycleRatio[ci]
+			computed[a] = true
+			// Assign values along the cycle in reverse traversal order.
+			var order []int
+			x := a
+			for {
+				order = append(order, x)
+				x = succ(policy[x])
+				if x == a {
+					break
+				}
+			}
+			for i := len(order) - 1; i >= 1; i-- {
+				u := order[i]
+				nu := succ(policy[u])
+				lambda[u] = cycleRatio[ci]
+				value[u] = s.Cost[policy[u]].Sub(lambda[u].MulInt(int64(s.Tokens[policy[u]]))).Add(value[nu])
+				computed[u] = true
+			}
+		}
+		// Trees hanging off the cycles: iterate until all computed.
+		for remaining := true; remaining; {
+			remaining = false
+			progress := false
+			for u := 0; u < n; u++ {
+				if computed[u] {
+					continue
+				}
+				nu := succ(policy[u])
+				if !computed[nu] {
+					remaining = true
+					continue
+				}
+				lambda[u] = lambda[nu]
+				value[u] = s.Cost[policy[u]].Sub(lambda[u].MulInt(int64(s.Tokens[policy[u]]))).Add(value[nu])
+				computed[u] = true
+				progress = true
+			}
+			if remaining && !progress {
+				return rat.Zero(), nil, false, fmt.Errorf("cycles: howard value determination stuck")
+			}
+		}
+
+		// --- Policy improvement (two-level lexicographic test). ---
+		improved := false
+		for u := 0; u < n; u++ {
+			for _, ei := range out[u] {
+				v := succ(ei)
+				if lambda[u].Less(lambda[v]) {
+					policy[u] = ei
+					improved = true
+					continue
+				}
+				if lambda[v].Less(lambda[u]) {
+					continue
+				}
+				cand := s.Cost[ei].Sub(lambda[u].MulInt(int64(s.Tokens[ei]))).Add(value[v])
+				if value[u].Less(cand) {
+					policy[u] = ei
+					value[u] = cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			// Converged: the best ratio is the max λ over vertices; its
+			// policy cycle is a witness.
+			best := lambda[0]
+			bestV := 0
+			for v := 1; v < n; v++ {
+				if best.Less(lambda[v]) {
+					best = lambda[v]
+					bestV = v
+				}
+			}
+			// Recover the cycle bestV reaches under the final policy.
+			seen := make(map[int]int)
+			var walkEdges []int
+			x := bestV
+			for {
+				if pos, ok := seen[x]; ok {
+					return best, append([]int(nil), walkEdges[pos:]...), true, nil
+				}
+				seen[x] = len(walkEdges)
+				walkEdges = append(walkEdges, policy[x])
+				x = succ(policy[x])
+			}
+		}
+	}
+	return rat.Zero(), nil, false, fmt.Errorf("cycles: howard did not converge within iteration cap")
+}

@@ -1,0 +1,121 @@
+package cycles
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+)
+
+func TestVertexRatesChain(t *testing.T) {
+	// ring(0,1) ratio 4 -> vertex 2 downstream -> ring(3,4) ratio 10.
+	s := NewSystem(5)
+	s.AddEdge(0, 1, rat.FromInt(2), 0)
+	s.AddEdge(1, 0, rat.FromInt(2), 1) // ratio 4
+	s.AddEdge(1, 2, rat.FromInt(1), 0)
+	s.AddEdge(2, 3, rat.FromInt(1), 0)
+	s.AddEdge(3, 4, rat.FromInt(5), 0)
+	s.AddEdge(4, 3, rat.FromInt(5), 1) // ratio 10
+	rates, err := s.VertexRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 4, 4, 10, 10}
+	for v, w := range want {
+		if !rates[v].Equal(rat.FromInt(w)) {
+			t.Errorf("rate[%d] = %v, want %d", v, rates[v], w)
+		}
+	}
+}
+
+func TestVertexRatesDecoupled(t *testing.T) {
+	// Two disjoint rings: each keeps its own rate; a source vertex feeding
+	// both has no cycle upstream => rate 0.
+	s := NewSystem(5)
+	s.AddEdge(0, 1, rat.FromInt(0), 0) // source 0 -> ring A
+	s.AddEdge(1, 1, rat.FromInt(3), 1) // ring A: ratio 3
+	s.AddEdge(0, 2, rat.FromInt(0), 0) // source 0 -> ring B
+	s.AddEdge(2, 2, rat.FromInt(7), 1) // ring B: ratio 7
+	s.AddEdge(3, 4, rat.FromInt(9), 1) // isolated pair without cycle
+	rates, err := s.VertexRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rates[0].IsZero() {
+		t.Errorf("source rate = %v, want 0", rates[0])
+	}
+	if !rates[1].Equal(rat.FromInt(3)) || !rates[2].Equal(rat.FromInt(7)) {
+		t.Errorf("ring rates = %v / %v", rates[1], rates[2])
+	}
+	if !rates[3].IsZero() || !rates[4].IsZero() {
+		t.Errorf("acyclic rates = %v / %v", rates[3], rates[4])
+	}
+}
+
+func TestVertexRatesMaxIsGlobalRatio(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomLiveSystem(rng, 3+rng.Intn(6))
+		rates, err := s.VertexRates()
+		if err != nil {
+			return false
+		}
+		global, err := s.MaxRatio()
+		if err != nil {
+			return false
+		}
+		mx := rat.Zero()
+		for _, r := range rates {
+			mx = rat.Max(mx, r)
+		}
+		return mx.Equal(global.Ratio)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVertexRatesMonotoneAlongEdges(t *testing.T) {
+	// rate(To) >= rate(From) for every edge (downstream vertices are
+	// throttled by everything upstream).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomLiveSystem(rng, 3+rng.Intn(6))
+		rates, err := s.VertexRates()
+		if err != nil {
+			return false
+		}
+		for _, e := range s.G.Edges {
+			if rates[e.To].Less(rates[e.From]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondensation(t *testing.T) {
+	s := NewSystem(4)
+	s.AddEdge(0, 1, rat.One(), 0)
+	s.AddEdge(1, 0, rat.One(), 1)
+	s.AddEdge(1, 2, rat.One(), 0)
+	s.AddEdge(2, 3, rat.One(), 0)
+	s.AddEdge(3, 2, rat.One(), 1)
+	dag, comp := s.Condensation()
+	if dag.N != 2 {
+		t.Fatalf("condensation has %d nodes, want 2", dag.N)
+	}
+	if len(dag.Edges) != 1 {
+		t.Fatalf("condensation has %d edges, want 1 (deduplicated)", len(dag.Edges))
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] {
+		t.Fatalf("comp = %v", comp)
+	}
+	if !dag.IsAcyclic() {
+		t.Fatal("condensation not acyclic")
+	}
+}

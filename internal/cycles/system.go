@@ -1,0 +1,333 @@
+// Package cycles computes maximum cycle ratios of directed graphs whose
+// edges carry an exact cost and a token count:
+//
+//	λ* = max over directed cycles C of  cost(C) / tokens(C).
+//
+// This is exactly the critical-cycle computation of Section 4 of the paper:
+// the period of a timed event graph equals the maximum, over its cycles, of
+// the total firing time divided by the number of tokens (Baccelli et al.,
+// "Synchronization and Linearity").
+//
+// Four engines are provided and cross-checked against each other:
+//
+//   - MaxRatio (token contraction + Karp): exact, the default. All TPNs built
+//     in this repository have an acyclic zero-token subgraph, so token edges
+//     can be contracted via longest-path DAG sweeps, after which every edge
+//     carries exactly one token and Karp's maximum mean cycle applies.
+//   - Howard policy iteration: exact, handles arbitrary token counts.
+//   - Lawler binary search: float64, for scale comparisons.
+//   - BruteForce: exhaustive elementary-cycle enumeration, for tests.
+package cycles
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rat"
+)
+
+// System is a directed multigraph with per-edge costs and token counts.
+// Cost and Tokens are parallel to G.Edges.
+type System struct {
+	G      *graph.Digraph
+	Cost   []rat.Rat
+	Tokens []int
+}
+
+// NewSystem returns an empty system over n vertices.
+func NewSystem(n int) *System {
+	return &System{G: graph.New(n)}
+}
+
+// AddEdge appends an edge u->v with the given cost and token count and
+// returns its index.
+func (s *System) AddEdge(u, v int, cost rat.Rat, tokens int) int {
+	if tokens < 0 {
+		panic(fmt.Sprintf("cycles: negative token count %d", tokens))
+	}
+	idx := s.G.AddEdge(u, v, len(s.Cost))
+	s.Cost = append(s.Cost, cost)
+	s.Tokens = append(s.Tokens, tokens)
+	return idx
+}
+
+// ErrNoCycle is returned when the graph has no directed cycle: the maximum
+// cycle ratio is undefined (an acyclic event graph has no steady-state
+// constraint).
+var ErrNoCycle = errors.New("cycles: graph has no directed cycle")
+
+// ErrDeadlock is returned when a cycle without tokens exists: the
+// corresponding timed event graph can never fire the transitions on that
+// cycle.
+var ErrDeadlock = errors.New("cycles: zero-token cycle (event graph deadlock)")
+
+// Validate checks structural sanity: costs must be non-negative and no
+// zero-token cycle may exist.
+func (s *System) Validate() error {
+	for i, c := range s.Cost {
+		if c.Sign() < 0 {
+			return fmt.Errorf("cycles: edge %d has negative cost %v", i, c)
+		}
+	}
+	zero := s.G.Subgraph(func(e graph.Edge) bool { return s.Tokens[e.ID] == 0 })
+	if !zero.IsAcyclic() {
+		return ErrDeadlock
+	}
+	return nil
+}
+
+// hasCycle reports whether the graph contains any directed cycle.
+func (s *System) hasCycle() bool {
+	return !s.G.IsAcyclic()
+}
+
+// Result is the outcome of a maximum-cycle-ratio computation.
+type Result struct {
+	Ratio rat.Rat
+	// Cycle is a witness achieving the ratio, as a sequence of edge indices
+	// into the system (first edge leaves the cycle's first vertex). It may be
+	// nil when the engine does not reconstruct witnesses.
+	Cycle []int
+}
+
+// CycleVertices returns the vertex sequence of the witness cycle.
+func (s *System) CycleVertices(cycle []int) []int {
+	vs := make([]int, 0, len(cycle))
+	for _, ei := range cycle {
+		vs = append(vs, s.G.Edges[ei].From)
+	}
+	return vs
+}
+
+// ratioOfCycle computes cost(C)/tokens(C) for a cycle given by edge indices.
+func (s *System) ratioOfCycle(cycle []int) (rat.Rat, error) {
+	cost := rat.Zero()
+	tokens := int64(0)
+	for _, ei := range cycle {
+		cost = cost.Add(s.Cost[ei])
+		tokens += int64(s.Tokens[ei])
+	}
+	if tokens == 0 {
+		return rat.Zero(), ErrDeadlock
+	}
+	return cost.DivInt(tokens), nil
+}
+
+// VerifyRatio checks that λ is indeed the maximum cycle ratio: with edge
+// weights cost − λ·tokens there must be no positive-weight cycle, and at
+// least one zero-weight cycle must exist. It is used to double-check engines
+// against one another in tests and by callers that want a certificate.
+func (s *System) VerifyRatio(lambda rat.Rat) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if !s.hasCycle() {
+		return ErrNoCycle
+	}
+	pos, tight, err := s.reducedCycleSignature(lambda)
+	if err != nil {
+		return err
+	}
+	if pos {
+		return fmt.Errorf("cycles: ratio %v too small: positive reduced cycle exists", lambda)
+	}
+	if !tight {
+		return fmt.Errorf("cycles: ratio %v too large: no tight cycle exists", lambda)
+	}
+	return nil
+}
+
+// reducedCycleSignature runs exact Bellman–Ford-style longest-path analysis
+// with edge weights cost − λ·tokens, per SCC. It reports whether a strictly
+// positive cycle exists and whether some cycle has weight exactly zero.
+func (s *System) reducedCycleSignature(lambda rat.Rat) (positive, tight bool, err error) {
+	comp, ncomp := s.G.SCC()
+	for c := 0; c < ncomp; c++ {
+		p, t, e := s.sccReducedSignature(comp, c, lambda)
+		if e != nil {
+			return false, false, e
+		}
+		positive = positive || p
+		tight = tight || t
+		if positive {
+			return positive, tight, nil
+		}
+	}
+	return positive, tight, nil
+}
+
+func (s *System) sccReducedSignature(comp []int, c int, lambda rat.Rat) (positive, tight bool, err error) {
+	// Collect vertices and intra-SCC edges.
+	var verts []int
+	for v := 0; v < s.G.N; v++ {
+		if comp[v] == c {
+			verts = append(verts, v)
+		}
+	}
+	var edges []int
+	for i, e := range s.G.Edges {
+		if comp[e.From] == c && comp[e.To] == c {
+			edges = append(edges, i)
+		}
+	}
+	if len(edges) == 0 {
+		return false, false, nil
+	}
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	n := len(verts)
+	dist := make([]rat.Rat, n)
+	has := make([]bool, n)
+	dist[0] = rat.Zero()
+	has[0] = true
+	reduced := func(ei int) rat.Rat {
+		return s.Cost[ei].Sub(lambda.MulInt(int64(s.Tokens[ei])))
+	}
+	// Longest path relaxation; in an SCC everything is reachable from verts[0].
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, ei := range edges {
+			e := s.G.Edges[ei]
+			u, v := idx[e.From], idx[e.To]
+			if !has[u] {
+				continue
+			}
+			cand := dist[u].Add(reduced(ei))
+			if !has[v] || dist[v].Less(cand) {
+				dist[v] = cand
+				has[v] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n-1 && changed {
+			// One more relaxation round would still improve: positive cycle.
+			return true, false, nil
+		}
+	}
+	// Tight cycle detection: edges with dist[u] + w == dist[v] form the tight
+	// subgraph; a zero-weight cycle exists iff that subgraph has a cycle.
+	tg := graph.New(n)
+	for _, ei := range edges {
+		e := s.G.Edges[ei]
+		u, v := idx[e.From], idx[e.To]
+		if has[u] && has[v] && dist[u].Add(reduced(ei)).Equal(dist[v]) {
+			tg.AddEdge(u, v, ei)
+		}
+	}
+	return false, !tg.IsAcyclic(), nil
+}
+
+// tightCycleWitness returns a cycle (edge indices in the full system) whose
+// reduced weight under λ is zero, assuming VerifyRatio(λ) holds.
+func (s *System) tightCycleWitness(lambda rat.Rat) []int {
+	comp, ncomp := s.G.SCC()
+	for c := 0; c < ncomp; c++ {
+		if w := s.sccTightWitness(comp, c, lambda); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+func (s *System) sccTightWitness(comp []int, c int, lambda rat.Rat) []int {
+	var verts []int
+	for v := 0; v < s.G.N; v++ {
+		if comp[v] == c {
+			verts = append(verts, v)
+		}
+	}
+	var edges []int
+	for i, e := range s.G.Edges {
+		if comp[e.From] == c && comp[e.To] == c {
+			edges = append(edges, i)
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	n := len(verts)
+	dist := make([]rat.Rat, n)
+	has := make([]bool, n)
+	dist[0] = rat.Zero()
+	has[0] = true
+	reduced := func(ei int) rat.Rat {
+		return s.Cost[ei].Sub(lambda.MulInt(int64(s.Tokens[ei])))
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, ei := range edges {
+			e := s.G.Edges[ei]
+			u, v := idx[e.From], idx[e.To]
+			if !has[u] {
+				continue
+			}
+			cand := dist[u].Add(reduced(ei))
+			if !has[v] || dist[v].Less(cand) {
+				dist[v] = cand
+				has[v] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Build tight subgraph, then walk it to find a cycle.
+	tightOut := make([][]int, n) // local vertex -> tight edge indices (global)
+	for _, ei := range edges {
+		e := s.G.Edges[ei]
+		u, v := idx[e.From], idx[e.To]
+		if has[u] && has[v] && dist[u].Add(reduced(ei)).Equal(dist[v]) {
+			tightOut[u] = append(tightOut[u], ei)
+		}
+	}
+	// DFS for a cycle in the tight subgraph.
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	parentEdge := make([]int, n)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	var walk func(u int) []int
+	walk = func(u int) []int {
+		state[u] = 1
+		for _, ei := range tightOut[u] {
+			v := idx[s.G.Edges[ei].To]
+			switch state[v] {
+			case 0:
+				parentEdge[v] = ei
+				if cyc := walk(v); cyc != nil {
+					return cyc
+				}
+			case 1:
+				// Found a cycle closing at v: unwind from u back to v.
+				cyc := []int{ei}
+				for x := u; x != v; {
+					pe := parentEdge[x]
+					cyc = append([]int{pe}, cyc...)
+					x = idx[s.G.Edges[pe].From]
+				}
+				return cyc
+			}
+		}
+		state[u] = 2
+		return nil
+	}
+	for u := 0; u < n; u++ {
+		if state[u] == 0 {
+			if cyc := walk(u); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+)
+
+func TestPerturbationValidate(t *testing.T) {
+	if err := (Perturbation{JitterPct: -1}).Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	if err := (Perturbation{JitterPct: 100}).Validate(); err == nil {
+		t.Error("100% jitter accepted")
+	}
+	if err := (Perturbation{JitterPct: 0}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroJitterIsIdentity(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	rng := rand.New(rand.NewSource(1))
+	s, err := Perturbation{JitterPct: 0}.Sample(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inst.NumStages(); i++ {
+		for a := 0; a < inst.Replication(i); a++ {
+			if !s.CompTime(i, a).Equal(inst.CompTime(i, a)) {
+				t.Fatal("zero jitter changed a computation time")
+			}
+		}
+	}
+}
+
+func TestSampleWithinBounds(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	rng := rand.New(rand.NewSource(2))
+	pert := Perturbation{JitterPct: 20}
+	for trial := 0; trial < 10; trial++ {
+		s, err := pert.Sample(inst, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < inst.NumStages()-1; i++ {
+			for a := 0; a < inst.Replication(i); a++ {
+				for b := 0; b < inst.Replication(i+1); b++ {
+					orig := inst.CommTime(i, a, b).Float64()
+					got := s.CommTime(i, a, b).Float64()
+					if got < orig*0.8-1e-9 || got > orig*1.2+1e-9 {
+						t.Fatalf("perturbed time %v outside ±20%% of %v", got, orig)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMonteCarloStats(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	st, err := MonteCarlo(inst, model.Overlap, Perturbation{JitterPct: 10}, 40, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 40 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+	base := 3500.0 / 12
+	if st.BasePeriod != base {
+		t.Errorf("base period = %v", st.BasePeriod)
+	}
+	if st.MinPeriod > st.MeanPeriod || st.MeanPeriod > st.MaxPeriod {
+		t.Errorf("inconsistent stats: %+v", st)
+	}
+	// ±10% jitter keeps the period within ±10% of the base.
+	if st.MinPeriod < base*0.9-1e-9 || st.MaxPeriod > base*1.1+1e-9 {
+		t.Errorf("period range [%v, %v] outside ±10%% of %v", st.MinPeriod, st.MaxPeriod, base)
+	}
+	if st.StdDev < 0 {
+		t.Error("negative stddev")
+	}
+}
+
+func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	a, err := MonteCarlo(inst, model.Strict, Perturbation{JitterPct: 15}, 20, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(inst, model.Strict, Perturbation{JitterPct: 15}, 20, 11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-sample outcomes are identical (seeded per job); only float
+	// accumulation order may differ, so compare with a tolerance.
+	if math.Abs(a.MeanPeriod-b.MeanPeriod) > 1e-9 || a.NoCritical != b.NoCritical ||
+		a.MinPeriod != b.MinPeriod || a.MaxPeriod != b.MaxPeriod {
+		t.Fatalf("parallelism changed Monte-Carlo outcome: %+v vs %+v", a, b)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	if _, err := MonteCarlo(inst, model.Overlap, Perturbation{JitterPct: 10}, 0, 1, 1); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if _, err := MonteCarlo(inst, model.Overlap, Perturbation{JitterPct: 150}, 5, 1, 1); err == nil {
+		t.Error("invalid perturbation accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package examplesdata
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+// TestExampleAOverlapPeriod reproduces §4.1: period 189, critical resource =
+// output port of P0.
+func TestExampleAOverlapPeriod(t *testing.T) {
+	inst := ExampleA()
+	res, err := core.Period(inst, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Period.Equal(rat.FromInt(189)) {
+		t.Fatalf("overlap period = %v, want 189", res.Period)
+	}
+	if !res.HasCriticalResource() {
+		t.Fatal("Example A overlap must have a critical resource")
+	}
+	crit := inst.CriticalResources(model.Overlap)
+	if len(crit) != 1 || crit[0].Stage != 0 || crit[0].Proc != 0 {
+		t.Fatalf("critical resources = %+v, want P0 only", crit)
+	}
+	if !crit[0].Cout.Equal(rat.FromInt(189)) {
+		t.Fatalf("P0's critical component must be its output port (Cout=%v)", crit[0].Cout)
+	}
+}
+
+// TestExampleAStrictPeriod reproduces §4.2: Mct = 215.83 = 1295/6 at P2,
+// strictly below the period 230.67 = 1384/6 — no critical resource.
+func TestExampleAStrictPeriod(t *testing.T) {
+	inst := ExampleA()
+	res, err := core.Period(inst, model.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mct.Equal(rat.New(1295, 6)) {
+		t.Fatalf("strict Mct = %v, want 1295/6", res.Mct)
+	}
+	if !res.Period.Equal(rat.New(1384, 6)) {
+		t.Fatalf("strict period = %v, want 1384/6", res.Period)
+	}
+	if res.HasCriticalResource() {
+		t.Fatal("Example A strict must have no critical resource")
+	}
+	crit := inst.CriticalResources(model.Strict)
+	if len(crit) != 1 || crit[0].Name != "P2" {
+		t.Fatalf("strict Mct attained at %+v, want P2", crit)
+	}
+}
+
+// TestExampleBNoCriticalResource reproduces §4.1 for Example B: under the
+// overlap model, Mct = 258.33 = 3100/12 (P2's output port) while the period
+// is 291.67 = 3500/12.
+func TestExampleBNoCriticalResource(t *testing.T) {
+	inst := ExampleB()
+	res, err := core.Period(inst, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mct.Equal(rat.New(3100, 12)) {
+		t.Fatalf("Mct = %v, want 3100/12", res.Mct)
+	}
+	if !res.Period.Equal(rat.New(3500, 12)) {
+		t.Fatalf("period = %v, want 3500/12", res.Period)
+	}
+	if res.HasCriticalResource() {
+		t.Fatal("Example B must have no critical resource under overlap")
+	}
+	crit := inst.CriticalResources(model.Overlap)
+	if len(crit) != 1 || crit[0].Name != "P2" || !crit[0].Cout.Equal(res.Mct) {
+		t.Fatalf("Mct must be attained by P2's output port, got %+v", crit)
+	}
+}
+
+// TestExampleBMatchesFullTPN cross-checks the polynomial result against the
+// general unfolded-TPN computation.
+func TestExampleBMatchesFullTPN(t *testing.T) {
+	inst := ExampleB()
+	full, err := core.PeriodTPN(inst, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Period.Equal(rat.New(3500, 12)) {
+		t.Fatalf("TPN period = %v, want 3500/12", full.Period)
+	}
+}
+
+// TestExampleAPaths reproduces Table 1 (via the mapping object).
+func TestExampleAPaths(t *testing.T) {
+	m := ExampleAMapping()
+	if m.PathCount() != 6 {
+		t.Fatalf("PathCount = %d, want 6", m.PathCount())
+	}
+	inst := ExampleA()
+	if inst.PathCount() != 6 {
+		t.Fatalf("instance PathCount = %d, want 6", inst.PathCount())
+	}
+}
+
+// TestExampleCStructure reproduces the combinatorial numbers of the proof of
+// Theorem 1.
+func TestExampleCStructure(t *testing.T) {
+	inst := ExampleC()
+	if inst.PathCount() != 10395 {
+		t.Fatalf("PathCount = %d, want 10395", inst.PathCount())
+	}
+	pats := core.CommPatterns(inst)
+	p1 := pats[1]
+	if p1.P != 3 || p1.U != 7 || p1.V != 9 || p1.C != 55 {
+		t.Fatalf("F1 pattern %+v, want p=3 u=7 v=9 c=55", p1)
+	}
+	// The polynomial algorithm must succeed despite m = 10395.
+	if _, err := core.PeriodOverlapPoly(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure1Pipeline sanity-checks the quickstart pipeline.
+func TestFigure1Pipeline(t *testing.T) {
+	p := Figure1Pipeline()
+	if p.NumStages() != 4 {
+		t.Fatalf("NumStages = %d", p.NumStages())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExampleALabelMultiset checks that the reconstruction uses exactly the
+// 18 labels of Figure 2.
+func TestExampleALabelMultiset(t *testing.T) {
+	inst := ExampleA()
+	counts := map[int64]int{}
+	add := func(r rat.Rat) {
+		if r.Den() != 1 {
+			t.Fatalf("non-integer label %v", r)
+		}
+		counts[r.Num()]++
+	}
+	for i := 0; i < inst.NumStages(); i++ {
+		for a := 0; a < inst.Replication(i); a++ {
+			add(inst.CompTime(i, a))
+		}
+	}
+	for i := 0; i < inst.NumStages()-1; i++ {
+		for a := 0; a < inst.Replication(i); a++ {
+			for b := 0; b < inst.Replication(i+1); b++ {
+				add(inst.CommTime(i, a, b))
+			}
+		}
+	}
+	want := map[int64]int{147: 1, 22: 1, 104: 1, 146: 1, 23: 1, 128: 1, 73: 2, 77: 1, 68: 1, 13: 1, 57: 1, 157: 1, 67: 1, 126: 1, 165: 1, 186: 1, 192: 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("label %d appears %d times, want %d", k, counts[k], v)
+		}
+	}
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total != 18 {
+		t.Errorf("total labels = %d, want 18", total)
+	}
+}

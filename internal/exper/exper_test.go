@@ -1,0 +1,113 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestTable2RowsGrid(t *testing.T) {
+	rows := Table2Rows(model.Overlap, 1, DefaultMaxPathCount)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	totals := 0
+	for _, r := range rows {
+		totals += r.Runs
+	}
+	// The paper's grand total is 5152 across both models: 2576 per model.
+	if totals != 2576 {
+		t.Fatalf("per-model total runs = %d, want 2576", totals)
+	}
+}
+
+func TestTable2RowsScale(t *testing.T) {
+	rows := Table2Rows(model.Strict, 0.01, DefaultMaxPathCount)
+	for _, r := range rows {
+		if r.Runs < 2 {
+			t.Errorf("row %q scaled below 2 runs", r.Label)
+		}
+		if r.Runs > 20 {
+			t.Errorf("row %q not scaled: %d runs", r.Label, r.Runs)
+		}
+	}
+}
+
+func TestRunSmallRowOverlap(t *testing.T) {
+	row := Row{
+		Label: "test overlap",
+		Model: model.Overlap,
+		Specs: []workload.Spec{{Stages: 2, Procs: 7, CompLo: 1, CompHi: 1, CommLo: 5, CommHi: 10, MaxPathCount: DefaultMaxPathCount}},
+		Runs:  30,
+	}
+	rr, err := Run(row, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Total != 30 {
+		t.Fatalf("total = %d", rr.Total)
+	}
+	// Table 2: the overlap model essentially never loses its critical
+	// resource on this family (0/1000 in the paper).
+	if rr.NoCritical > 1 {
+		t.Errorf("overlap no-critical count suspiciously high: %d/30", rr.NoCritical)
+	}
+}
+
+func TestRunSmallRowStrict(t *testing.T) {
+	row := Row{
+		Label: "test strict",
+		Model: model.Strict,
+		Specs: []workload.Spec{{Stages: 2, Procs: 7, CompLo: 1, CompHi: 1, CommLo: 5, CommHi: 10, MaxPathCount: DefaultMaxPathCount}},
+		Runs:  30,
+	}
+	rr, err := Run(row, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Total != 30 {
+		t.Fatalf("total = %d", rr.Total)
+	}
+	if rr.NoCritical > 0 && rr.MaxGapPct <= 0 {
+		t.Error("no-critical cases must have positive gap")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	row := Row{
+		Label: "det",
+		Model: model.Strict,
+		Specs: []workload.Spec{{Stages: 2, Procs: 7, CompLo: 1, CompHi: 1, CommLo: 5, CommHi: 10, MaxPathCount: DefaultMaxPathCount}},
+		Runs:  20,
+	}
+	a, err := Run(row, 99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(row, 99, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NoCritical != b.NoCritical || a.Total != b.Total {
+		t.Fatalf("parallelism changed outcome: %+v vs %+v", a, b)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	results := []RowResult{
+		{Row: Row{Label: "fam A", Model: model.Overlap}, Total: 100, NoCritical: 0},
+		{Row: Row{Label: "fam B", Model: model.Strict}, Total: 100, NoCritical: 3, MaxGapPct: 7.2},
+	}
+	var b strings.Builder
+	if err := WriteTable(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fam A", "fam B", "0 / 100", "3 / 100", "diff less than 8%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

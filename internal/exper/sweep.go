@@ -1,0 +1,134 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+// SweepPoint is one point of the runtime-vs-duplication sweep (the
+// quantitative counterpart of §5's "computation times closely depend on the
+// duplication factor of each stage … 2 to 150,000 seconds").
+type SweepPoint struct {
+	// Reps is the replication vector of the instance.
+	Reps []int
+	// PathCount is m = lcm(reps).
+	PathCount int64
+	// PolyTime is the wall time of the Theorem 1 polynomial algorithm.
+	PolyTime time.Duration
+	// TPNTime is the wall time of the general unfolded-net method
+	// (overlap model), zero when the net exceeds the row cap.
+	TPNTime time.Duration
+	// TPNSkipped reports that the unfolded net was over the cap.
+	TPNSkipped bool
+	// Period is the (overlap) period, identical between both methods.
+	Period rat.Rat
+}
+
+// RuntimeSweep evaluates randomly-timed two-stage instances with increasing
+// replication, timing the polynomial algorithm against the general method.
+// The replication vectors use coprime pairs so m = m_0 * m_1 grows
+// quadratically while the pattern graphs stay m_0 x m_1.
+func RuntimeSweep(seed int64, pairs [][]int) ([]SweepPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []SweepPoint
+	for _, reps := range pairs {
+		inst, err := randomTimedInstance(rng, reps, 5, 15)
+		if err != nil {
+			return nil, err
+		}
+		pt := SweepPoint{Reps: reps, PathCount: inst.PathCount()}
+
+		t0 := time.Now()
+		poly, err := core.PeriodOverlapPoly(inst)
+		if err != nil {
+			return nil, err
+		}
+		pt.PolyTime = time.Since(t0)
+		pt.Period = poly.Period
+
+		t0 = time.Now()
+		full, err := core.PeriodTPN(inst, model.Overlap)
+		switch {
+		case err == nil:
+			pt.TPNTime = time.Since(t0)
+			if !full.Period.Equal(poly.Period) {
+				return nil, fmt.Errorf("exper: sweep disagreement at reps %v: poly %v vs tpn %v",
+					reps, poly.Period, full.Period)
+			}
+		default:
+			var tooLarge tpn.ErrTooLarge
+			if !errors.As(err, &tooLarge) {
+				return nil, err
+			}
+			pt.TPNSkipped = true
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DefaultSweepPairs lists replication vectors of growing m: coprime
+// two-stage pairs (where the pattern graph is as large as the unfolded net,
+// so both methods scale alike) followed by multi-stage vectors whose lcm
+// explodes while every pattern graph stays small — the regime where
+// Theorem 1's polynomial bound beats the general method by orders of
+// magnitude (Example C's vector is included; the last vector exceeds the
+// row cap of the unfolded method entirely).
+func DefaultSweepPairs() [][]int {
+	return [][]int{
+		{2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{9, 10}, {11, 13}, {16, 17}, {25, 27},
+		{4, 6, 9}, {8, 12, 18}, {10, 14, 21, 15},
+		{5, 21, 27, 11},     // Example C: m = 10395
+		{16, 27, 25, 7, 11}, // m = 831600 > cap: unfolded method infeasible
+	}
+}
+
+// WriteSweep renders sweep results as the runtime "figure" table.
+func WriteSweep(w io.Writer, pts []SweepPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "replication\tm=lcm\tpoly (Theorem 1)\tunfolded TPN\tperiod")
+	for _, p := range pts {
+		tpnCol := p.TPNTime.Round(time.Microsecond).String()
+		if p.TPNSkipped {
+			tpnCol = fmt.Sprintf("skipped (m > %d)", tpn.MaxRows)
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%v\t%s\t%.4f\n",
+			p.Reps, p.PathCount, p.PolyTime.Round(time.Microsecond), tpnCol, p.Period.Float64())
+	}
+	return tw.Flush()
+}
+
+// randomTimedInstance draws an instance with the given replication counts
+// and uniform integer operation times in [lo, hi].
+func randomTimedInstance(rng *rand.Rand, reps []int, lo, hi int64) (*model.Instance, error) {
+	draw := func() rat.Rat { return rat.FromInt(lo + rng.Int63n(hi-lo+1)) }
+	n := len(reps)
+	comp := make([][]rat.Rat, n)
+	for i := range comp {
+		comp[i] = make([]rat.Rat, reps[i])
+		for a := range comp[i] {
+			comp[i][a] = draw()
+		}
+	}
+	comm := make([][][]rat.Rat, n-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, reps[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, reps[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = draw()
+			}
+		}
+	}
+	return model.FromTimes(comp, comm)
+}

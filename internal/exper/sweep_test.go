@@ -1,0 +1,77 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeSweepSmall(t *testing.T) {
+	pts, err := RuntimeSweep(1, [][]int{{2, 3}, {3, 4}, {4, 6, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].PathCount != 6 || pts[1].PathCount != 12 || pts[2].PathCount != 36 {
+		t.Fatalf("path counts wrong: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.TPNSkipped {
+			t.Fatalf("small instance skipped: %+v", p)
+		}
+		if p.Period.Sign() <= 0 {
+			t.Fatalf("bad period: %+v", p)
+		}
+		if p.PolyTime <= 0 || p.TPNTime <= 0 {
+			t.Fatalf("missing timings: %+v", p)
+		}
+	}
+}
+
+func TestRuntimeSweepSkipsOverCap(t *testing.T) {
+	pts, err := RuntimeSweep(1, [][]int{{16, 27, 25, 7, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[0].TPNSkipped {
+		t.Fatalf("m = %d should exceed the row cap", pts[0].PathCount)
+	}
+	if pts[0].Period.Sign() <= 0 {
+		t.Fatal("polynomial algorithm must still produce the period")
+	}
+}
+
+func TestWriteSweep(t *testing.T) {
+	pts, err := RuntimeSweep(2, [][]int{{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSweep(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"replication", "m=lcm", "[2 3]", "poly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultSweepPairsSane(t *testing.T) {
+	pairs := DefaultSweepPairs()
+	if len(pairs) < 10 {
+		t.Fatalf("only %d sweep vectors", len(pairs))
+	}
+	for _, v := range pairs {
+		if len(v) < 2 {
+			t.Fatalf("vector %v too short", v)
+		}
+		for _, r := range v {
+			if r < 2 {
+				t.Fatalf("vector %v has trivial replication", v)
+			}
+		}
+	}
+}

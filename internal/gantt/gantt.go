@@ -1,0 +1,116 @@
+// Package gantt renders schedule traces as ASCII Gantt charts, the textual
+// analogue of the paper's Figures 7 and 12 (steady-state schedules in which
+// every resource shows idle time when no critical resource exists).
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// Options controls rendering.
+type Options struct {
+	// From and To bound the rendered time window; To must exceed From.
+	From, To rat.Rat
+	// Width is the number of character cells for the time axis (default 100).
+	Width int
+	// PeriodMarks, when positive, draws a '|' ruler line with marks every
+	// PeriodMarks time units starting at From (e.g. the TPN period, to match
+	// the paper's "Period 0 / Period 1 / Period 2" framing).
+	PeriodMarks rat.Rat
+}
+
+// Render writes an ASCII Gantt chart of the trace to w.
+//
+// Each resource occupies one row; busy intervals are drawn with the last
+// digit of the data-set index, so the round-robin interleaving is visible:
+//
+//	P0      0000111122223333
+//	P0-out  00001111  22223333
+func Render(w io.Writer, tr *sim.Trace, opts Options) error {
+	if opts.Width <= 0 {
+		opts.Width = 100
+	}
+	span := opts.To.Sub(opts.From)
+	if span.Sign() <= 0 {
+		return fmt.Errorf("gantt: empty time window [%v, %v]", opts.From, opts.To)
+	}
+	resources := tr.Resources()
+	if len(resources) == 0 {
+		return fmt.Errorf("gantt: trace has no events")
+	}
+	nameWidth := 0
+	for _, r := range resources {
+		if len(r) > nameWidth {
+			nameWidth = len(r)
+		}
+	}
+	// cell(t) maps a time to a column in [0, Width].
+	cell := func(t rat.Rat) int {
+		c := t.Sub(opts.From).MulInt(int64(opts.Width)).Div(span)
+		// floor
+		num, den := c.Num(), c.Den()
+		f := num / den
+		if num < 0 && num%den != 0 {
+			f--
+		}
+		return int(f)
+	}
+	rows := make(map[string][]byte, len(resources))
+	for _, r := range resources {
+		rows[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for _, e := range tr.Events {
+		if e.End.LessEq(opts.From) || opts.To.LessEq(e.Start) {
+			continue
+		}
+		c0, c1 := cell(e.Start), cell(e.End)
+		if c0 < 0 {
+			c0 = 0
+		}
+		if c1 > opts.Width {
+			c1 = opts.Width
+		}
+		if c1 == c0 {
+			c1 = c0 + 1 // always at least one cell
+		}
+		ch := byte('0' + e.DataSet%10)
+		row := rows[e.Resource]
+		for c := c0; c < c1 && c < opts.Width; c++ {
+			row[c] = ch
+		}
+	}
+	// Ruler.
+	if opts.PeriodMarks.Sign() > 0 {
+		ruler := []byte(strings.Repeat("-", opts.Width))
+		for t := opts.From; t.LessEq(opts.To); t = t.Add(opts.PeriodMarks) {
+			c := cell(t)
+			if c >= 0 && c < opts.Width {
+				ruler[c] = '|'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%*s  %s\n", nameWidth, "", ruler); err != nil {
+			return err
+		}
+	}
+	for _, r := range resources {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", nameWidth, r, rows[r]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%*s  [%v .. %v]\n", nameWidth, "", opts.From, opts.To)
+	return err
+}
+
+// RenderSteadyState renders `periods` TPN periods of the steady-state
+// regime, skipping the transient: the window starts at `skip` TPN periods
+// and spans `periods` more, with period marks.
+func RenderSteadyState(w io.Writer, tr *sim.Trace, tpnPeriod rat.Rat, skip, periods, width int) error {
+	from := tpnPeriod.MulInt(int64(skip))
+	to := tpnPeriod.MulInt(int64(skip + periods))
+	return Render(w, tr, Options{From: from, To: to, Width: width, PeriodMarks: tpnPeriod})
+}

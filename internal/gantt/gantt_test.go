@@ -1,0 +1,110 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+func TestRenderExampleAStrict(t *testing.T) {
+	// Figure 7: the strict-model schedule of Example A.
+	inst := examplesdata.ExampleA()
+	tr, err := sim.Run(inst, model.Strict, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	// TPN period = 6 * 1384/6 = 1384.
+	if err := RenderSteadyState(&b, tr, rat.FromInt(1384), 4, 2, 120); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, res := range []string{"P0 ", "P2-out", "P6-in"} {
+		if !strings.Contains(out, res) {
+			t.Errorf("output missing resource row %q", res)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Ruler + 19 resource rows (P0 has no in-port, P6 no out-port) + footer.
+	if len(lines) != 1+19+1 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Every resource row must contain at least one busy cell and at least
+	// one idle cell (Example A strict has no critical resource).
+	for _, line := range lines[1 : len(lines)-1] {
+		body := line[strings.Index(line, "  ")+2:]
+		if !strings.ContainsAny(body, "0123456789") {
+			t.Errorf("row with no busy cells: %q", line)
+		}
+		if !strings.Contains(body, " ") {
+			t.Errorf("row with no idle cells (critical resource?): %q", line)
+		}
+	}
+}
+
+func TestRenderExampleBOverlap(t *testing.T) {
+	// Figure 12: the first periods of Example B.
+	inst := examplesdata.ExampleB()
+	tr, err := sim.Run(inst, model.Overlap, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	// TPN period = 12 * 3500/12 = 3500.
+	if err := RenderSteadyState(&b, tr, rat.FromInt(3500), 3, 3, 105); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "P2-out") {
+		t.Fatalf("missing P2-out row:\n%s", out)
+	}
+	// P2's output port is the Mct resource but still idles (no critical
+	// resource): its row must contain blanks.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "P2-out") {
+			body := strings.TrimPrefix(line, "P2-out")
+			if !strings.Contains(body, " ") {
+				t.Errorf("P2-out shows no idle time: %q", line)
+			}
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	tr, err := sim.Run(inst, model.Overlap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Render(&b, tr, Options{From: rat.FromInt(5), To: rat.FromInt(5)}); err == nil {
+		t.Error("empty window accepted")
+	}
+	empty := &sim.Trace{Model: model.Overlap}
+	if err := Render(&b, empty, Options{From: rat.Zero(), To: rat.FromInt(10)}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestRenderWindowClipping(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	tr, err := sim.Run(inst, model.Overlap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	// A window strictly inside the trace: events crossing the border must be
+	// clipped, not dropped, and nothing may panic.
+	if err := Render(&b, tr, Options{From: rat.FromInt(150), To: rat.FromInt(450), Width: 60}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if len(line) > 0 && len(line) > 6+2+60+2 {
+			t.Errorf("line too long (%d): %q", len(line), line)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package graph provides the small directed-graph substrate shared by the
+// cycle-ratio algorithms and the timed-Petri-net analysis: adjacency storage,
+// Tarjan strongly-connected components, acyclicity checks and longest paths
+// in DAGs.
+//
+// Vertices are dense integers [0, n). Edges carry an opaque integer payload
+// (an index into caller-side cost/token tables) so the same topology code
+// serves both exact-rational and float pipelines.
+package graph
+
+import "fmt"
+
+// Edge is a directed edge with an opaque payload identifier.
+type Edge struct {
+	From, To int
+	ID       int // caller-defined payload index
+}
+
+// Digraph is a directed multigraph over vertices [0, N).
+type Digraph struct {
+	N     int
+	Edges []Edge
+	adj   [][]int // vertex -> indices into Edges, built lazily
+}
+
+// New returns an empty digraph with n vertices.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Digraph{N: n}
+}
+
+// AddEdge appends a directed edge from u to v with payload id and returns its
+// index within Edges.
+func (g *Digraph) AddEdge(u, v, id int) int {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N))
+	}
+	g.Edges = append(g.Edges, Edge{From: u, To: v, ID: id})
+	g.adj = nil // invalidate
+	return len(g.Edges) - 1
+}
+
+// Adj returns, for each vertex, the indices of its outgoing edges.
+// The slice is cached; callers must not mutate it.
+func (g *Digraph) Adj() [][]int {
+	if g.adj == nil {
+		g.adj = make([][]int, g.N)
+		counts := make([]int, g.N)
+		for _, e := range g.Edges {
+			counts[e.From]++
+		}
+		for v := range g.adj {
+			g.adj[v] = make([]int, 0, counts[v])
+		}
+		for i, e := range g.Edges {
+			g.adj[e.From] = append(g.adj[e.From], i)
+		}
+	}
+	return g.adj
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. It returns comp (vertex -> component id) and the number of
+// components. Component ids are in reverse topological order of the
+// condensation (i.e. a component only points to components with smaller id...
+// specifically Tarjan emits sinks first).
+func (g *Digraph) SCC() (comp []int, ncomp int) {
+	const unvisited = -1
+	n := g.N
+	adj := g.Adj()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp = make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	// Explicit DFS stack: frame = (vertex, next adjacency position).
+	type frame struct{ v, ei int }
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{root, 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.ei < len(adj[v]) {
+				w := g.Edges[adj[v][f.ei]].To
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// TopoOrder returns a topological order of the vertices, or an error if the
+// graph has a cycle.
+func (g *Digraph) TopoOrder() ([]int, error) {
+	n := g.N
+	adj := g.Adj()
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, ei := range adj[v] {
+			w := g.Edges[ei].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d vertices ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Digraph) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// Subgraph returns the digraph induced by keeping only edges for which keep
+// returns true. Vertex set is unchanged.
+func (g *Digraph) Subgraph(keep func(Edge) bool) *Digraph {
+	s := New(g.N)
+	for _, e := range g.Edges {
+		if keep(e) {
+			s.Edges = append(s.Edges, e)
+		}
+	}
+	return s
+}
+
+// HasEdges reports whether any edge exists.
+func (g *Digraph) HasEdges() bool { return len(g.Edges) > 0 }

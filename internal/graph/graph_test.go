@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	comp, n := g.SCC()
+	if n != 0 || len(comp) != 0 {
+		t.Fatalf("empty graph SCC = (%v, %d)", comp, n)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("empty graph must be acyclic")
+	}
+}
+
+func TestAddEdgeBounds(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	g.AddEdge(0, 5, 0)
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 2)
+	comp, n := g.SCC()
+	if n != 1 {
+		t.Fatalf("3-cycle: got %d components, want 1", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("3-cycle vertices not in the same component: %v", comp)
+	}
+}
+
+func TestSCCChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 2)
+	_, n := g.SCC()
+	if n != 4 {
+		t.Fatalf("chain: got %d components, want 4", n)
+	}
+}
+
+func TestSCCTwoCyclesBridge(t *testing.T) {
+	// 0<->1 -> 2<->3
+	g := New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 0, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 2, 4)
+	comp, n := g.SCC()
+	if n != 2 {
+		t.Fatalf("got %d components, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] {
+		t.Fatalf("unexpected components %v", comp)
+	}
+	// Tarjan emits sink components first: {2,3} is the sink.
+	if comp[2] != 0 {
+		t.Errorf("sink component should have id 0, got %v", comp)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0, 0)
+	comp, n := g.SCC()
+	if n != 2 {
+		t.Fatalf("self loop: %d components, want 2", n)
+	}
+	_ = comp
+	if g.IsAcyclic() {
+		t.Fatal("self loop graph reported acyclic")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 4, 4)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topological order violated for edge %v (order %v)", e, order)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 0, 1)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(1, 2, 8)
+	s := g.Subgraph(func(e Edge) bool { return e.ID == 7 })
+	if len(s.Edges) != 1 || s.Edges[0].ID != 7 {
+		t.Fatalf("subgraph edges: %v", s.Edges)
+	}
+	if len(g.Edges) != 2 {
+		t.Fatal("subgraph mutated original")
+	}
+}
+
+func TestAdjCachedAndCorrect(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 1, 2)
+	adj := g.Adj()
+	if len(adj[0]) != 2 || len(adj[1]) != 0 || len(adj[2]) != 1 {
+		t.Fatalf("adjacency wrong: %v", adj)
+	}
+	g.AddEdge(1, 0, 3)
+	adj = g.Adj()
+	if len(adj[1]) != 1 {
+		t.Fatalf("adjacency not invalidated after AddEdge: %v", adj)
+	}
+}
+
+// Reference SCC: brute-force reachability (Floyd–Warshall style), for
+// cross-checking Tarjan on random graphs.
+func bruteSCC(g *Digraph) []int {
+	n := g.N
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		reach[i][i] = true
+	}
+	for _, e := range g.Edges {
+		reach[e.From][e.To] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if comp[i] != -1 {
+			continue
+		}
+		comp[i] = next
+		for j := i + 1; j < n; j++ {
+			if reach[i][j] && reach[j][i] {
+				comp[j] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+func TestQuickSCCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		g := New(n)
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), i)
+		}
+		comp, _ := g.SCC()
+		want := bruteSCC(g)
+		// Same partition: comp[i]==comp[j] iff want[i]==want[j].
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (comp[i] == comp[j]) != (want[i] == want[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderIffDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		g := New(n)
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), i)
+		}
+		// A graph is acyclic iff every SCC is a singleton with no self loop.
+		comp, ncomp := g.SCC()
+		acyclic := ncomp == g.N
+		if acyclic {
+			for _, e := range g.Edges {
+				if e.From == e.To {
+					acyclic = false
+					break
+				}
+			}
+		}
+		_ = comp
+		return g.IsAcyclic() == acyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package mapping
+
+import (
+	"reflect"
+	"testing"
+)
+
+// exampleA is the replication structure of the paper's Example A (Figure 2):
+// S0 on P0; S1 on P1,P2; S2 on P3,P4,P5; S3 on P6.
+func exampleA() *Mapping {
+	return MustNew([][]int{{0}, {1, 2}, {3, 4, 5}, {6}}, 7)
+}
+
+func TestValidateRules(t *testing.T) {
+	if _, err := New([][]int{{0}, {0}}, 2); err == nil {
+		t.Error("processor shared across stages accepted")
+	}
+	if _, err := New([][]int{{0, 0}}, 2); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+	if _, err := New([][]int{{}}, 2); err == nil {
+		t.Error("empty stage accepted")
+	}
+	if _, err := New([][]int{{5}}, 2); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	if _, err := New(nil, 2); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	if _, err := New([][]int{{0}, {1}}, 2); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+}
+
+func TestPathCountProposition1(t *testing.T) {
+	// Proposition 1: m = lcm(m_0, ..., m_(n-1)).
+	cases := []struct {
+		replicas [][]int
+		procs    int
+		want     int64
+	}{
+		{[][]int{{0}, {1, 2}, {3, 4, 5}, {6}}, 7, 6},        // Example A
+		{[][]int{{0, 1, 2}, {3, 4, 5, 6}}, 7, 12},           // Example B
+		{[][]int{{0}, {1}}, 2, 1},                           // no replication
+		{[][]int{{0, 1}, {2, 3}}, 4, 2},                     // equal replication
+		{[][]int{{0, 1, 2, 3}, {4, 5, 6, 7, 8, 9}}, 10, 12}, // gcd 2
+	}
+	for _, c := range cases {
+		m := MustNew(c.replicas, c.procs)
+		if got := m.PathCount(); got != c.want {
+			t.Errorf("PathCount(%v) = %d, want %d", c.replicas, got, c.want)
+		}
+	}
+}
+
+func TestTable1ExampleA(t *testing.T) {
+	// Table 1 of the paper: paths followed by the first 8 data sets.
+	m := exampleA()
+	want := [][]int{
+		{0, 1, 3, 6},
+		{0, 2, 4, 6},
+		{0, 1, 5, 6},
+		{0, 2, 3, 6},
+		{0, 1, 4, 6},
+		{0, 2, 5, 6},
+		{0, 1, 3, 6}, // data set 6 repeats path 0
+		{0, 2, 4, 6}, // data set 7 repeats path 1
+	}
+	for j, w := range want {
+		if got := m.Path(int64(j)); !reflect.DeepEqual(got, w) {
+			t.Errorf("Path(%d) = %v, want %v", j, got, w)
+		}
+	}
+	paths := m.Paths()
+	if len(paths) != 6 {
+		t.Fatalf("Paths() returned %d paths, want 6", len(paths))
+	}
+	// All 6 paths distinct.
+	seen := map[string]bool{}
+	for _, p := range paths {
+		k := ""
+		for _, x := range p {
+			k += string(rune('a' + x))
+		}
+		if seen[k] {
+			t.Errorf("duplicate path %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStageOfAndUsedProcs(t *testing.T) {
+	m := exampleA()
+	if s, a := m.StageOf(4); s != 2 || a != 1 {
+		t.Errorf("StageOf(4) = (%d,%d), want (2,1)", s, a)
+	}
+	if s, a := m.StageOf(42); s != -1 || a != -1 {
+		t.Errorf("StageOf(42) = (%d,%d)", s, a)
+	}
+	if got := m.UsedProcs(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6}) {
+		t.Errorf("UsedProcs = %v", got)
+	}
+	if got := m.ReplicationCounts(); !reflect.DeepEqual(got, []int64{1, 2, 3, 1}) {
+		t.Errorf("ReplicationCounts = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := MustNew([][]int{{0}, {1, 2}}, 3)
+	if got, want := m.String(), "S0->[0] S1->[1 2]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// ResourceKind distinguishes the three hardware resources of a processor
+// under the one-port models: its input port, its computing unit and its
+// output port.
+type ResourceKind int
+
+const (
+	// ResInput is the receiving port of a processor.
+	ResInput ResourceKind = iota
+	// ResCompute is the computing unit.
+	ResCompute
+	// ResOutput is the sending port.
+	ResOutput
+)
+
+// String implements fmt.Stringer.
+func (k ResourceKind) String() string {
+	switch k {
+	case ResInput:
+		return "in"
+	case ResCompute:
+		return "comp"
+	case ResOutput:
+		return "out"
+	default:
+		return fmt.Sprintf("ResourceKind(%d)", int(k))
+	}
+}
+
+// Resource summarizes the per-data-set occupation of one processor.
+type Resource struct {
+	Stage   int
+	Replica int
+	Proc    int
+	Name    string
+	// Cin, Ccomp, Cout are per-data-set occupation times of the input port,
+	// compute unit and output port (Section 2; Cin of stage 0 and Cout of
+	// the last stage are zero).
+	Cin, Ccomp, Cout rat.Rat
+	// CexecOverlap = max(Cin, Ccomp, Cout); CexecStrict = Cin+Ccomp+Cout.
+	CexecOverlap, CexecStrict rat.Rat
+}
+
+// Cexec returns the cycle-time of the resource under the given model.
+func (r Resource) Cexec(m CommModel) rat.Rat {
+	if m == Overlap {
+		return r.CexecOverlap
+	}
+	return r.CexecStrict
+}
+
+// Resources computes the per-data-set cycle-time decomposition of every
+// processor in the mapping.
+//
+// Over a macro-period of m = lcm(m_i) data sets, replica a of stage i
+// handles the data sets j ≡ a (mod m_i); its ports see the corresponding
+// round-robin senders/receivers. Dividing the macro-period busy time by m
+// yields the per-data-set occupation.
+func (in *Instance) Resources() []Resource {
+	m := in.PathCount()
+	var out []Resource
+	for i := 0; i < in.n; i++ {
+		mi := int64(in.m[i])
+		for a := 0; a < in.m[i]; a++ {
+			r := Resource{
+				Stage:   i,
+				Replica: a,
+				Proc:    in.proc[i][a],
+				Name:    in.name[i][a],
+			}
+			// Compute: (m/m_i) executions of comp[i][a] per macro-period.
+			r.Ccomp = in.comp[i][a].MulInt(m / mi).DivInt(m)
+			// Input port: for each handled data set, the sender is the
+			// round-robin replica of stage i-1.
+			if i > 0 {
+				sum := rat.Zero()
+				for j := int64(a); j < m; j += mi {
+					s := int(j % int64(in.m[i-1]))
+					sum = sum.Add(in.comm[i-1][s][a])
+				}
+				r.Cin = sum.DivInt(m)
+			}
+			// Output port: receivers are round-robin replicas of stage i+1.
+			if i < in.n-1 {
+				sum := rat.Zero()
+				for j := int64(a); j < m; j += mi {
+					d := int(j % int64(in.m[i+1]))
+					sum = sum.Add(in.comm[i][a][d])
+				}
+				r.Cout = sum.DivInt(m)
+			}
+			r.CexecOverlap = rat.Max(r.Cin, rat.Max(r.Ccomp, r.Cout))
+			r.CexecStrict = r.Cin.Add(r.Ccomp).Add(r.Cout)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Mct returns the maximum cycle-time over all resources under the given
+// model. It is a lower bound for the period (Section 2) and equals the
+// period when no stage is replicated.
+func (in *Instance) Mct(m CommModel) rat.Rat {
+	res := in.Resources()
+	best := rat.Zero()
+	for _, r := range res {
+		best = rat.Max(best, r.Cexec(m))
+	}
+	return best
+}
+
+// CriticalResources returns the resources whose cycle-time attains Mct.
+func (in *Instance) CriticalResources(m CommModel) []Resource {
+	res := in.Resources()
+	mct := in.Mct(m)
+	var out []Resource
+	for _, r := range res {
+		if r.Cexec(m).Equal(mct) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package model assembles a pipeline, a platform and a mapping into the
+// timed instance every algorithm in this repository consumes: per-operation
+// durations (computation times per replica, transfer times per sender/
+// receiver pair) plus the replication structure.
+//
+// Instances can also be built directly from operation times, which is how
+// the paper's Table 2 experiments are specified ("computation times between
+// 5 and 15", "communication times between 10 and 1000"): the random
+// campaign draws durations, not FLOP counts and speeds.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// CommModel selects the communication model of the paper.
+type CommModel int
+
+const (
+	// Overlap is the OVERLAP ONE-PORT model: a processor can simultaneously
+	// receive one file, compute, and send one file (full duplex, multi-
+	// threaded).
+	Overlap CommModel = iota
+	// Strict is the STRICT ONE-PORT model: receive, compute and send are
+	// mutually exclusive on a processor.
+	Strict
+)
+
+// String implements fmt.Stringer.
+func (m CommModel) String() string {
+	switch m {
+	case Overlap:
+		return "overlap"
+	case Strict:
+		return "strict"
+	default:
+		return fmt.Sprintf("CommModel(%d)", int(m))
+	}
+}
+
+// Models lists both communication models, for experiment sweeps.
+func Models() []CommModel { return []CommModel{Overlap, Strict} }
+
+// Instance is a fully-timed replicated-workflow instance.
+type Instance struct {
+	n    int           // number of stages
+	m    []int         // replica counts m_i
+	comp [][]rat.Rat   // comp[i][a]: compute time of replica a of stage i
+	comm [][][]rat.Rat // comm[i][a][b]: transfer time of F_i from replica a of S_i to replica b of S_(i+1)
+	proc [][]int       // global processor id per (stage, replica); synthetic ids if built from raw times
+	name [][]string    // display name per (stage, replica)
+}
+
+// FromMapped derives the instance of a (pipeline, platform, mapping) triple.
+// All transfer routes demanded by the mapping must exist on the platform.
+func FromMapped(pipe *pipeline.Pipeline, plat *platform.Platform, mapp *mapping.Mapping) (*Instance, error) {
+	if err := pipe.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mapp.Validate(plat.NumProcs()); err != nil {
+		return nil, err
+	}
+	if mapp.NumStages() != pipe.NumStages() {
+		return nil, fmt.Errorf("model: mapping has %d stages, pipeline has %d", mapp.NumStages(), pipe.NumStages())
+	}
+	n := pipe.NumStages()
+	inst := &Instance{
+		n:    n,
+		m:    make([]int, n),
+		comp: make([][]rat.Rat, n),
+		comm: make([][][]rat.Rat, n-1),
+		proc: make([][]int, n),
+		name: make([][]string, n),
+	}
+	for i := 0; i < n; i++ {
+		procs := mapp.Replicas[i]
+		inst.m[i] = len(procs)
+		inst.comp[i] = make([]rat.Rat, len(procs))
+		inst.proc[i] = append([]int(nil), procs...)
+		inst.name[i] = make([]string, len(procs))
+		for a, u := range procs {
+			inst.comp[i][a] = plat.ComputeTime(pipe.Stages[i].Work, u)
+			inst.name[i][a] = fmt.Sprintf("P%d", u)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		senders := mapp.Replicas[i]
+		receivers := mapp.Replicas[i+1]
+		inst.comm[i] = make([][]rat.Rat, len(senders))
+		for a, u := range senders {
+			inst.comm[i][a] = make([]rat.Rat, len(receivers))
+			for b, v := range receivers {
+				if !plat.HasLink(u, v) {
+					return nil, fmt.Errorf("model: mapping requires missing link P%d -> P%d for file F%d", u, v, i)
+				}
+				inst.comm[i][a][b] = plat.TransferTime(pipe.FileSizes[i], u, v)
+			}
+		}
+	}
+	return inst, nil
+}
+
+// FromTimes builds an instance directly from operation durations.
+// comp[i][a] is the computation time of replica a of stage i;
+// comm[i][a][b] the transfer time of F_i from sender replica a to receiver
+// replica b. Processor ids are synthesized in stage order.
+func FromTimes(comp [][]rat.Rat, comm [][][]rat.Rat) (*Instance, error) {
+	n := len(comp)
+	if n == 0 {
+		return nil, fmt.Errorf("model: no stages")
+	}
+	if len(comm) != n-1 {
+		return nil, fmt.Errorf("model: %d stages need %d comm matrices, got %d", n, n-1, len(comm))
+	}
+	inst := &Instance{
+		n:    n,
+		m:    make([]int, n),
+		comp: make([][]rat.Rat, n),
+		comm: make([][][]rat.Rat, n-1),
+		proc: make([][]int, n),
+		name: make([][]string, n),
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if len(comp[i]) == 0 {
+			return nil, fmt.Errorf("model: stage %d has no replicas", i)
+		}
+		inst.m[i] = len(comp[i])
+		inst.comp[i] = append([]rat.Rat(nil), comp[i]...)
+		inst.proc[i] = make([]int, len(comp[i]))
+		inst.name[i] = make([]string, len(comp[i]))
+		for a := range comp[i] {
+			if comp[i][a].Sign() < 0 {
+				return nil, fmt.Errorf("model: negative compute time at stage %d replica %d", i, a)
+			}
+			inst.proc[i][a] = next
+			inst.name[i][a] = fmt.Sprintf("P%d", next)
+			next++
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if len(comm[i]) != inst.m[i] {
+			return nil, fmt.Errorf("model: comm[%d] has %d sender rows, want %d", i, len(comm[i]), inst.m[i])
+		}
+		inst.comm[i] = make([][]rat.Rat, inst.m[i])
+		for a := range comm[i] {
+			if len(comm[i][a]) != inst.m[i+1] {
+				return nil, fmt.Errorf("model: comm[%d][%d] has %d entries, want %d", i, a, len(comm[i][a]), inst.m[i+1])
+			}
+			inst.comm[i][a] = append([]rat.Rat(nil), comm[i][a]...)
+			for b := range comm[i][a] {
+				if comm[i][a][b].Sign() < 0 {
+					return nil, fmt.Errorf("model: negative transfer time comm[%d][%d][%d]", i, a, b)
+				}
+			}
+		}
+	}
+	return inst, nil
+}
+
+// NumStages returns n.
+func (in *Instance) NumStages() int { return in.n }
+
+// Replication returns m_i.
+func (in *Instance) Replication(i int) int { return in.m[i] }
+
+// ReplicationCounts returns all m_i as int64s.
+func (in *Instance) ReplicationCounts() []int64 {
+	out := make([]int64, in.n)
+	for i, v := range in.m {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// PathCount returns m = lcm(m_0..m_(n-1)).
+func (in *Instance) PathCount() int64 { return rat.LCMAll(in.ReplicationCounts()) }
+
+// CompTime returns the computation time of replica a of stage i.
+func (in *Instance) CompTime(i, a int) rat.Rat { return in.comp[i][a] }
+
+// CommTime returns the transfer time of file F_i from replica a of stage i
+// to replica b of stage i+1.
+func (in *Instance) CommTime(i, a, b int) rat.Rat { return in.comm[i][a][b] }
+
+// ProcID returns the global processor id of replica a of stage i.
+func (in *Instance) ProcID(i, a int) int { return in.proc[i][a] }
+
+// ProcName returns the display name of replica a of stage i.
+func (in *Instance) ProcName(i, a int) string { return in.name[i][a] }
+
+// MaxReplication returns max_i m_i (the duplication factor of §5).
+func (in *Instance) MaxReplication() int {
+	mx := 0
+	for _, v := range in.m {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

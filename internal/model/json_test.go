@@ -1,0 +1,77 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	orig := twoStage(t, [][]rat.Rat{{rat.New(8, 3), rat.FromInt(2)}})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStages() != orig.NumStages() || back.PathCount() != orig.PathCount() {
+		t.Fatalf("shape mismatch: %d stages, %d paths", back.NumStages(), back.PathCount())
+	}
+	for i := 0; i < orig.NumStages(); i++ {
+		for a := 0; a < orig.Replication(i); a++ {
+			if !back.CompTime(i, a).Equal(orig.CompTime(i, a)) {
+				t.Fatalf("comp[%d][%d] mismatch", i, a)
+			}
+		}
+	}
+	if !back.CommTime(0, 0, 0).Equal(rat.New(8, 3)) {
+		t.Fatalf("comm not exact: %v", back.CommTime(0, 0, 0))
+	}
+}
+
+func TestInstanceJSONRejectsBad(t *testing.T) {
+	cases := []string{
+		`{"comp": [], "comm": []}`,                       // no stages
+		`{"comp": [["1"],["2"]], "comm": []}`,            // missing comm
+		`{"comp": [["1"],["x"]], "comm": [[["1"]]]}`,     // bad rational
+		`{"comp": [["1"],["2"]], "comm": [[["1","2"]]]}`, // width mismatch
+		`{"comp": [["1"],["2"]], "comm": [[["1/0"]]]}`,   // zero denominator
+		`{"comp": [["-3"],["2"]], "comm": [[["1"]]]}`,    // negative time
+	}
+	for i, c := range cases {
+		var inst Instance
+		if err := json.Unmarshal([]byte(c), &inst); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestParseRat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want rat.Rat
+	}{
+		{"3", rat.FromInt(3)},
+		{"3/4", rat.New(3, 4)},
+		{" 10/5 ", rat.FromInt(2)},
+		{"-7/2", rat.New(-7, 2)},
+	}
+	for _, c := range cases {
+		got, err := ParseRat(c.in)
+		if err != nil {
+			t.Errorf("ParseRat(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseRat(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "a", "1/b", "1/0", "1/2/3"} {
+		if _, err := ParseRat(bad); err == nil {
+			t.Errorf("ParseRat(%q) accepted", bad)
+		}
+	}
+}

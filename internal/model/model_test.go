@@ -1,0 +1,183 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// twoStage builds a tiny instance: S0 on one proc (comp 4), S1 on two procs
+// (comp 6 and 10), transfers t[a][b] given explicitly.
+func twoStage(t *testing.T, comm [][]rat.Rat) *Instance {
+	t.Helper()
+	inst, err := FromTimes(
+		[][]rat.Rat{{rat.FromInt(4)}, {rat.FromInt(6), rat.FromInt(10)}},
+		[][][]rat.Rat{comm},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestFromTimesShapes(t *testing.T) {
+	if _, err := FromTimes(nil, nil); err == nil {
+		t.Error("no stages accepted")
+	}
+	if _, err := FromTimes([][]rat.Rat{{rat.One()}}, [][][]rat.Rat{{}}); err == nil {
+		t.Error("extra comm matrix accepted")
+	}
+	if _, err := FromTimes(
+		[][]rat.Rat{{rat.One()}, {rat.One()}},
+		[][][]rat.Rat{{{rat.One(), rat.One()}}},
+	); err == nil {
+		t.Error("comm width mismatch accepted")
+	}
+	if _, err := FromTimes(
+		[][]rat.Rat{{rat.One()}, {rat.FromInt(-1)}},
+		[][][]rat.Rat{{{rat.One()}}},
+	); err == nil {
+		t.Error("negative compute time accepted")
+	}
+}
+
+func TestFromMapped(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{10, 20}, []int64{100})
+	plat := platform.Uniform(3, 5, 50)
+	mapp := mapping.MustNew([][]int{{0}, {1, 2}}, 3)
+	inst, err := FromMapped(pipe, plat, mapp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.CompTime(0, 0); !got.Equal(rat.FromInt(2)) {
+		t.Errorf("CompTime(0,0) = %v, want 2", got)
+	}
+	if got := inst.CompTime(1, 1); !got.Equal(rat.FromInt(4)) {
+		t.Errorf("CompTime(1,1) = %v, want 4", got)
+	}
+	if got := inst.CommTime(0, 0, 1); !got.Equal(rat.FromInt(2)) {
+		t.Errorf("CommTime = %v, want 2", got)
+	}
+	if inst.ProcID(1, 1) != 2 || inst.ProcName(1, 1) != "P2" {
+		t.Errorf("proc identity wrong: %d %s", inst.ProcID(1, 1), inst.ProcName(1, 1))
+	}
+	if inst.PathCount() != 2 {
+		t.Errorf("PathCount = %d", inst.PathCount())
+	}
+}
+
+func TestFromMappedMissingLink(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{1, 1}, []int64{1})
+	plat := &platform.Platform{
+		Speeds:     []int64{1, 1},
+		Bandwidths: [][]int64{{0, 0}, {1, 0}}, // no 0 -> 1 link
+	}
+	mapp := mapping.MustNew([][]int{{0}, {1}}, 2)
+	if _, err := FromMapped(pipe, plat, mapp); err == nil {
+		t.Error("missing link accepted")
+	}
+}
+
+func TestFromMappedStageCountMismatch(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{1, 1}, []int64{1})
+	plat := platform.Uniform(2, 1, 1)
+	mapp := mapping.MustNew([][]int{{0}}, 2)
+	if _, err := FromMapped(pipe, plat, mapp); err == nil {
+		t.Error("stage count mismatch accepted")
+	}
+}
+
+func TestCycleTimesTwoStage(t *testing.T) {
+	// m = lcm(1, 2) = 2. Transfers: to replica 0 takes 8, to replica 1 takes 2.
+	inst := twoStage(t, [][]rat.Rat{{rat.FromInt(8), rat.FromInt(2)}})
+	res := inst.Resources()
+	if len(res) != 3 {
+		t.Fatalf("Resources len = %d", len(res))
+	}
+	p0 := res[0]
+	// P0 computes every data set: Ccomp = 4. Sends both files per macro
+	// period: Cout = (8+2)/2 = 5. Cin = 0.
+	if !p0.Ccomp.Equal(rat.FromInt(4)) || !p0.Cout.Equal(rat.FromInt(5)) || !p0.Cin.IsZero() {
+		t.Errorf("P0 cycle times: %+v", p0)
+	}
+	if !p0.CexecOverlap.Equal(rat.FromInt(5)) {
+		t.Errorf("P0 overlap Cexec = %v, want 5", p0.CexecOverlap)
+	}
+	if !p0.CexecStrict.Equal(rat.FromInt(9)) {
+		t.Errorf("P0 strict Cexec = %v, want 9", p0.CexecStrict)
+	}
+	// Replica 0 of S1: receives file every other data set (time 8):
+	// Cin = 8/2 = 4; Ccomp = 6/2 = 3.
+	r0 := res[1]
+	if !r0.Cin.Equal(rat.FromInt(4)) || !r0.Ccomp.Equal(rat.FromInt(3)) || !r0.Cout.IsZero() {
+		t.Errorf("S1 replica 0 cycle times: %+v", r0)
+	}
+	// Replica 1 of S1: Cin = 2/2 = 1, Ccomp = 10/2 = 5.
+	r1 := res[2]
+	if !r1.Cin.Equal(rat.FromInt(1)) || !r1.Ccomp.Equal(rat.FromInt(5)) {
+		t.Errorf("S1 replica 1 cycle times: %+v", r1)
+	}
+	// Mct overlap = max(5, 4, 5) = 5; strict = max(9, 7, 6) = 9.
+	if got := inst.Mct(Overlap); !got.Equal(rat.FromInt(5)) {
+		t.Errorf("Mct overlap = %v, want 5", got)
+	}
+	if got := inst.Mct(Strict); !got.Equal(rat.FromInt(9)) {
+		t.Errorf("Mct strict = %v, want 9", got)
+	}
+}
+
+func TestCriticalResources(t *testing.T) {
+	inst := twoStage(t, [][]rat.Rat{{rat.FromInt(8), rat.FromInt(2)}})
+	crit := inst.CriticalResources(Overlap)
+	if len(crit) != 2 {
+		t.Fatalf("critical overlap resources = %d, want 2 (P0 out and S1r0... )", len(crit))
+	}
+	crit = inst.CriticalResources(Strict)
+	if len(crit) != 1 || crit[0].Proc != 0 {
+		t.Fatalf("critical strict resources: %+v", crit)
+	}
+}
+
+func TestModelsAndStrings(t *testing.T) {
+	if Overlap.String() != "overlap" || Strict.String() != "strict" {
+		t.Error("CommModel String wrong")
+	}
+	if len(Models()) != 2 {
+		t.Error("Models() wrong")
+	}
+	if ResInput.String() != "in" || ResCompute.String() != "comp" || ResOutput.String() != "out" {
+		t.Error("ResourceKind String wrong")
+	}
+}
+
+func TestMaxReplication(t *testing.T) {
+	inst := twoStage(t, [][]rat.Rat{{rat.FromInt(1), rat.FromInt(1)}})
+	if inst.MaxReplication() != 2 {
+		t.Errorf("MaxReplication = %d", inst.MaxReplication())
+	}
+}
+
+func TestNoReplicationCycleTimes(t *testing.T) {
+	// Chain of three single-replica stages: Mct must be the critical
+	// resource's cycle time under both models.
+	inst, err := FromTimes(
+		[][]rat.Rat{{rat.FromInt(3)}, {rat.FromInt(7)}, {rat.FromInt(2)}},
+		[][][]rat.Rat{
+			{{rat.FromInt(4)}},
+			{{rat.FromInt(5)}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Mct(Overlap); !got.Equal(rat.FromInt(7)) {
+		t.Errorf("overlap Mct = %v, want 7 (P1 compute)", got)
+	}
+	// Strict: P1 receives 4, computes 7, sends 5 => 16.
+	if got := inst.Mct(Strict); !got.Equal(rat.FromInt(16)) {
+		t.Errorf("strict Mct = %v, want 16", got)
+	}
+}

@@ -1,0 +1,267 @@
+package mpa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+	"repro/internal/petri"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+func TestScalarSemiring(t *testing.T) {
+	a, b := SInt(3), SInt(5)
+	if !a.Oplus(b).Equal(b) || !b.Oplus(a).Equal(b) {
+		t.Error("oplus is not max")
+	}
+	if !a.Otimes(b).Equal(SInt(8)) {
+		t.Error("otimes is not +")
+	}
+	if !NegInf().Oplus(a).Equal(a) {
+		t.Error("-inf not neutral for oplus")
+	}
+	if !NegInf().Otimes(a).IsNegInf() {
+		t.Error("-inf not absorbing for otimes")
+	}
+	if NegInf().String() != "-inf" || a.String() != "3" {
+		t.Error("String wrong")
+	}
+	if NegInf().Equal(a) || !NegInf().Equal(NegInf()) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestRatPanicsOnNegInf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rat() on -inf did not panic")
+		}
+	}()
+	NegInf().Rat()
+}
+
+func TestIdentityAndMul(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, SInt(2))
+	m.Set(1, 2, SInt(3))
+	m.Set(2, 0, SInt(4))
+	id := Identity(3)
+	if !m.Mul(id).At(0, 1).Equal(SInt(2)) || !id.Mul(m).At(1, 2).Equal(SInt(3)) {
+		t.Error("identity law broken")
+	}
+	// m² should contain the 2-step path 0->1->2 of weight 5.
+	m2 := m.Mul(m)
+	if !m2.At(0, 2).Equal(SInt(5)) {
+		t.Errorf("m2[0][2] = %v", m2.At(0, 2))
+	}
+	// m³ diagonal = full cycle weight 9.
+	m3 := m.Pow(3)
+	for i := 0; i < 3; i++ {
+		if !m3.At(i, i).Equal(SInt(9)) {
+			t.Errorf("m3[%d][%d] = %v", i, i, m3.At(i, i))
+		}
+	}
+	if !m.Pow(0).At(1, 1).Equal(SInt(0)) {
+		t.Error("Pow(0) is not identity")
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, SInt(1))
+	m.Set(0, 1, SInt(10))
+	m.Set(1, 0, SInt(2))
+	x := []Scalar{SInt(0), SInt(0)}
+	y := m.Apply(x)
+	if !y[0].Equal(SInt(10)) || !y[1].Equal(SInt(2)) {
+		t.Errorf("Apply = %v", y)
+	}
+	// -inf coordinates propagate.
+	x = []Scalar{SInt(0), NegInf()}
+	y = m.Apply(x)
+	if !y[0].Equal(SInt(1)) {
+		t.Errorf("Apply with -inf = %v", y)
+	}
+}
+
+func TestStar(t *testing.T) {
+	// Acyclic weights: star exists.
+	m := NewMatrix(3)
+	m.Set(1, 0, SInt(2)) // edge 0 -> 1 in x = m x convention (row=target)
+	m.Set(2, 1, SInt(3))
+	star, err := m.Star()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !star.At(2, 0).Equal(SInt(5)) {
+		t.Errorf("star[2][0] = %v", star.At(2, 0))
+	}
+	if !star.At(0, 0).Equal(SInt(0)) {
+		t.Error("star diagonal must include identity")
+	}
+	// Positive cycle: star undefined.
+	bad := NewMatrix(2)
+	bad.Set(0, 1, SInt(1))
+	bad.Set(1, 0, SInt(1))
+	if _, err := bad.Star(); err == nil {
+		t.Error("star of positive-cycle matrix accepted")
+	}
+	// Zero-weight cycle: star exists (idempotent closure).
+	zero := NewMatrix(2)
+	zero.Set(0, 1, SInt(0))
+	zero.Set(1, 0, SInt(0))
+	if _, err := zero.Star(); err != nil {
+		t.Errorf("star of zero-cycle matrix rejected: %v", err)
+	}
+}
+
+func TestEigenvalueSimpleCycle(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 0, SInt(2))
+	m.Set(2, 1, SInt(4))
+	m.Set(0, 2, SInt(6))
+	lambda, err := m.Eigenvalue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lambda.Equal(rat.FromInt(4)) {
+		t.Errorf("eigenvalue = %v, want 4", lambda)
+	}
+}
+
+func TestCycleTimeMatchesNetExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		inst *model.Instance
+		cm   model.CommModel
+		want rat.Rat
+	}{
+		{"A overlap", examplesdata.ExampleA(), model.Overlap, rat.FromInt(6 * 189)},
+		{"A strict", examplesdata.ExampleA(), model.Strict, rat.FromInt(1384)},
+		{"B overlap", examplesdata.ExampleB(), model.Overlap, rat.FromInt(3500)},
+	}
+	for _, c := range cases {
+		net, err := tpn.Build(c.inst, c.cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CycleTime(net)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: max-plus cycle time %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRecurrenceMatchesUnroll(t *testing.T) {
+	// The max-plus orbit x(k) = A ⊗ x(k-1), x(0) = A0* ⊗ 0, must reproduce
+	// the exact firing epochs of petri.Unroll.
+	inst := examplesdata.ExampleB()
+	net, err := tpn.BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	start, err := net.Unroll(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := FromNet(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x(0): zero-token closure applied to the all-zero vector.
+	a0 := NewMatrix(len(net.Transitions))
+	for _, p := range net.Places {
+		if p.Tokens == 0 {
+			a0.OplusAt(p.To, p.From, S(net.Transitions[p.From].Time))
+		}
+	}
+	star, err := a0.Star()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]Scalar, len(net.Transitions))
+	for i := range x {
+		x[i] = SInt(0)
+	}
+	x = star.Apply(x)
+	for k := 0; k < K; k++ {
+		for i := range x {
+			if x[i].IsNegInf() {
+				t.Fatalf("x(%d)[%d] = -inf", k, i)
+			}
+			if !x[i].Rat().Equal(start[i][k]) {
+				t.Fatalf("x(%d)[%d] = %v, unroll says %v", k, i, x[i], start[i][k])
+			}
+		}
+		x = a.Apply(x)
+	}
+}
+
+func TestFromNetRejectsMultiTokens(t *testing.T) {
+	n := &petri.Net{}
+	n.AddTransition(petri.Transition{Name: "t", Time: rat.One(), Dst: -1})
+	n.AddPlace(0, 0, 2, "double")
+	if _, err := FromNet(n); err == nil {
+		t.Error("multi-token place accepted")
+	}
+}
+
+func TestQuickEigenvalueMatchesCriticalCycle(t *testing.T) {
+	// On random live instances, the max-plus spectral radius of the
+	// recurrence matrix equals the net's max cycle ratio.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reps := []int{1 + rng.Intn(3), 1 + rng.Intn(3)}
+		comp := make([][]rat.Rat, 2)
+		for i, r := range reps {
+			comp[i] = make([]rat.Rat, r)
+			for a := range comp[i] {
+				comp[i][a] = rat.FromInt(1 + rng.Int63n(15))
+			}
+		}
+		comm := [][][]rat.Rat{make([][]rat.Rat, reps[0])}
+		for a := range comm[0] {
+			comm[0][a] = make([]rat.Rat, reps[1])
+			for b := range comm[0][a] {
+				comm[0][a][b] = rat.FromInt(1 + rng.Int63n(15))
+			}
+		}
+		inst, err := model.FromTimes(comp, comm)
+		if err != nil {
+			return false
+		}
+		cm := model.Models()[rng.Intn(2)]
+		net, err := tpn.Build(inst, cm)
+		if err != nil {
+			return false
+		}
+		want, err := net.MaxCycleRatio()
+		if err != nil {
+			return false
+		}
+		got, err := CycleTime(net)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want.Ratio)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, SInt(7))
+	s := m.String()
+	if len(s) == 0 {
+		t.Fatal("empty render")
+	}
+}

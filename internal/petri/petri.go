@@ -1,0 +1,212 @@
+// Package petri implements the timed Petri nets (TPNs) of Section 3 of the
+// paper, restricted — as in the paper — to event graphs: every place has
+// exactly one input and one output transition. Transitions carry firing
+// times; the initial marking puts tokens on places.
+//
+// For such nets the steady-state behaviour is governed by (max,+) spectral
+// theory (Baccelli et al.): after a transient, every transition fires once
+// per period P_tpn = max over cycles C of L(C)/t(C), where L(C) is the total
+// firing time along C and t(C) the number of tokens on C's places.
+package petri
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cycles"
+	"repro/internal/rat"
+)
+
+// TransKind classifies transitions of the workflow TPNs.
+type TransKind int
+
+const (
+	// KindCompute is the execution of a stage on a processor.
+	KindCompute TransKind = iota
+	// KindTransfer is the transmission of a file between two processors.
+	KindTransfer
+)
+
+// String implements fmt.Stringer.
+func (k TransKind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindTransfer:
+		return "transfer"
+	default:
+		return fmt.Sprintf("TransKind(%d)", int(k))
+	}
+}
+
+// Transition is a timed transition of the event graph.
+type Transition struct {
+	Name string
+	Time rat.Rat
+	// Grid coordinates in the paper's rectangular construction: Row is the
+	// path index (0..m-1), Col ranges over 0..2n-2 with even columns
+	// representing computations of stage Col/2 and odd columns the
+	// transmission of file (Col-1)/2.
+	Row, Col int
+	Kind     TransKind
+	// Stage is the stage index for computations, the file index for
+	// transfers.
+	Stage int
+	// Proc is the computing processor (computations) or the sender
+	// (transfers). Dst is the receiver for transfers, -1 otherwise.
+	Proc, Dst int
+}
+
+// Place is a place with exactly one input and one output transition.
+type Place struct {
+	From, To int // transition indices
+	Tokens   int // initial marking
+	Label    string
+}
+
+// Net is a timed event graph.
+type Net struct {
+	Transitions []Transition
+	Places      []Place
+	// Rows = m (number of paths), Cols = 2n-1 for the workflow nets.
+	Rows, Cols int
+}
+
+// AddTransition appends a transition and returns its index.
+func (n *Net) AddTransition(t Transition) int {
+	n.Transitions = append(n.Transitions, t)
+	return len(n.Transitions) - 1
+}
+
+// AddPlace appends a place.
+func (n *Net) AddPlace(from, to, tokens int, label string) {
+	n.Places = append(n.Places, Place{From: from, To: to, Tokens: tokens, Label: label})
+}
+
+// Validate checks structural sanity and liveness (no token-free cycle).
+func (n *Net) Validate() error {
+	for i, p := range n.Places {
+		if p.From < 0 || p.From >= len(n.Transitions) || p.To < 0 || p.To >= len(n.Transitions) {
+			return fmt.Errorf("petri: place %d references missing transition", i)
+		}
+		if p.Tokens < 0 {
+			return fmt.Errorf("petri: place %d has negative marking", i)
+		}
+	}
+	for i, t := range n.Transitions {
+		if t.Time.Sign() < 0 {
+			return fmt.Errorf("petri: transition %d (%s) has negative firing time", i, t.Name)
+		}
+	}
+	if err := n.System().Validate(); err != nil {
+		return fmt.Errorf("petri: %w", err)
+	}
+	return nil
+}
+
+// System converts the net to a cycle-ratio system: each place becomes an
+// edge whose cost is the firing time of its *input* transition, so that the
+// cost of a cycle equals the sum of firing times of the transitions on it.
+func (n *Net) System() *cycles.System {
+	s := cycles.NewSystem(len(n.Transitions))
+	for _, p := range n.Places {
+		s.AddEdge(p.From, p.To, n.Transitions[p.From].Time, p.Tokens)
+	}
+	return s
+}
+
+// TokenCount returns the total initial marking.
+func (n *Net) TokenCount() int {
+	total := 0
+	for _, p := range n.Places {
+		total += p.Tokens
+	}
+	return total
+}
+
+// TransitionAt returns the index of the transition at (row, col), assuming
+// the rectangular layout produced by the builders (row-major).
+func (n *Net) TransitionAt(row, col int) int {
+	if n.Cols == 0 {
+		panic("petri: net has no grid layout")
+	}
+	return row*n.Cols + col
+}
+
+// SubNetByCols returns the restriction of the net to the given columns: the
+// transitions in those columns plus every place whose both endpoints
+// survive. This extracts the per-column sub-TPNs of Section 4.1
+// (Figures 9 and 10).
+func (n *Net) SubNetByCols(cols ...int) *Net {
+	keep := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		keep[c] = true
+	}
+	remap := make(map[int]int)
+	sub := &Net{Rows: n.Rows, Cols: 0}
+	for i, t := range n.Transitions {
+		if keep[t.Col] {
+			remap[i] = sub.AddTransition(t)
+		}
+	}
+	for _, p := range n.Places {
+		f, okF := remap[p.From]
+		t, okT := remap[p.To]
+		if okF && okT {
+			sub.AddPlace(f, t, p.Tokens, p.Label)
+		}
+	}
+	return sub
+}
+
+// MaxCycleRatio computes P_tpn = max_C L(C)/t(C) exactly, with a witness.
+func (n *Net) MaxCycleRatio() (cycles.Result, error) {
+	return n.System().MaxRatio()
+}
+
+// WriteDOT renders the net in Graphviz DOT format, grouping transitions by
+// row, for visual comparison with Figures 4, 5, 8, 9, 10 of the paper.
+func (n *Net) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", title); err != nil {
+		return err
+	}
+	for i, t := range n.Transitions {
+		label := fmt.Sprintf("%s\\n%v", t.Name, t.Time)
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\"];\n", i, label); err != nil {
+			return err
+		}
+	}
+	for _, p := range n.Places {
+		attrs := ""
+		if p.Tokens > 0 {
+			attrs = fmt.Sprintf(" [label=\"●x%d\", style=bold]", p.Tokens)
+			if p.Tokens == 1 {
+				attrs = " [label=\"●\", style=bold]"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  t%d -> t%d%s;\n", p.From, p.To, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Stats summarizes the net size.
+type Stats struct {
+	Transitions int
+	Places      int
+	Tokens      int
+	Rows, Cols  int
+}
+
+// Stats returns size statistics.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Transitions: len(n.Transitions),
+		Places:      len(n.Places),
+		Tokens:      n.TokenCount(),
+		Rows:        n.Rows,
+		Cols:        n.Cols,
+	}
+}

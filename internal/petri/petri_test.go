@@ -1,0 +1,178 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+// twoLoop builds T0 -> T1 -> T0 with one token on the back place; firing
+// times 3 and 4; period 7.
+func twoLoop() *Net {
+	n := &Net{}
+	n.AddTransition(Transition{Name: "T0", Time: rat.FromInt(3), Dst: -1})
+	n.AddTransition(Transition{Name: "T1", Time: rat.FromInt(4), Dst: -1})
+	n.AddPlace(0, 1, 0, "fwd")
+	n.AddPlace(1, 0, 1, "back")
+	return n
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := twoLoop().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	n := twoLoop()
+	n.AddPlace(0, 5, 0, "bad")
+	if err := n.Validate(); err == nil {
+		t.Error("dangling place accepted")
+	}
+	n = twoLoop()
+	n.Places[1].Tokens = 0
+	if err := n.Validate(); err == nil {
+		t.Error("deadlocked net accepted")
+	}
+	n = twoLoop()
+	n.Transitions[0].Time = rat.FromInt(-1)
+	if err := n.Validate(); err == nil {
+		t.Error("negative firing time accepted")
+	}
+	n = twoLoop()
+	n.Places[0].Tokens = -1
+	if err := n.Validate(); err == nil {
+		t.Error("negative marking accepted")
+	}
+}
+
+func TestMaxCycleRatio(t *testing.T) {
+	res, err := twoLoop().MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ratio.Equal(rat.FromInt(7)) {
+		t.Fatalf("ratio = %v, want 7", res.Ratio)
+	}
+}
+
+func TestTokenCountAndStats(t *testing.T) {
+	n := twoLoop()
+	if n.TokenCount() != 1 {
+		t.Errorf("TokenCount = %d", n.TokenCount())
+	}
+	s := n.Stats()
+	if s.Transitions != 2 || s.Places != 2 || s.Tokens != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestUnrollTwoLoop(t *testing.T) {
+	n := twoLoop()
+	start, err := n.Unroll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T0 fires at 0, 7, 14, 21; T1 at 3, 10, 17, 24.
+	wantT0 := []int64{0, 7, 14, 21}
+	wantT1 := []int64{3, 10, 17, 24}
+	for k := 0; k < 4; k++ {
+		if !start[0][k].Equal(rat.FromInt(wantT0[k])) {
+			t.Errorf("T0 occurrence %d at %v, want %d", k, start[0][k], wantT0[k])
+		}
+		if !start[1][k].Equal(rat.FromInt(wantT1[k])) {
+			t.Errorf("T1 occurrence %d at %v, want %d", k, start[1][k], wantT1[k])
+		}
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	if _, err := twoLoop().Unroll(0); err == nil {
+		t.Error("count 0 accepted")
+	}
+	dead := &Net{}
+	dead.AddTransition(Transition{Name: "A", Time: rat.One(), Dst: -1})
+	dead.AddTransition(Transition{Name: "B", Time: rat.One(), Dst: -1})
+	dead.AddPlace(0, 1, 0, "")
+	dead.AddPlace(1, 0, 0, "")
+	if _, err := dead.Unroll(2); err == nil {
+		t.Error("deadlocked net unrolled")
+	}
+}
+
+func TestMeasuredPeriodMatchesRatio(t *testing.T) {
+	n := twoLoop()
+	p, err := n.MeasuredPeriod(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(rat.FromInt(7)) {
+		t.Fatalf("measured period = %v, want 7", p)
+	}
+	if _, err := n.MeasuredPeriod(3, 5); err == nil {
+		t.Error("window larger than horizon accepted")
+	}
+}
+
+func TestFiringsSorted(t *testing.T) {
+	fs, err := twoLoop().Firings(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 6 {
+		t.Fatalf("len = %d", len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Start.Less(fs[i-1].Start) {
+			t.Fatal("firings not sorted")
+		}
+	}
+	if !fs[0].End.Equal(rat.FromInt(3)) {
+		t.Errorf("first firing end = %v", fs[0].End)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var b strings.Builder
+	if err := twoLoop().WriteDOT(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "t0 -> t1", "t1 -> t0", "●"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSubNetByCols(t *testing.T) {
+	// Grid 2x3 with flow places and a column circuit on col 1.
+	n := &Net{Rows: 2, Cols: 3}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			n.AddTransition(Transition{Name: "x", Time: rat.One(), Row: r, Col: c, Dst: -1})
+		}
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			n.AddPlace(n.TransitionAt(r, c), n.TransitionAt(r, c+1), 0, "flow")
+		}
+	}
+	n.AddPlace(n.TransitionAt(0, 1), n.TransitionAt(1, 1), 0, "circ")
+	n.AddPlace(n.TransitionAt(1, 1), n.TransitionAt(0, 1), 1, "circ")
+	sub := n.SubNetByCols(1)
+	if len(sub.Transitions) != 2 {
+		t.Fatalf("sub transitions = %d", len(sub.Transitions))
+	}
+	if len(sub.Places) != 2 {
+		t.Fatalf("sub places = %d (flow places must be dropped)", len(sub.Places))
+	}
+	res, err := sub.MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ratio.Equal(rat.FromInt(2)) {
+		t.Errorf("sub ratio = %v", res.Ratio)
+	}
+}

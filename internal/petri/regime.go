@@ -1,0 +1,81 @@
+package petri
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// Regime describes the asymptotic behaviour of a live timed event graph:
+// after a transient of Transient occurrences, the firing epochs satisfy
+//
+//	start(T, k + Cyclicity) = start(T, k) + Cyclicity × Period(T)
+//
+// for every transition T, where Period(T) is the transition's asymptotic
+// firing interval (transitions decoupled from the critical circuit may run
+// faster than the net's period; the net period is the maximum).
+type Regime struct {
+	// Period is the net's TPN period (max over transitions).
+	Period rat.Rat
+	// Cyclicity is the smallest c detected within the horizon.
+	Cyclicity int
+	// Transient is the first occurrence index from which the periodic law
+	// holds for every transition (within the horizon).
+	Transient int
+	// Rates holds each transition's asymptotic firing interval.
+	Rates []rat.Rat
+}
+
+// DetectRegime unrolls the net for `horizon` occurrences and searches for
+// the smallest cyclicity c and transient k0 such that the periodic law
+// start(T, k+c) = start(T, k) + c·rate(T) holds for all T and all
+// k in [k0, horizon-c). The per-transition rates are computed exactly from
+// the cycle structure (cycles.VertexRates), so the law is checked exactly.
+//
+// An error is returned when no regime is found within the horizon (raise
+// the horizon: the transient of a timed event graph is finite but can be
+// long).
+func (n *Net) DetectRegime(horizon, maxCyclicity int) (*Regime, error) {
+	if horizon < 4 {
+		return nil, fmt.Errorf("petri: horizon too small")
+	}
+	if maxCyclicity < 1 {
+		maxCyclicity = horizon / 2
+	}
+	start, err := n.Unroll(horizon)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := n.System().VertexRates()
+	if err != nil {
+		return nil, err
+	}
+	period := rat.Zero()
+	for _, r := range rates {
+		period = rat.Max(period, r)
+	}
+	for c := 1; c <= maxCyclicity && c < horizon; c++ {
+		// Find the smallest k0 for this c.
+		k0 := -1
+		for k := horizon - c - 1; k >= 0; k-- {
+			ok := true
+			for t := range n.Transitions {
+				want := start[t][k].Add(rates[t].MulInt(int64(c)))
+				if !start[t][k+c].Equal(want) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			k0 = k
+		}
+		// Require at least one full extra cycle of confirmation before the
+		// end of the horizon so we do not mistake a coincidence.
+		if k0 >= 0 && k0+2*c < horizon {
+			return &Regime{Period: period, Cyclicity: c, Transient: k0, Rates: rates}, nil
+		}
+	}
+	return nil, fmt.Errorf("petri: no periodic regime within horizon %d (cyclicity cap %d)", horizon, maxCyclicity)
+}

@@ -1,0 +1,63 @@
+package petri
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestDetectRegimeTwoLoop(t *testing.T) {
+	n := twoLoop()
+	reg, err := n.DetectRegime(20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Period.Equal(rat.FromInt(7)) {
+		t.Errorf("period = %v, want 7", reg.Period)
+	}
+	if reg.Cyclicity != 1 {
+		t.Errorf("cyclicity = %d, want 1", reg.Cyclicity)
+	}
+	if reg.Transient != 0 {
+		t.Errorf("transient = %d, want 0 (this net is periodic from the start)", reg.Transient)
+	}
+	for i, r := range reg.Rates {
+		if !r.Equal(rat.FromInt(7)) {
+			t.Errorf("rate[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestDetectRegimeDecoupledRates(t *testing.T) {
+	// Two independent loops with different rates plus a joint consumer:
+	// the joint consumer is throttled by the slower loop.
+	n := &Net{}
+	a := n.AddTransition(Transition{Name: "a", Time: rat.FromInt(3), Dst: -1})
+	b := n.AddTransition(Transition{Name: "b", Time: rat.FromInt(5), Dst: -1})
+	c := n.AddTransition(Transition{Name: "c", Time: rat.FromInt(1), Dst: -1})
+	n.AddPlace(a, a, 1, "loopA")
+	n.AddPlace(b, b, 1, "loopB")
+	n.AddPlace(a, c, 0, "a->c")
+	n.AddPlace(b, c, 0, "b->c")
+	n.AddPlace(c, c, 1, "loopC")
+	reg, err := n.DetectRegime(30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Rates[a].Equal(rat.FromInt(3)) || !reg.Rates[b].Equal(rat.FromInt(5)) {
+		t.Errorf("loop rates = %v, %v", reg.Rates[a], reg.Rates[b])
+	}
+	if !reg.Rates[c].Equal(rat.FromInt(5)) {
+		t.Errorf("consumer rate = %v, want 5", reg.Rates[c])
+	}
+	if !reg.Period.Equal(rat.FromInt(5)) {
+		t.Errorf("period = %v, want 5", reg.Period)
+	}
+}
+
+func TestDetectRegimeErrors(t *testing.T) {
+	n := twoLoop()
+	if _, err := n.DetectRegime(2, 0); err == nil {
+		t.Error("tiny horizon accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rat"
+)
+
+// Firing records one occurrence of a transition under the earliest (as soon
+// as possible) firing rule.
+type Firing struct {
+	Transition int
+	Occurrence int
+	Start, End rat.Rat
+}
+
+// Unroll computes the first `count` occurrence start times of every
+// transition under the earliest firing rule:
+//
+//	start(T, k) = max over input places p = (U -> T, τ tokens) of
+//	              end(U, k - τ)   (constraint absent when k - τ < 0)
+//
+// This is the exact operational semantics of the timed event graph and
+// serves as the reference simulator: the measured steady-state period must
+// match the max-cycle-ratio period.
+//
+// The returned slice is indexed [transition][occurrence].
+func (n *Net) Unroll(count int) ([][]rat.Rat, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("petri: Unroll count must be positive")
+	}
+	nt := len(n.Transitions)
+	inputs := make([][]Place, nt)
+	for _, p := range n.Places {
+		inputs[p.To] = append(inputs[p.To], p)
+	}
+	start := make([][]rat.Rat, nt)
+	done := make([][]bool, nt)
+	for i := range start {
+		start[i] = make([]rat.Rat, count)
+		done[i] = make([]bool, count)
+	}
+
+	// Dependency-driven evaluation with an explicit stack (memoized DFS).
+	// A (transition, occurrence) pair depends on (U, k-τ) pairs; liveness of
+	// the net (no token-free cycle) guarantees the recursion is well-founded.
+	type key struct{ t, k int }
+	var eval func(t, k int) rat.Rat
+	visiting := make(map[key]bool)
+	eval = func(t, k int) rat.Rat {
+		if done[t][k] {
+			return start[t][k]
+		}
+		kk := key{t, k}
+		if visiting[kk] {
+			panic("petri: dependency cycle in unroll (net not live)")
+		}
+		visiting[kk] = true
+		best := rat.Zero()
+		for _, p := range inputs[t] {
+			dep := k - p.Tokens
+			if dep < 0 {
+				continue
+			}
+			end := eval(p.From, dep).Add(n.Transitions[p.From].Time)
+			best = rat.Max(best, end)
+		}
+		delete(visiting, kk)
+		start[t][k] = best
+		done[t][k] = true
+		return best
+	}
+
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		for k := 0; k < count; k++ {
+			for t := 0; t < nt; t++ {
+				eval(t, k)
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return start, nil
+}
+
+// Firings flattens Unroll output into per-occurrence records, ordered by
+// start time (stable on ties by transition index then occurrence).
+func (n *Net) Firings(count int) ([]Firing, error) {
+	start, err := n.Unroll(count)
+	if err != nil {
+		return nil, err
+	}
+	var out []Firing
+	for t := range start {
+		for k, s := range start[t] {
+			out = append(out, Firing{
+				Transition: t,
+				Occurrence: k,
+				Start:      s,
+				End:        s.Add(n.Transitions[t].Time),
+			})
+		}
+	}
+	sortFirings(out)
+	return out, nil
+}
+
+func sortFirings(fs []Firing) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if c := a.Start.Cmp(b.Start); c != 0 {
+			return c < 0
+		}
+		if a.Transition != b.Transition {
+			return a.Transition < b.Transition
+		}
+		return a.Occurrence < b.Occurrence
+	})
+}
+
+// MeasuredPeriod unrolls the net to `occurrences` firings per transition and
+// returns the empirical TPN period: the maximum over all transitions of
+//
+//	(start(T, K) - start(T, K-window)) / window,  K = occurrences-1.
+//
+// The maximum matters: a transition's asymptotic firing interval equals the
+// max cycle ratio over the cycles that can reach it, so transitions outside
+// the influence cone of the critical circuit legitimately fire faster (e.g.
+// the output stream of a fast replica is not slowed by a slow sibling
+// replica — the data sets simply complete out of order). The system period
+// is governed by the slowest stream, i.e. the max over transitions, which
+// converges to the max cycle ratio once the window passes the transient and
+// covers the cyclicity of the periodic regime.
+func (n *Net) MeasuredPeriod(occurrences, window int) (rat.Rat, error) {
+	if window < 1 || occurrences < window+1 {
+		return rat.Rat{}, fmt.Errorf("petri: need occurrences > window >= 1")
+	}
+	start, err := n.Unroll(occurrences)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	k := occurrences - 1
+	best := rat.Zero()
+	for tr := range n.Transitions {
+		rate := start[tr][k].Sub(start[tr][k-window]).DivInt(int64(window))
+		best = rat.Max(best, rate)
+	}
+	return best, nil
+}

@@ -1,0 +1,131 @@
+// Package pipeline models the application side of the paper's framework:
+// a streaming workflow whose dependence graph is a linear chain of stages
+// S0..S(n-1). Stage Sk performs w_k FLOP per data set and forwards a file
+// F_k of δ_k bytes to S(k+1) (Figure 1 of the paper).
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Stage is one stage of the linear workflow chain.
+type Stage struct {
+	// Name is a human-readable label (defaults to "Sk").
+	Name string `json:"name,omitempty"`
+	// Work is the computation size w_k in FLOP.
+	Work int64 `json:"work"`
+}
+
+// Pipeline is a linear chain of stages with the files exchanged between
+// consecutive stages. len(FileSizes) == len(Stages) - 1: FileSizes[k] is the
+// size δ_k of file F_k produced by stage k and consumed by stage k+1.
+type Pipeline struct {
+	Stages    []Stage `json:"stages"`
+	FileSizes []int64 `json:"fileSizes"`
+}
+
+// New builds a pipeline from stage work sizes and file sizes.
+func New(work []int64, fileSizes []int64) (*Pipeline, error) {
+	p := &Pipeline{
+		Stages:    make([]Stage, len(work)),
+		FileSizes: append([]int64(nil), fileSizes...),
+	}
+	for i, w := range work {
+		p.Stages[i] = Stage{Name: fmt.Sprintf("S%d", i), Work: w}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on invalid input; for tests and fixed examples.
+func MustNew(work []int64, fileSizes []int64) *Pipeline {
+	p, err := New(work, fileSizes)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumStages returns the number of stages n.
+func (p *Pipeline) NumStages() int { return len(p.Stages) }
+
+// Validate checks structural invariants: at least one stage, non-negative
+// sizes, and exactly n-1 files.
+func (p *Pipeline) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("pipeline: no stages")
+	}
+	if len(p.FileSizes) != len(p.Stages)-1 {
+		return fmt.Errorf("pipeline: %d stages need %d file sizes, got %d",
+			len(p.Stages), len(p.Stages)-1, len(p.FileSizes))
+	}
+	for i, s := range p.Stages {
+		if s.Work < 0 {
+			return fmt.Errorf("pipeline: stage %d has negative work %d", i, s.Work)
+		}
+	}
+	for i, d := range p.FileSizes {
+		if d <= 0 {
+			return fmt.Errorf("pipeline: file F%d has non-positive size %d", i, d)
+		}
+	}
+	return nil
+}
+
+// StageName returns the display name of stage k.
+func (p *Pipeline) StageName(k int) string {
+	if p.Stages[k].Name != "" {
+		return p.Stages[k].Name
+	}
+	return fmt.Sprintf("S%d", k)
+}
+
+// String renders the chain as "S0 -[δ0]-> S1 -[δ1]-> S2".
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	for i, s := range p.Stages {
+		if i > 0 {
+			fmt.Fprintf(&b, " -[%dB]-> ", p.FileSizes[i-1])
+		}
+		fmt.Fprintf(&b, "%s(%dF)", p.StageName(i), s.Work)
+	}
+	return b.String()
+}
+
+// MarshalJSON/UnmarshalJSON use the natural struct encoding but validate on
+// decode.
+func (p *Pipeline) UnmarshalJSON(data []byte) error {
+	type alias Pipeline
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*p = Pipeline(a)
+	return p.Validate()
+}
+
+// Random generates a pipeline with n stages whose work sizes and file sizes
+// are drawn uniformly from [lo, hi] (inclusive).
+func Random(rng *rand.Rand, n int, lo, hi int64) *Pipeline {
+	if n < 1 {
+		panic("pipeline: Random needs n >= 1")
+	}
+	if lo < 1 || hi < lo {
+		panic(fmt.Sprintf("pipeline: bad range [%d,%d]", lo, hi))
+	}
+	work := make([]int64, n)
+	files := make([]int64, n-1)
+	span := hi - lo + 1
+	for i := range work {
+		work[i] = lo + rng.Int63n(span)
+	}
+	for i := range files {
+		files[i] = lo + rng.Int63n(span)
+	}
+	return MustNew(work, files)
+}

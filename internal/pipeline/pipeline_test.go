@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValid(t *testing.T) {
+	p, err := New([]int64{10, 20, 30, 40}, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStages() != 4 {
+		t.Errorf("NumStages = %d", p.NumStages())
+	}
+	if p.StageName(2) != "S2" {
+		t.Errorf("StageName(2) = %q", p.StageName(2))
+	}
+}
+
+func TestNewInvalid(t *testing.T) {
+	cases := []struct {
+		name  string
+		work  []int64
+		files []int64
+	}{
+		{"no stages", nil, nil},
+		{"file count mismatch", []int64{1, 2}, []int64{}},
+		{"too many files", []int64{1}, []int64{5}},
+		{"negative work", []int64{-1, 2}, []int64{3}},
+		{"zero file size", []int64{1, 2}, []int64{0}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.work, c.files); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestZeroWorkAllowed(t *testing.T) {
+	// Source/sink stages may be pure forwarding (w = 0).
+	if _, err := New([]int64{0, 5, 0}, []int64{1, 1}); err != nil {
+		t.Fatalf("zero work rejected: %v", err)
+	}
+}
+
+func TestSingleStage(t *testing.T) {
+	p, err := New([]int64{42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "S0(42F)" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustNew([]int64{1, 2}, []int64{9})
+	if got, want := p.String(), "S0(1F) -[9B]-> S1(2F)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := MustNew([]int64{10, 20}, []int64{5})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Pipeline
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStages() != 2 || q.FileSizes[0] != 5 || q.Stages[1].Work != 20 {
+		t.Errorf("round trip mismatch: %+v", q)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var p Pipeline
+	if err := json.Unmarshal([]byte(`{"stages":[{"work":1}],"fileSizes":[3]}`), &p); err == nil {
+		t.Error("invalid pipeline decoded without error")
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := Random(rng, 5, 5, 15)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range p.Stages {
+			if s.Work < 5 || s.Work > 15 {
+				t.Fatalf("work %d out of range", s.Work)
+			}
+		}
+		for _, d := range p.FileSizes {
+			if d < 5 || d > 15 {
+				t.Fatalf("file size %d out of range", d)
+			}
+		}
+	}
+}

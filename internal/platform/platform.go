@@ -1,0 +1,165 @@
+// Package platform models the fully heterogeneous execution platform of the
+// paper: p processors with individual speeds Π_u (FLOP/s) and bidirectional
+// logical links link_{u,v} with bandwidths b_{u,v} (bytes/s). Links need not
+// be physical; a star-shaped physical network with a central switch is
+// represented by its logical complete graph.
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rat"
+)
+
+// Platform describes processors and link bandwidths.
+type Platform struct {
+	// Speeds[u] is Π_u, the speed of processor u in FLOP/s. Must be > 0.
+	Speeds []int64 `json:"speeds"`
+	// Bandwidths[u][v] is b_{u,v} in bytes/s for the directed logical link
+	// u -> v. A zero entry means "no link"; the diagonal is ignored.
+	Bandwidths [][]int64 `json:"bandwidths"`
+}
+
+// New builds a platform after validating shapes.
+func New(speeds []int64, bandwidths [][]int64) (*Platform, error) {
+	p := &Platform{Speeds: speeds, Bandwidths: bandwidths}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NumProcs returns p, the number of processors.
+func (p *Platform) NumProcs() int { return len(p.Speeds) }
+
+// Validate checks matrix shape and positivity of speeds.
+func (p *Platform) Validate() error {
+	n := len(p.Speeds)
+	if n == 0 {
+		return fmt.Errorf("platform: no processors")
+	}
+	for u, s := range p.Speeds {
+		if s <= 0 {
+			return fmt.Errorf("platform: processor %d has non-positive speed %d", u, s)
+		}
+	}
+	if len(p.Bandwidths) != n {
+		return fmt.Errorf("platform: bandwidth matrix has %d rows, want %d", len(p.Bandwidths), n)
+	}
+	for u, row := range p.Bandwidths {
+		if len(row) != n {
+			return fmt.Errorf("platform: bandwidth row %d has %d entries, want %d", u, len(row), n)
+		}
+		for v, b := range row {
+			if b < 0 {
+				return fmt.Errorf("platform: negative bandwidth b[%d][%d] = %d", u, v, b)
+			}
+		}
+	}
+	return nil
+}
+
+// HasLink reports whether a link u -> v with positive bandwidth exists.
+func (p *Platform) HasLink(u, v int) bool {
+	return u != v && p.Bandwidths[u][v] > 0
+}
+
+// ComputeTime returns w/Π_u, the time for processor u to execute w FLOP.
+func (p *Platform) ComputeTime(w int64, u int) rat.Rat {
+	return rat.New(w, p.Speeds[u])
+}
+
+// TransferTime returns δ/b_{u,v}, the time to ship δ bytes from u to v.
+// It panics if the link does not exist.
+func (p *Platform) TransferTime(delta int64, u, v int) rat.Rat {
+	if !p.HasLink(u, v) {
+		panic(fmt.Sprintf("platform: no link %d -> %d", u, v))
+	}
+	return rat.New(delta, p.Bandwidths[u][v])
+}
+
+// UnmarshalJSON validates after decoding.
+func (p *Platform) UnmarshalJSON(data []byte) error {
+	type alias Platform
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*p = Platform(a)
+	return p.Validate()
+}
+
+// Uniform builds a homogeneous platform: n processors of the given speed,
+// complete interconnect with the given bandwidth.
+func Uniform(n int, speed, bandwidth int64) *Platform {
+	speeds := make([]int64, n)
+	bw := make([][]int64, n)
+	for u := range speeds {
+		speeds[u] = speed
+		bw[u] = make([]int64, n)
+		for v := range bw[u] {
+			if u != v {
+				bw[u][v] = bandwidth
+			}
+		}
+	}
+	p, err := New(speeds, bw)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Star builds the logical complete platform induced by a physical star: each
+// processor u has an up/down link capacity cap[u] to the central switch, and
+// the logical bandwidth between u and v is min(cap[u], cap[v]).
+func Star(speeds, linkCaps []int64) (*Platform, error) {
+	if len(speeds) != len(linkCaps) {
+		return nil, fmt.Errorf("platform: %d speeds but %d link capacities", len(speeds), len(linkCaps))
+	}
+	n := len(speeds)
+	bw := make([][]int64, n)
+	for u := range bw {
+		bw[u] = make([]int64, n)
+		for v := range bw[u] {
+			if u == v {
+				continue
+			}
+			bw[u][v] = min64(linkCaps[u], linkCaps[v])
+		}
+	}
+	return New(speeds, bw)
+}
+
+// Random builds a fully heterogeneous complete platform with speeds in
+// [speedLo, speedHi] and bandwidths in [bwLo, bwHi], all inclusive.
+func Random(rng *rand.Rand, n int, speedLo, speedHi, bwLo, bwHi int64) *Platform {
+	if n < 1 || speedLo < 1 || speedHi < speedLo || bwLo < 1 || bwHi < bwLo {
+		panic("platform: bad Random parameters")
+	}
+	speeds := make([]int64, n)
+	bw := make([][]int64, n)
+	for u := range speeds {
+		speeds[u] = speedLo + rng.Int63n(speedHi-speedLo+1)
+		bw[u] = make([]int64, n)
+		for v := range bw[u] {
+			if u != v {
+				bw[u][v] = bwLo + rng.Int63n(bwHi-bwLo+1)
+			}
+		}
+	}
+	p, err := New(speeds, bw)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

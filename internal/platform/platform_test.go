@@ -1,0 +1,118 @@
+package platform
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestUniform(t *testing.T) {
+	p := Uniform(3, 10, 100)
+	if p.NumProcs() != 3 {
+		t.Fatalf("NumProcs = %d", p.NumProcs())
+	}
+	if !p.HasLink(0, 1) || p.HasLink(1, 1) {
+		t.Error("link structure wrong")
+	}
+	if got := p.ComputeTime(25, 0); !got.Equal(rat.New(5, 2)) {
+		t.Errorf("ComputeTime = %v", got)
+	}
+	if got := p.TransferTime(250, 0, 1); !got.Equal(rat.New(5, 2)) {
+		t.Errorf("TransferTime = %v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Platform
+	}{
+		{"no procs", Platform{}},
+		{"zero speed", Platform{Speeds: []int64{0}, Bandwidths: [][]int64{{0}}}},
+		{"bad rows", Platform{Speeds: []int64{1, 2}, Bandwidths: [][]int64{{0, 1}}}},
+		{"bad cols", Platform{Speeds: []int64{1, 2}, Bandwidths: [][]int64{{0, 1}, {1}}}},
+		{"negative bw", Platform{Speeds: []int64{1, 2}, Bandwidths: [][]int64{{0, -1}, {1, 0}}}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestMissingLinkPanics(t *testing.T) {
+	p := Platform{Speeds: []int64{1, 1}, Bandwidths: [][]int64{{0, 0}, {5, 0}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasLink(0, 1) {
+		t.Fatal("phantom link")
+	}
+	if !p.HasLink(1, 0) {
+		t.Fatal("missing link 1->0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TransferTime on missing link did not panic")
+		}
+	}()
+	p.TransferTime(10, 0, 1)
+}
+
+func TestStar(t *testing.T) {
+	p, err := Star([]int64{10, 20, 30}, []int64{4, 8, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bandwidths[0][1] != 4 || p.Bandwidths[1][2] != 2 || p.Bandwidths[2][0] != 2 {
+		t.Errorf("star bandwidths wrong: %v", p.Bandwidths)
+	}
+	if _, err := Star([]int64{1}, []int64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRandomRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Random(rng, 6, 5, 15, 10, 1000)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u, s := range p.Speeds {
+		if s < 5 || s > 15 {
+			t.Fatalf("speed %d out of range", s)
+		}
+		for v, b := range p.Bandwidths[u] {
+			if u == v {
+				if b != 0 {
+					t.Fatalf("diagonal bandwidth %d", b)
+				}
+				continue
+			}
+			if b < 10 || b > 1000 {
+				t.Fatalf("bandwidth %d out of range", b)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Uniform(2, 3, 4)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Platform
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumProcs() != 2 || q.Bandwidths[0][1] != 4 {
+		t.Errorf("round trip mismatch: %+v", q)
+	}
+	var bad Platform
+	if err := json.Unmarshal([]byte(`{"speeds":[0],"bandwidths":[[0]]}`), &bad); err == nil {
+		t.Error("invalid platform decoded")
+	}
+}

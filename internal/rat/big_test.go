@@ -1,0 +1,107 @@
+package rat
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPromotionOnOverflow exercises the transparent big.Rat fallback: sums
+// of many rationals with pairwise-coprime denominators exceed int64 but must
+// stay exact.
+func TestPromotionOnOverflow(t *testing.T) {
+	primes := []int64{
+		9973, 9967, 9949, 9941, 9931, 9929, 9923, 9907, 9901, 9887,
+		9883, 9871, 9859, 9857, 9851, 9839, 9833, 9829, 9817, 9811,
+	}
+	sum := Zero()
+	for _, p := range primes {
+		sum = sum.Add(New(1, p))
+	}
+	if !sum.IsBig() {
+		t.Fatal("sum of 20 coprime unit fractions should have promoted to big")
+	}
+	// Subtracting the terms back must return exactly to zero (and demote).
+	back := sum
+	for _, p := range primes {
+		back = back.Sub(New(1, p))
+	}
+	if !back.IsZero() {
+		t.Fatalf("round trip lost exactness: %v", back)
+	}
+	if back.IsBig() {
+		t.Error("zero after demotion should use the int64 representation")
+	}
+	// Sanity: float value ~ 20/9900.
+	if f := sum.Float64(); math.Abs(f-20.0/9900) > 1e-4 {
+		t.Errorf("Float64 = %v", f)
+	}
+}
+
+func TestBigComparisonsAndOrdering(t *testing.T) {
+	big1 := New(1, 9973).Add(New(1, 9967)).Add(New(1, 9949)).Add(New(1, 9941)).
+		Add(New(1, 9931)).Add(New(1, 9929)).Add(New(1, 9923)).Add(New(1, 9907)).
+		Add(New(1, 9901)).Add(New(1, 9887))
+	big2 := big1.Add(New(1, 1_000_000_007))
+	if !big1.Less(big2) {
+		t.Error("big ordering wrong")
+	}
+	if !big1.Less(One()) || big1.Less(Zero()) {
+		t.Error("mixed big/small ordering wrong")
+	}
+	if got := Max(big1, big2); !got.Equal(big2) {
+		t.Error("Max on big values wrong")
+	}
+}
+
+func TestBigArithmeticLaws(t *testing.T) {
+	a := New(math.MaxInt64/2, 3)
+	b := New(math.MaxInt64/3, 5)
+	// a*b overflows int64; the product must still satisfy (a*b)/b == a.
+	p := a.Mul(b)
+	if !p.IsBig() {
+		t.Fatal("expected big product")
+	}
+	if !p.Div(b).Equal(a) {
+		t.Error("(a*b)/b != a in big arithmetic")
+	}
+	if !p.Sub(p).IsZero() {
+		t.Error("p - p != 0")
+	}
+	if p.Sign() != 1 || p.Neg().Sign() != -1 {
+		t.Error("big Sign wrong")
+	}
+	if p.Neg().Neg().Cmp(p) != 0 {
+		t.Error("double negation broken")
+	}
+}
+
+func TestMinInt64Inputs(t *testing.T) {
+	r := New(math.MinInt64, 2)
+	if r.Float64() != float64(math.MinInt64)/2 {
+		t.Errorf("MinInt64/2 = %v", r.Float64())
+	}
+	n := FromInt(math.MinInt64).Neg()
+	if n.Sign() != 1 {
+		t.Error("-MinInt64 should be positive")
+	}
+}
+
+func TestNumDenPanicOnBig(t *testing.T) {
+	a := New(math.MaxInt64/2, 3).Mul(New(math.MaxInt64/3, 5))
+	defer func() {
+		if recover() == nil {
+			t.Error("Num on big value did not panic")
+		}
+	}()
+	a.Num()
+}
+
+func TestBigString(t *testing.T) {
+	p := New(math.MaxInt64/2, 1).Mul(New(4, 1))
+	if !p.IsBig() {
+		t.Fatal("expected big")
+	}
+	if s := p.String(); len(s) < 19 {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,353 @@
+// Package rat implements exact rational arithmetic.
+//
+// Every period computation in this repository is carried out exactly: the
+// paper's central experimental question is whether the steady-state period P
+// strictly exceeds the maximum resource cycle-time Mct, and floating point
+// noise would corrupt that strict comparison.
+//
+// Values use an int64 numerator/denominator fast path (input quantities are
+// small integers, so this covers almost all arithmetic) and promote
+// transparently to math/big.Rat when an operation would overflow — long
+// Karp/Bellman accumulations over mapped platforms can produce denominators
+// exceeding int64.
+package rat
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Rat is an exact rational number. The zero value is 0, ready to use.
+// Rats are immutable values; all operations return new Rats.
+type Rat struct {
+	n, d int64    // numerator/denominator in lowest terms, d > 0; used when b == nil
+	b    *big.Rat // arbitrary-precision fallback (never mutated once set)
+}
+
+// Zero returns the rational 0.
+func Zero() Rat { return Rat{0, 1, nil} }
+
+// One returns the rational 1.
+func One() Rat { return Rat{1, 1, nil} }
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1, nil} }
+
+// New returns the rational n/d in lowest terms. It panics if d == 0.
+func New(n, d int64) Rat {
+	if d == 0 {
+		panic("rat: zero denominator")
+	}
+	if n == math.MinInt64 || d == math.MinInt64 {
+		return fromBig(new(big.Rat).SetFrac64(n, d))
+	}
+	if d < 0 {
+		n, d = -n, -d
+	}
+	g := gcd64(abs64(n), d)
+	if g > 1 {
+		n /= g
+		d /= g
+	}
+	return Rat{n, d, nil}
+}
+
+// fromBig wraps a big.Rat, demoting to the int64 representation when it
+// fits (keeps the fast path hot and String/Equal canonical).
+func fromBig(x *big.Rat) Rat {
+	if x.Num().IsInt64() && x.Denom().IsInt64() {
+		return Rat{x.Num().Int64(), x.Denom().Int64(), nil}
+	}
+	return Rat{b: x}
+}
+
+// asBig returns the value as a big.Rat (freshly usable, never aliased into r).
+func (r Rat) asBig() *big.Rat {
+	if r.b != nil {
+		return new(big.Rat).Set(r.b)
+	}
+	return new(big.Rat).SetFrac64(r.n, r.den())
+}
+
+func (r Rat) den() int64 {
+	if r.d == 0 {
+		return 1 // zero value normalization
+	}
+	return r.d
+}
+
+// IsBig reports whether the value is carried by the arbitrary-precision
+// representation (exposed for tests and benchmarks).
+func (r Rat) IsBig() bool { return r.b != nil }
+
+// Num returns the numerator. It panics if the value does not fit int64
+// (callers only use it on small inputs such as figure labels).
+func (r Rat) Num() int64 {
+	if r.b != nil {
+		if !r.b.Num().IsInt64() {
+			panic("rat: Num does not fit int64")
+		}
+		return r.b.Num().Int64()
+	}
+	return r.n
+}
+
+// Den returns the positive denominator, with the same caveat as Num.
+func (r Rat) Den() int64 {
+	if r.b != nil {
+		if !r.b.Denom().IsInt64() {
+			panic("rat: Den does not fit int64")
+		}
+		return r.b.Denom().Int64()
+	}
+	return r.den()
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	if r.b == nil && s.b == nil {
+		rd, sd := r.den(), s.den()
+		g := gcd64(rd, sd)
+		if m1, ok := mul64(r.n, sd/g); ok {
+			if m2, ok := mul64(s.n, rd/g); ok {
+				if n, ok := add64(m1, m2); ok {
+					if d, ok := mul64(rd/g, sd); ok {
+						return New(n, d)
+					}
+				}
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Add(r.asBig(), s.asBig()))
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	if r.b == nil {
+		if r.n == math.MinInt64 {
+			return fromBig(new(big.Rat).Neg(r.asBig()))
+		}
+		return Rat{-r.n, r.den(), nil}
+	}
+	return fromBig(new(big.Rat).Neg(r.asBig()))
+}
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	if r.b == nil && s.b == nil {
+		// Cross-reduce before multiplying to keep intermediates small.
+		rd, sd := r.den(), s.den()
+		g1 := gcd64(abs64(r.n), sd)
+		g2 := gcd64(abs64(s.n), rd)
+		if n, ok := mul64(r.n/g1, s.n/g2); ok {
+			if d, ok := mul64(rd/g2, sd/g1); ok {
+				return Rat{n, d, nil}
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Mul(r.asBig(), s.asBig()))
+}
+
+// Div returns r / s. It panics if s is zero.
+func (r Rat) Div(s Rat) Rat {
+	if s.IsZero() {
+		panic("rat: division by zero")
+	}
+	if s.b == nil {
+		inv := New(s.den(), s.n)
+		return r.Mul(inv)
+	}
+	return fromBig(new(big.Rat).Quo(r.asBig(), s.asBig()))
+}
+
+// MulInt returns r * k.
+func (r Rat) MulInt(k int64) Rat { return r.Mul(FromInt(k)) }
+
+// DivInt returns r / k. It panics if k == 0.
+func (r Rat) DivInt(k int64) Rat { return r.Div(FromInt(k)) }
+
+// Cmp compares r and s and returns -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int {
+	if r.b == nil && s.b == nil {
+		if lhs, ok := mul64(r.n, s.den()); ok {
+			if rhs, ok := mul64(s.n, r.den()); ok {
+				switch {
+				case lhs < rhs:
+					return -1
+				case lhs > rhs:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
+	}
+	return r.asBig().Cmp(s.asBig())
+}
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	if r.b != nil {
+		return r.b.Sign()
+	}
+	switch {
+	case r.n < 0:
+		return -1
+	case r.n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.Sign() == 0 }
+
+// Max returns the larger of r and s.
+func Max(r, s Rat) Rat {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+// Min returns the smaller of r and s.
+func Min(r, s Rat) Rat {
+	if r.Cmp(s) <= 0 {
+		return r
+	}
+	return s
+}
+
+// Sum returns the sum of all arguments.
+func Sum(rs ...Rat) Rat {
+	total := Zero()
+	for _, r := range rs {
+		total = total.Add(r)
+	}
+	return total
+}
+
+// MaxOf returns the maximum of a non-empty slice. It panics on empty input.
+func MaxOf(rs []Rat) Rat {
+	if len(rs) == 0 {
+		panic("rat: MaxOf of empty slice")
+	}
+	m := rs[0]
+	for _, r := range rs[1:] {
+		m = Max(m, r)
+	}
+	return m
+}
+
+// Float64 returns the nearest float64 to r.
+func (r Rat) Float64() float64 {
+	if r.b != nil {
+		f, _ := r.b.Float64()
+		return f
+	}
+	return float64(r.n) / float64(r.den())
+}
+
+// String renders r as "n/d", or just "n" when the denominator is 1.
+func (r Rat) String() string {
+	if r.b != nil {
+		if r.b.IsInt() {
+			return r.b.Num().String()
+		}
+		return r.b.RatString()
+	}
+	if r.den() == 1 {
+		return fmt.Sprintf("%d", r.n)
+	}
+	return fmt.Sprintf("%d/%d", r.n, r.den())
+}
+
+// abs64 returns |x| for x > math.MinInt64.
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// gcd64 returns the greatest common divisor of non-negative a, b
+// (gcd(0,0) == 1 so that it is always a safe divisor).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// add64 returns a+b and whether it did not overflow.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mul64 returns a*b and whether it did not overflow.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+// GCDInt returns gcd(a, b) for non-negative integers, used by callers that
+// need the same gcd the rational code uses (e.g. pattern decomposition).
+func GCDInt(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		panic("rat: GCDInt of negative value")
+	}
+	return gcd64(a, b)
+}
+
+// LCMInt returns lcm(a, b) for positive integers. It panics on overflow
+// (callers guard path-count explosions explicitly).
+func LCMInt(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		panic("rat: LCMInt of non-positive value")
+	}
+	v, ok := mul64(a/gcd64(a, b), b)
+	if !ok {
+		panic("rat: int64 overflow in lcm")
+	}
+	return v
+}
+
+// LCMAll returns the least common multiple of a non-empty list of positive
+// integers.
+func LCMAll(xs []int64) int64 {
+	if len(xs) == 0 {
+		panic("rat: LCMAll of empty slice")
+	}
+	l := int64(1)
+	for _, x := range xs {
+		l = LCMInt(l, x)
+	}
+	return l
+}

@@ -1,0 +1,253 @@
+package rat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		n, d     int64
+		wantN    int64
+		wantD    int64
+		wantText string
+	}{
+		{1, 2, 1, 2, "1/2"},
+		{2, 4, 1, 2, "1/2"},
+		{-2, 4, -1, 2, "-1/2"},
+		{2, -4, -1, 2, "-1/2"},
+		{-2, -4, 1, 2, "1/2"},
+		{0, 5, 0, 1, "0"},
+		{7, 1, 7, 1, "7"},
+		{6, 3, 2, 1, "2"},
+	}
+	for _, c := range cases {
+		r := New(c.n, c.d)
+		if r.Num() != c.wantN || r.Den() != c.wantD {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.n, c.d, r.Num(), r.Den(), c.wantN, c.wantD)
+		}
+		if r.String() != c.wantText {
+			t.Errorf("New(%d,%d).String() = %q, want %q", c.n, c.d, r.String(), c.wantText)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDenominator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1, 0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueIsUsable(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Fatal("zero value is not zero")
+	}
+	if got := r.Add(FromInt(3)); !got.Equal(FromInt(3)) {
+		t.Fatalf("0 + 3 = %v", got)
+	}
+	if got := r.Mul(New(1, 2)); !got.IsZero() {
+		t.Fatalf("0 * 1/2 = %v", got)
+	}
+	if r.String() != "0" {
+		t.Fatalf("zero value String = %q", r.String())
+	}
+	if r.Den() != 1 {
+		t.Fatalf("zero value Den = %d", r.Den())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got, want := half.Add(third), New(5, 6); !got.Equal(want) {
+		t.Errorf("1/2 + 1/3 = %v, want %v", got, want)
+	}
+	if got, want := half.Sub(third), New(1, 6); !got.Equal(want) {
+		t.Errorf("1/2 - 1/3 = %v, want %v", got, want)
+	}
+	if got, want := half.Mul(third), New(1, 6); !got.Equal(want) {
+		t.Errorf("1/2 * 1/3 = %v, want %v", got, want)
+	}
+	if got, want := half.Div(third), New(3, 2); !got.Equal(want) {
+		t.Errorf("(1/2) / (1/3) = %v, want %v", got, want)
+	}
+	if got, want := half.Neg(), New(-1, 2); !got.Equal(want) {
+		t.Errorf("-(1/2) = %v, want %v", got, want)
+	}
+	if got, want := New(-3, 4).Div(New(-1, 2)), New(3, 2); !got.Equal(want) {
+		t.Errorf("(-3/4)/(-1/2) = %v, want %v", got, want)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero did not panic")
+		}
+	}()
+	FromInt(1).Div(Zero())
+}
+
+func TestCmpAndOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{New(1, 2), New(1, 3), 1},
+		{New(1, 3), New(1, 2), -1},
+		{New(2, 4), New(1, 2), 0},
+		{New(-1, 2), New(1, 2), -1},
+		{Zero(), New(-1, 5), 1},
+		{New(7, 3), New(7, 3), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if !New(1, 3).Less(New(1, 2)) {
+		t.Error("1/3 < 1/2 should hold")
+	}
+	if !New(1, 2).LessEq(New(1, 2)) {
+		t.Error("1/2 <= 1/2 should hold")
+	}
+	if Max(New(1, 3), New(1, 2)) != New(1, 2) {
+		t.Error("Max(1/3, 1/2) != 1/2")
+	}
+	if Min(New(1, 3), New(1, 2)) != New(1, 3) {
+		t.Error("Min(1/3, 1/2) != 1/3")
+	}
+}
+
+func TestSignAndHelpers(t *testing.T) {
+	if New(-3, 7).Sign() != -1 || New(3, 7).Sign() != 1 || Zero().Sign() != 0 {
+		t.Error("Sign misbehaves")
+	}
+	if got := Sum(New(1, 2), New(1, 3), New(1, 6)); !got.Equal(One()) {
+		t.Errorf("Sum = %v, want 1", got)
+	}
+	if got := MaxOf([]Rat{New(1, 2), New(2, 3), New(3, 5)}); !got.Equal(New(2, 3)) {
+		t.Errorf("MaxOf = %v, want 2/3", got)
+	}
+	if got := New(3, 4).MulInt(8); !got.Equal(FromInt(6)) {
+		t.Errorf("3/4 * 8 = %v", got)
+	}
+	if got := FromInt(6).DivInt(4); !got.Equal(New(3, 2)) {
+		t.Errorf("6/4 = %v", got)
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := New(1, 2).Float64(); got != 0.5 {
+		t.Errorf("Float64(1/2) = %v", got)
+	}
+	if got := New(1295, 6).Float64(); math.Abs(got-215.8333333) > 1e-6 {
+		t.Errorf("Float64(1295/6) = %v", got)
+	}
+}
+
+func TestMaxOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxOf(nil) did not panic")
+		}
+	}()
+	MaxOf(nil)
+}
+
+func TestLCMAndGCD(t *testing.T) {
+	if got := GCDInt(21, 27); got != 3 {
+		t.Errorf("GCDInt(21,27) = %d", got)
+	}
+	if got := LCMInt(21, 27); got != 189 {
+		t.Errorf("LCMInt(21,27) = %d", got)
+	}
+	// Example C of the paper: replicas (5, 21, 27, 11) => m = 10395.
+	if got := LCMAll([]int64{5, 21, 27, 11}); got != 10395 {
+		t.Errorf("LCMAll(5,21,27,11) = %d, want 10395", got)
+	}
+	if got := LCMAll([]int64{1, 2, 3, 1}); got != 6 {
+		t.Errorf("LCMAll(1,2,3,1) = %d, want 6", got)
+	}
+}
+
+// clampSmall bounds random int64s so products of several of them stay far
+// away from overflow; the property tests exercise algebraic laws, not
+// overflow behaviour.
+func clampSmall(x int64) int64 {
+	x %= 1000
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		r := New(clampSmall(a), clampSmall(b))
+		s := New(clampSmall(c), clampSmall(d))
+		return r.Add(s).Equal(s.Add(r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c, d, e, g int64) bool {
+		r := New(clampSmall(a), clampSmall(b))
+		s := New(clampSmall(c), clampSmall(d))
+		u := New(clampSmall(e), clampSmall(g))
+		return r.Mul(s.Add(u)).Equal(r.Mul(s).Add(r.Mul(u)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivInvertsMul(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		r := New(clampSmall(a), clampSmall(b))
+		s := New(clampSmall(c), clampSmall(d))
+		if s.IsZero() {
+			return true
+		}
+		return r.Mul(s).Div(s).Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpAntisymmetric(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		r := New(clampSmall(a), clampSmall(b))
+		s := New(clampSmall(c), clampSmall(d))
+		return r.Cmp(s) == -s.Cmp(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAlwaysLowestTerms(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		r := New(clampSmall(a), clampSmall(b)).Add(New(clampSmall(c), clampSmall(d)))
+		return GCDInt(absForTest(r.Num()), r.Den()) == 1 && r.Den() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func absForTest(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

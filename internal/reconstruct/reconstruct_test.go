@@ -1,0 +1,134 @@
+package reconstruct
+
+import (
+	"testing"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+)
+
+// canonicalA is the solution baked into examplesdata (lexicographically
+// smallest of the 500,256 assignments matching every reported number).
+var canonicalA = ExampleASolution{
+	Comp: [7]int64{22, 104, 128, 126, 146, 147, 23},
+	T01:  186, T02: 192,
+	T1: [3]int64{57, 68, 77},
+	T2: [3]int64{13, 157, 165},
+	T6: [3]int64{67, 73, 73},
+}
+
+// canonicalB is the first of the 4 (isomorphic) Example B solutions.
+var canonicalB = ExampleBSolution{
+	Comp: [7]int64{100, 100, 100, 100, 100, 100, 100},
+	T: [3][4]int64{
+		{1000, 100, 100, 1000},
+		{100, 100, 1000, 1000},
+		{1000, 1000, 1000, 100},
+	},
+}
+
+func TestCanonicalExampleAPassesAllChecks(t *testing.T) {
+	if !checkExampleA(canonicalA) {
+		t.Fatal("canonical Example A fails the paper's reported numbers")
+	}
+}
+
+func TestCanonicalExampleBPassesAllChecks(t *testing.T) {
+	if !checkExampleB(canonicalB) {
+		t.Fatal("canonical Example B fails the paper's reported numbers")
+	}
+}
+
+func TestCanonicalMatchesExamplesdata(t *testing.T) {
+	// The instance baked into examplesdata must be time-for-time identical
+	// to the canonical solution here.
+	want := canonicalA.Instance()
+	got := examplesdata.ExampleA()
+	for i := 0; i < want.NumStages(); i++ {
+		for a := 0; a < want.Replication(i); a++ {
+			if !want.CompTime(i, a).Equal(got.CompTime(i, a)) {
+				t.Fatalf("comp time mismatch at stage %d replica %d", i, a)
+			}
+		}
+	}
+	for i := 0; i < want.NumStages()-1; i++ {
+		for a := 0; a < want.Replication(i); a++ {
+			for b := 0; b < want.Replication(i+1); b++ {
+				if !want.CommTime(i, a, b).Equal(got.CommTime(i, a, b)) {
+					t.Fatalf("comm time mismatch at F%d %d->%d", i, a, b)
+				}
+			}
+		}
+	}
+	wantB := canonicalB.Instance()
+	gotB := examplesdata.ExampleB()
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 4; b++ {
+			if !wantB.CommTime(0, a, b).Equal(gotB.CommTime(0, a, b)) {
+				t.Fatalf("Example B comm mismatch %d->%d", a, b)
+			}
+		}
+	}
+}
+
+func TestPerturbedCanonicalFailsChecks(t *testing.T) {
+	// Sanity of the checker itself: breaking any pinned value must fail.
+	broken := canonicalA
+	broken.T01, broken.T02 = broken.T02, broken.T01
+	if checkExampleA(broken) {
+		t.Error("swapped P0 link times still accepted")
+	}
+	broken = canonicalA
+	broken.Comp[2] = 129
+	if checkExampleA(broken) {
+		t.Error("altered P2 computation time still accepted")
+	}
+	brokenB := canonicalB
+	brokenB.T[2][3] = 1000 // P2's out sum becomes 4000
+	if checkExampleB(brokenB) {
+		t.Error("altered Example B still accepted")
+	}
+}
+
+func TestExampleBSearchFindsExactlyFourSolutions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 19-choose-7 enumeration skipped in -short mode")
+	}
+	sols := SearchExampleB()
+	if len(sols) != 4 {
+		t.Fatalf("Example B search found %d solutions, want 4", len(sols))
+	}
+	// All solutions must be proper relabelings: same sorted row-sum multiset.
+	for _, s := range sols {
+		rowSums := map[int64]int{}
+		for a := 0; a < 3; a++ {
+			sum := int64(0)
+			for b := 0; b < 4; b++ {
+				sum += s.T[a][b]
+			}
+			rowSums[sum]++
+		}
+		if rowSums[3100] != 1 || rowSums[2200] != 2 {
+			t.Fatalf("solution %+v has row sums %v", s, rowSums)
+		}
+	}
+}
+
+func TestLabelMultisetConstant(t *testing.T) {
+	// Guard against accidental edits: Figure 2's label multiset.
+	counts := map[int64]int{}
+	for _, v := range exampleALabels {
+		counts[v]++
+	}
+	if len(exampleALabels) != 18 || counts[73] != 2 || counts[186] != 1 || counts[192] != 1 {
+		t.Fatalf("label multiset corrupted: %v", exampleALabels)
+	}
+}
+
+func TestSolutionInstancesValid(t *testing.T) {
+	for _, inst := range []*model.Instance{canonicalA.Instance(), canonicalB.Instance()} {
+		if inst.NumStages() < 2 {
+			t.Fatal("bad instance")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// AnnealOptions configures simulated annealing over replica partitions.
+type AnnealOptions struct {
+	// Steps is the number of proposed moves (default 2000).
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule, expressed
+	// as fractions of the initial period (defaults 0.3 and 0.001).
+	StartTemp, EndTemp float64
+}
+
+func (o *AnnealOptions) defaults() {
+	if o.Steps <= 0 {
+		o.Steps = 2000
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 0.3
+	}
+	if o.EndTemp <= 0 || o.EndTemp >= o.StartTemp {
+		o.EndTemp = o.StartTemp / 300
+	}
+}
+
+// Anneal runs simulated annealing from the greedy solution: at each step a
+// random neighbor move (shift/add/drop a processor) is accepted if it
+// improves the period, or with probability exp(-Δ/T) otherwise. Annealing
+// escapes the local optima that trap pure hill climbing on platforms where
+// replication of one stage only pays off after rebalancing another.
+func Anneal(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand, opts AnnealOptions) (Result, error) {
+	opts.defaults()
+	start, err := Greedy(pipe, plat, cm)
+	if err != nil {
+		return Result{}, err
+	}
+	n := pipe.NumStages()
+	p := plat.NumProcs()
+	current := cloneReplicas(start.Mapping.Replicas)
+	curPeriod := start.Period
+	best := start
+
+	scale := curPeriod.Float64()
+	t0 := opts.StartTemp * scale
+	t1 := opts.EndTemp * scale
+	cool := math.Pow(t1/t0, 1/math.Max(1, float64(opts.Steps-1)))
+	temp := t0
+
+	for step := 0; step < opts.Steps; step++ {
+		cand := neighbor(rng, current, n, p)
+		temp *= cool
+		if cand == nil {
+			continue
+		}
+		period, err := evalReplicas(pipe, plat, cand, cm)
+		if err != nil {
+			continue
+		}
+		delta := period.Sub(curPeriod).Float64()
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			current, curPeriod = cand, period
+			if curPeriod.Less(best.Period) {
+				mapp, err := mapping.New(cloneReplicas(current), p)
+				if err != nil {
+					return Result{}, err
+				}
+				best = Result{Mapping: mapp, Period: curPeriod}
+			}
+		}
+	}
+	if best.Mapping == nil {
+		return Result{}, fmt.Errorf("sched: annealing found no feasible mapping")
+	}
+	return best, nil
+}
+
+// BestOf runs every heuristic (greedy, random restarts, annealing) and
+// returns the best mapping found.
+func BestOf(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand) (Result, error) {
+	var best Result
+	consider := func(r Result, err error) {
+		if err != nil {
+			return
+		}
+		if best.Mapping == nil || r.Period.Less(best.Period) {
+			best = r
+		}
+	}
+	g, err := Greedy(pipe, plat, cm)
+	consider(g, err)
+	rs, err := RandomSearch(pipe, plat, cm, rng, 10, 50)
+	consider(rs, err)
+	an, err := Anneal(pipe, plat, cm, rng, AnnealOptions{Steps: 1500})
+	consider(an, err)
+	if best.Mapping == nil {
+		return Result{}, fmt.Errorf("sched: no heuristic found a feasible mapping")
+	}
+	return best, nil
+}
+
+// lowerBound computes a simple period lower bound for any mapping on the
+// platform: the fastest processor must still execute the heaviest stage at
+// full replication... more usefully, the total work of each stage spread
+// over all processors bounds the period from below:
+//
+//	P >= w_k / Σ_u Π_u   for every stage k (perfect replication), and
+//	P >= w_k / (m_max · Π_max) for any bounded replication.
+//
+// Exposed for tests and for reporting optimality gaps of the heuristics.
+func lowerBound(pipe *pipeline.Pipeline, plat *platform.Platform) rat.Rat {
+	sumSpeed := int64(0)
+	for _, s := range plat.Speeds {
+		sumSpeed += s
+	}
+	lb := rat.Zero()
+	for _, st := range pipe.Stages {
+		if st.Work > 0 {
+			lb = rat.Max(lb, rat.New(st.Work, sumSpeed))
+		}
+	}
+	return lb
+}
+
+// LowerBound is the exported form of the work-based period lower bound.
+func LowerBound(pipe *pipeline.Pipeline, plat *platform.Platform) rat.Rat {
+	return lowerBound(pipe, plat)
+}

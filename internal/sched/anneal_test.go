@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+func TestAnnealAtLeastAsGoodAsGreedyStart(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{10, 400, 10}, []int64{10, 10})
+	plat := platform.Uniform(6, 10, 100)
+	rng := rand.New(rand.NewSource(3))
+	gr, err := Greedy(pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Anneal(pipe, plat, model.Overlap, rng, AnnealOptions{Steps: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Period.Less(an.Period) {
+		t.Fatalf("annealing (%v) worse than its greedy start (%v)", an.Period, gr.Period)
+	}
+	if err := an.Mapping.Validate(plat.NumProcs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealRespectsLowerBound(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{50, 300, 80}, []int64{20, 20})
+	plat := platform.Uniform(8, 10, 200)
+	rng := rand.New(rand.NewSource(7))
+	an, err := Anneal(pipe, plat, model.Overlap, rng, AnnealOptions{Steps: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LowerBound(pipe, plat)
+	if an.Period.Less(lb) {
+		t.Fatalf("period %v below the work lower bound %v", an.Period, lb)
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{10, 400, 10}, []int64{10, 10})
+	plat := platform.Uniform(6, 10, 100)
+	rng := rand.New(rand.NewSource(11))
+	best, err := BestOf(pipe, plat, model.Overlap, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy(pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Period.Less(best.Period) {
+		t.Fatalf("BestOf (%v) worse than greedy alone (%v)", best.Period, gr.Period)
+	}
+}
+
+func TestAnnealOptionsDefaults(t *testing.T) {
+	var o AnnealOptions
+	o.defaults()
+	if o.Steps <= 0 || o.StartTemp <= 0 || o.EndTemp <= 0 || o.EndTemp >= o.StartTemp {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+}
+
+func TestAnnealInfeasible(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{1, 1, 1}, []int64{1, 1})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Anneal(pipe, platform.Uniform(2, 1, 1), model.Overlap, rng, AnnealOptions{}); err == nil {
+		t.Error("infeasible annealing accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+func smallProblem() (*pipeline.Pipeline, *platform.Platform) {
+	pipe := pipeline.MustNew([]int64{60, 240, 60}, []int64{100, 100})
+	plat := platform.Uniform(6, 10, 50)
+	// Heterogeneous speeds: one fast processor.
+	plat.Speeds = []int64{10, 40, 10, 10, 10, 10}
+	return pipe, plat
+}
+
+func TestEvaluateMatchesCore(t *testing.T) {
+	pipe, plat := smallProblem()
+	mapp := mapping.MustNew([][]int{{0}, {1}, {2}}, 6)
+	p, err := Evaluate(pipe, plat, mapp, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1 computes 240 at speed 40 = 6; P0 computes 6; comms 2 each;
+	// Mct = 6 and no replication => period 6.
+	if p.Float64() != 6 {
+		t.Fatalf("period = %v, want 6", p)
+	}
+}
+
+func TestExhaustivePicksFastProcForHeavyStage(t *testing.T) {
+	pipe, plat := smallProblem()
+	res, err := ExhaustiveOneToOne(pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Replicas[1][0] != 1 {
+		t.Errorf("heavy stage not on fast processor: %v", res.Mapping)
+	}
+	if res.Period.Float64() != 6 {
+		t.Errorf("period = %v, want 6", res.Period)
+	}
+	if res.Throughput().Float64() != 1.0/6 {
+		t.Errorf("throughput = %v", res.Throughput())
+	}
+}
+
+func TestExhaustiveLimits(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{1, 1}, []int64{1})
+	if _, err := ExhaustiveOneToOne(pipe, platform.Uniform(11, 1, 1), model.Overlap); err == nil {
+		t.Error("oversized exhaustive accepted")
+	}
+	pipe3 := pipeline.MustNew([]int64{1, 1, 1}, []int64{1, 1})
+	if _, err := ExhaustiveOneToOne(pipe3, platform.Uniform(2, 1, 1), model.Overlap); err == nil {
+		t.Error("more stages than processors accepted")
+	}
+}
+
+func TestGreedyUsesReplication(t *testing.T) {
+	// One dominant stage on a homogeneous platform: greedy must replicate it
+	// and strictly beat the best one-to-one mapping.
+	pipe := pipeline.MustNew([]int64{10, 400, 10}, []int64{10, 10})
+	plat := platform.Uniform(6, 10, 100)
+	one, err := ExhaustiveOneToOne(pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy(pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gr.Period.Less(one.Period) {
+		t.Fatalf("greedy %v not better than one-to-one %v", gr.Period, one.Period)
+	}
+	if len(gr.Mapping.Replicas[1]) < 2 {
+		t.Errorf("greedy did not replicate the heavy stage: %v", gr.Mapping)
+	}
+	if err := gr.Mapping.Validate(plat.NumProcs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomSearchFindsFeasibleGoodMapping(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{10, 400, 10}, []int64{10, 10})
+	plat := platform.Uniform(6, 10, 100)
+	rng := rand.New(rand.NewSource(5))
+	rs, err := RandomSearch(pipe, plat, model.Overlap, rng, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Mapping.Validate(plat.NumProcs()); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy(pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random search with restarts should at least approach greedy: allow a
+	// 2x slack to keep the test robust, but require feasibility and sanity.
+	if gr.Period.MulInt(2).Less(rs.Period) {
+		t.Errorf("random search period %v way worse than greedy %v", rs.Period, gr.Period)
+	}
+}
+
+func TestRandomSearchStrictModel(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{10, 60, 10}, []int64{10, 10})
+	plat := platform.Uniform(5, 10, 100)
+	rng := rand.New(rand.NewSource(9))
+	rs, err := RandomSearch(pipe, plat, model.Strict, rng, 5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Period.Sign() <= 0 {
+		t.Fatal("non-positive period")
+	}
+}
+
+func TestGreedyStageCountGuard(t *testing.T) {
+	pipe := pipeline.MustNew([]int64{1, 1, 1}, []int64{1, 1})
+	if _, err := Greedy(pipe, platform.Uniform(2, 1, 1), model.Overlap); err == nil {
+		t.Error("infeasible greedy accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+// LatencyStats summarizes end-to-end data-set latency: the time between a
+// data set's arrival and the completion of its last stage. The replication
+// literature the paper builds on (Subhlok & Vondran; Vydyanathan et al.)
+// studies exactly this latency/throughput trade-off: replication improves
+// the period but round-robin waiting stretches individual data sets.
+//
+// Arrivals are throttled to the steady-state period ("a new data set enters
+// the system every P time-units", Section 1): data set j arrives at j·P.
+// Without throttling the eager schedule lets upstream stages race ahead of
+// the bottleneck and queueing delay grows without bound — the overlap model
+// has no back-pressure.
+type LatencyStats struct {
+	Model model.CommModel
+	// Period is the arrival period used (the instance's steady-state period).
+	Period rat.Rat
+	// First and Last delimit the measured steady-state window of data sets.
+	First, Last int
+	// Min, Max, Mean latency over the window.
+	Min, Max, Mean rat.Rat
+	// PerDataSet holds the latency of each measured data set (index
+	// relative to First).
+	PerDataSet []rat.Rat
+}
+
+// Latency simulates `periods` macro-periods operationally with arrivals
+// throttled to the exact steady-state period and measures per-data-set
+// latency over the second half of the horizon.
+func Latency(inst *model.Instance, cm model.CommModel, periods int) (*LatencyStats, error) {
+	if periods < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 macro-periods for latency")
+	}
+	net, err := tpn.Build(inst, cm)
+	if err != nil {
+		return nil, err
+	}
+	crit, err := net.MaxCycleRatio()
+	if err != nil {
+		return nil, err
+	}
+	m := int(inst.PathCount())
+	period := crit.Ratio.DivInt(int64(m))
+
+	nData := periods * m
+	op, err := RunOperationalArrivals(inst, cm, nData, period)
+	if err != nil {
+		return nil, err
+	}
+	n := inst.NumStages()
+	first := nData / 2
+	st := &LatencyStats{Model: cm, Period: period, First: first, Last: nData - 1}
+	sum := rat.Zero()
+	for j := first; j < nData; j++ {
+		arrival := period.MulInt(int64(j))
+		lat := op.CompEnd[n-1][j].Sub(arrival)
+		if lat.Sign() < 0 {
+			return nil, fmt.Errorf("sim: negative latency for data set %d", j)
+		}
+		st.PerDataSet = append(st.PerDataSet, lat)
+		if len(st.PerDataSet) == 1 {
+			st.Min, st.Max = lat, lat
+		} else {
+			st.Min = rat.Min(st.Min, lat)
+			st.Max = rat.Max(st.Max, lat)
+		}
+		sum = sum.Add(lat)
+	}
+	st.Mean = sum.DivInt(int64(len(st.PerDataSet)))
+	return st, nil
+}
+
+// RunOperationalArrivals is RunOperational with throttled arrivals: the
+// stage-0 computation of data set j additionally waits for its arrival at
+// j·arrival. Passing a zero arrival period reproduces RunOperational.
+func RunOperationalArrivals(inst *model.Instance, cm model.CommModel, nData int, arrival rat.Rat) (*OpSchedule, error) {
+	if nData < 1 {
+		return nil, fmt.Errorf("sim: need at least one data set")
+	}
+	if arrival.Sign() < 0 {
+		return nil, fmt.Errorf("sim: negative arrival period")
+	}
+	s, err := newOpSchedule(inst, cm, nData)
+	if err != nil {
+		return nil, err
+	}
+	s.arrival = arrival
+	s.run(inst)
+	return s, nil
+}
+
+// SumOfOperations returns the raw processing time of one data set on path j
+// (computations plus transfers along its round-robin path) — a lower bound
+// for its latency in any schedule.
+func SumOfOperations(inst *model.Instance, j int64) rat.Rat {
+	total := rat.Zero()
+	n := inst.NumStages()
+	for i := 0; i < n; i++ {
+		a := int(j % int64(inst.Replication(i)))
+		total = total.Add(inst.CompTime(i, a))
+		if i < n-1 {
+			b := int(j % int64(inst.Replication(i+1)))
+			total = total.Add(inst.CommTime(i, a, b))
+		}
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+func TestLatencyBounds(t *testing.T) {
+	// With arrivals throttled to the period, a data set still cannot finish
+	// faster than the raw operation sum of its path.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		inst := randomInstance(rng, 2+rng.Intn(3), 3, 1, 20)
+		for _, cm := range model.Models() {
+			st, err := Latency(inst, cm, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, lat := range st.PerDataSet {
+				j := int64(st.First + k)
+				lower := SumOfOperations(inst, j)
+				if lat.Less(lower) {
+					t.Fatalf("trial %d %v: data set %d latency %v below path sum %v",
+						trial, cm, j, lat, lower)
+				}
+			}
+			if st.Max.Less(st.Mean) || st.Mean.Less(st.Min) {
+				t.Fatalf("inconsistent stats %+v", st)
+			}
+		}
+	}
+}
+
+func TestLatencyPeriodicInSteadyState(t *testing.T) {
+	// With throttled arrivals the latency sequence becomes m-periodic after
+	// the transient: lat(j) == lat(j+m) within the measured window.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomInstance(rng, 2+rng.Intn(2), 3, 1, 15)
+		m := int(inst.PathCount())
+		for _, cm := range model.Models() {
+			st, err := Latency(inst, cm, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare the last two macro-periods of the window.
+			k := len(st.PerDataSet)
+			if k < 2*m {
+				t.Fatalf("window too small: %d", k)
+			}
+			for x := k - m; x < k; x++ {
+				if !st.PerDataSet[x].Equal(st.PerDataSet[x-m]) {
+					t.Fatalf("trial %d %v: latency not m-periodic: lat[%d]=%v lat[%d]=%v",
+						trial, cm, x, st.PerDataSet[x], x-m, st.PerDataSet[x-m])
+				}
+			}
+		}
+	}
+}
+
+func TestLatencyNoReplicationSteadyState(t *testing.T) {
+	// Single-path chain: with arrivals at the period, steady-state latency
+	// is constant and at least the raw path time.
+	ri := rat.FromInt
+	inst, err := model.FromTimes(
+		[][]rat.Rat{{ri(3)}, {ri(7)}, {ri(2)}},
+		[][][]rat.Rat{{{ri(4)}}, {{ri(5)}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Latency(inst, model.Overlap, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Period.Equal(ri(7)) {
+		t.Fatalf("period = %v, want 7 (bottleneck S1)", st.Period)
+	}
+	if !st.Min.Equal(st.Max) {
+		t.Fatalf("steady-state latency not constant: [%v, %v]", st.Min, st.Max)
+	}
+	if st.Min.Less(ri(21)) {
+		t.Fatalf("latency %v below raw path time 21", st.Min)
+	}
+}
+
+func TestLatencyExampleB(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	st, err := Latency(inst, model.Overlap, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Period.Equal(rat.New(3500, 12)) {
+		t.Fatalf("period = %v", st.Period)
+	}
+	// Raw path times range from 300 to 1200.
+	if st.Min.Less(rat.FromInt(300)) {
+		t.Fatalf("min latency %v below raw minimum", st.Min)
+	}
+	if st.Max.Less(st.Min) {
+		t.Fatal("max < min")
+	}
+}
+
+func TestRunOperationalArrivalsThrottles(t *testing.T) {
+	// A fast chain with slow arrivals: completions track arrivals, one per
+	// arrival period.
+	ri := rat.FromInt
+	inst, err := model.FromTimes(
+		[][]rat.Rat{{ri(1)}, {ri(1)}},
+		[][][]rat.Rat{{{ri(1)}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := RunOperationalArrivals(inst, model.Overlap, 10, ri(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10; j++ {
+		want := ri(100).MulInt(int64(j)).Add(ri(3))
+		if !op.CompEnd[1][j].Equal(want) {
+			t.Fatalf("data set %d completes at %v, want %v", j, op.CompEnd[1][j], want)
+		}
+	}
+	if _, err := RunOperationalArrivals(inst, model.Overlap, 10, ri(-1)); err == nil {
+		t.Error("negative arrival period accepted")
+	}
+	if _, err := RunOperationalArrivals(inst, model.Overlap, 0, ri(1)); err == nil {
+		t.Error("zero data sets accepted")
+	}
+}
+
+func TestLatencyErrors(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	if _, err := Latency(inst, model.Overlap, 1); err == nil {
+		t.Error("periods=1 accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+// OpSchedule holds the operation end times of an operational (first
+// principles) simulation of the first N data sets.
+type OpSchedule struct {
+	Model model.CommModel
+	N     int
+	// CompEnd[i][j] is the completion time of stage i for data set j.
+	CompEnd [][]rat.Rat
+	// XferEnd[i][j] is the completion time of the transfer of F_i for data
+	// set j (len n-1 rows).
+	XferEnd [][]rat.Rat
+
+	cm      model.CommModel
+	arrival rat.Rat // arrival throttle: data set j enters at j*arrival (zero = eager)
+}
+
+// RunOperational simulates the execution of the first n data sets directly
+// from the rules of Section 2, with no Petri net involved:
+//
+//   - replicas of a stage serve data sets round-robin (data set j on replica
+//     j mod m_i);
+//   - OVERLAP ONE-PORT: a processor's input port, compute unit and output
+//     port are three independent serial resources, each serving its
+//     operations in round-robin (data-set) order;
+//   - STRICT ONE-PORT: a processor is a single serial resource cycling
+//     through receive(j) → compute(j) → send(j) → receive(j+m_i) → …;
+//   - a transfer occupies sender and receiver sides simultaneously and
+//     starts when the file is ready and both sides reach the corresponding
+//     point of their service order (earliest/eager schedule).
+func RunOperational(inst *model.Instance, cm model.CommModel, nData int) (*OpSchedule, error) {
+	if nData < 1 {
+		return nil, fmt.Errorf("sim: need at least one data set")
+	}
+	s, err := newOpSchedule(inst, cm, nData)
+	if err != nil {
+		return nil, err
+	}
+	s.run(inst)
+	return s, nil
+}
+
+func newOpSchedule(inst *model.Instance, cm model.CommModel, nData int) (*OpSchedule, error) {
+	n := inst.NumStages()
+	s := &OpSchedule{Model: cm, N: nData, cm: cm}
+	s.CompEnd = make([][]rat.Rat, n)
+	for i := range s.CompEnd {
+		s.CompEnd[i] = make([]rat.Rat, nData)
+	}
+	s.XferEnd = make([][]rat.Rat, n-1)
+	for i := range s.XferEnd {
+		s.XferEnd[i] = make([]rat.Rat, nData)
+	}
+	return s, nil
+}
+
+// run fills the schedule tables in dependency order (data sets ascending,
+// stages ascending within a data set).
+func (s *OpSchedule) run(inst *model.Instance) {
+	n := inst.NumStages()
+	// at returns v[j] or zero when j < 0 (no constraint before the first
+	// round of the round-robin).
+	at := func(v []rat.Rat, j int) rat.Rat {
+		if j < 0 {
+			return rat.Zero()
+		}
+		return v[j]
+	}
+	for j := 0; j < s.N; j++ {
+		for i := 0; i < n; i++ {
+			mi := inst.Replication(i)
+			a := j % mi
+			// --- computation of S_i(j) ---
+			var start rat.Rat
+			if s.cm == model.Overlap {
+				// File availability and the compute unit's round-robin.
+				if i > 0 {
+					start = at(s.XferEnd[i-1], j)
+				}
+				start = rat.Max(start, at(s.CompEnd[i], j-mi))
+			} else {
+				// STRICT: the computation follows the processor's receive of
+				// F_(i-1)(j) immediately (the receive itself waited for the
+				// processor to be free); stage 0 instead waits for the
+				// processor's previous operation, its send of F_0(j-m_0).
+				if i > 0 {
+					start = at(s.XferEnd[i-1], j)
+				} else {
+					start = s.prevOpEnd(inst, 0, j-mi)
+				}
+			}
+			if i == 0 && s.arrival.Sign() > 0 {
+				start = rat.Max(start, s.arrival.MulInt(int64(j)))
+			}
+			s.CompEnd[i][j] = start.Add(inst.CompTime(i, a))
+
+			// --- transfer of F_i(j) ---
+			if i == n-1 {
+				continue
+			}
+			b := j % inst.Replication(i+1)
+			xstart := s.CompEnd[i][j] // file ready; sender-side order also satisfied
+			if s.cm == model.Overlap {
+				// Sender's output port and receiver's input port round-robins.
+				xstart = rat.Max(xstart, at(s.XferEnd[i], j-mi))
+				xstart = rat.Max(xstart, at(s.XferEnd[i], j-inst.Replication(i+1)))
+			} else {
+				// STRICT: the receiver must have finished its previous
+				// data set's full receive-compute-send sequence.
+				xstart = rat.Max(xstart, s.prevOpEnd(inst, i+1, j-inst.Replication(i+1)))
+			}
+			s.XferEnd[i][j] = xstart.Add(inst.CommTime(i, a, b))
+		}
+	}
+}
+
+// prevOpEnd returns, for the STRICT model, the end of the last operation of
+// stage i's processor for data set j (its send of F_i(j), or its computation
+// when stage i is the last one). Zero when j < 0.
+func (s *OpSchedule) prevOpEnd(inst *model.Instance, i, j int) rat.Rat {
+	if j < 0 {
+		return rat.Zero()
+	}
+	if i < inst.NumStages()-1 {
+		return s.XferEnd[i][j]
+	}
+	return s.CompEnd[i][j]
+}
+
+// MeasuredPeriod estimates the per-data-set steady-state period: the maximum
+// over completion streams (data sets with the same residue mod m) of the
+// trailing rate over `windows` macro-periods. The maximum matters because
+// streams served by fast replicas complete ahead of slower ones; the system
+// period is set by the slowest stream.
+func (s *OpSchedule) MeasuredPeriod(inst *model.Instance, windows int) (rat.Rat, error) {
+	m := int(inst.PathCount())
+	span := windows * m
+	if windows < 1 || s.N < span+m {
+		return rat.Rat{}, fmt.Errorf("sim: horizon %d too short for %d windows of %d", s.N, windows, m)
+	}
+	last := s.CompEnd[inst.NumStages()-1]
+	best := rat.Zero()
+	for r := 0; r < m; r++ {
+		j := s.N - 1 - ((s.N - 1 - r) % m) // largest index ≡ r (mod m)
+		rate := last[j].Sub(last[j-span]).DivInt(int64(span))
+		best = rat.Max(best, rate)
+	}
+	return best, nil
+}

@@ -1,0 +1,194 @@
+// Package sim produces executable schedules of replicated-workflow mappings.
+//
+// Two independent simulators are provided:
+//
+//   - Run: exact unrolling of the timed Petri net (package tpn), converting
+//     transition firings into resource-labeled busy intervals. This is the
+//     reference semantics and feeds the Gantt renderer (Figures 7 and 12).
+//
+//   - RunOperational: a from-first-principles discrete-event simulation of
+//     the round-robin execution rules of Section 2, written without any
+//     reference to Petri nets. Agreement between the two (and with the
+//     analytic period of package core) is enforced by tests and validates
+//     the TPN constructions of Section 3.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/petri"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+// Event is one busy interval on one hardware resource.
+type Event struct {
+	// Resource is "P3" (compute unit), "P3-in" or "P3-out" (ports).
+	Resource string
+	// Label is e.g. "S2(14)" (stage 2, data set 14) or "F1(12)".
+	Label string
+	// DataSet is the data-set index the operation belongs to.
+	DataSet int64
+	// Kind distinguishes computations from transfers.
+	Kind       petri.TransKind
+	Start, End rat.Rat
+}
+
+// Trace is a schedule prefix.
+type Trace struct {
+	Model  model.CommModel
+	Events []Event
+	// PathCount is m; data set j runs on row j mod m of the TPN.
+	PathCount int64
+}
+
+// Run builds the TPN for the instance and unrolls `periods` macro-periods
+// (i.e. periods*m data sets), returning the resulting schedule.
+func Run(inst *model.Instance, cm model.CommModel, periods int) (*Trace, error) {
+	if periods < 1 {
+		return nil, fmt.Errorf("sim: periods must be >= 1")
+	}
+	net, err := tpn.Build(inst, cm)
+	if err != nil {
+		return nil, err
+	}
+	start, err := net.Unroll(periods)
+	if err != nil {
+		return nil, err
+	}
+	m := inst.PathCount()
+	tr := &Trace{Model: cm, PathCount: m}
+	for ti, t := range net.Transitions {
+		for k := 0; k < periods; k++ {
+			s := start[ti][k]
+			e := s.Add(t.Time)
+			ds := int64(k)*m + int64(t.Row)
+			switch t.Kind {
+			case petri.KindCompute:
+				tr.Events = append(tr.Events, Event{
+					Resource: fmt.Sprintf("P%d", t.Proc),
+					Label:    fmt.Sprintf("S%d(%d)", t.Stage, ds),
+					DataSet:  ds,
+					Kind:     t.Kind,
+					Start:    s,
+					End:      e,
+				})
+			case petri.KindTransfer:
+				label := fmt.Sprintf("F%d(%d)", t.Stage, ds)
+				tr.Events = append(tr.Events,
+					Event{
+						Resource: fmt.Sprintf("P%d-out", t.Proc),
+						Label:    label,
+						DataSet:  ds,
+						Kind:     t.Kind,
+						Start:    s,
+						End:      e,
+					},
+					Event{
+						Resource: fmt.Sprintf("P%d-in", t.Dst),
+						Label:    label,
+						DataSet:  ds,
+						Kind:     t.Kind,
+						Start:    s,
+						End:      e,
+					})
+			}
+		}
+	}
+	tr.sort()
+	return tr, nil
+}
+
+func (tr *Trace) sort() {
+	sort.Slice(tr.Events, func(i, j int) bool {
+		a, b := tr.Events[i], tr.Events[j]
+		if c := a.Start.Cmp(b.Start); c != 0 {
+			return c < 0
+		}
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		return a.DataSet < b.DataSet
+	})
+}
+
+// Resources lists the distinct resource names of the trace, ordered
+// processor-first (P0, P0-out, P1-in, P1, P1-out, …) like the paper's Gantt
+// charts.
+func (tr *Trace) Resources() []string {
+	seen := map[string]bool{}
+	for _, e := range tr.Events {
+		seen[e.Resource] = true
+	}
+	var names []string
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, ki := splitResource(names[i])
+		pj, kj := splitResource(names[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return ki < kj
+	})
+	return names
+}
+
+// splitResource parses "P3-out" into (3, rank) with in < comp < out.
+func splitResource(name string) (proc int, rank int) {
+	var suffix string
+	_, err := fmt.Sscanf(name, "P%d-%s", &proc, &suffix)
+	if err != nil {
+		fmt.Sscanf(name, "P%d", &proc)
+		return proc, 1
+	}
+	if suffix == "in" {
+		return proc, 0
+	}
+	return proc, 2
+}
+
+// Horizon returns the latest event end time.
+func (tr *Trace) Horizon() rat.Rat {
+	h := rat.Zero()
+	for _, e := range tr.Events {
+		h = rat.Max(h, e.End)
+	}
+	return h
+}
+
+// Utilization returns, per resource, the fraction of [0, Horizon] it is
+// busy. In a schedule without critical resource every value is < 1 even
+// asymptotically — the paper's headline phenomenon.
+func (tr *Trace) Utilization() map[string]rat.Rat {
+	h := tr.Horizon()
+	busy := map[string]rat.Rat{}
+	for _, e := range tr.Events {
+		busy[e.Resource] = busy[e.Resource].Add(e.End.Sub(e.Start))
+	}
+	if h.IsZero() {
+		return busy
+	}
+	for k, v := range busy {
+		busy[k] = v.Div(h)
+	}
+	return busy
+}
+
+// MeasuredPeriod estimates the per-data-set period from the instance's TPN
+// by unrolling `occurrences` firings and taking the trailing-window firing
+// rate (see petri.MeasuredPeriod), divided by m.
+func MeasuredPeriod(inst *model.Instance, cm model.CommModel, occurrences, window int) (rat.Rat, error) {
+	net, err := tpn.Build(inst, cm)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	p, err := net.MeasuredPeriod(occurrences, window)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	return p.DivInt(inst.PathCount()), nil
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+	"repro/internal/petri"
+	"repro/internal/rat"
+)
+
+func randomInstance(rng *rand.Rand, n, maxRep int, lo, hi int64) *model.Instance {
+	reps := make([]int, n)
+	for i := range reps {
+		reps[i] = 1 + rng.Intn(maxRep)
+	}
+	draw := func() rat.Rat { return rat.FromInt(lo + rng.Int63n(hi-lo+1)) }
+	comp := make([][]rat.Rat, n)
+	for i := range comp {
+		comp[i] = make([]rat.Rat, reps[i])
+		for a := range comp[i] {
+			comp[i][a] = draw()
+		}
+	}
+	comm := make([][][]rat.Rat, n-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, reps[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, reps[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = draw()
+			}
+		}
+	}
+	inst, err := model.FromTimes(comp, comm)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+func TestRunProducesConsistentTrace(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	tr, err := Run(inst, model.Overlap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events")
+	}
+	// Busy intervals on the same resource must not overlap (one-port model).
+	byRes := map[string][]Event{}
+	for _, e := range tr.Events {
+		if e.End.Less(e.Start) {
+			t.Fatalf("event %v ends before it starts", e)
+		}
+		byRes[e.Resource] = append(byRes[e.Resource], e)
+	}
+	for res, evs := range byRes {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start.Less(evs[i-1].End) {
+				t.Fatalf("resource %s: overlapping events %v and %v", res, evs[i-1], evs[i])
+			}
+		}
+	}
+}
+
+func TestStrictProcessorSerialized(t *testing.T) {
+	// Under STRICT, events of P_u, P_u-in and P_u-out must be mutually
+	// disjoint (single serial resource).
+	inst := examplesdata.ExampleA()
+	tr, err := Run(inst, model.Strict, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProc := map[string][]Event{}
+	for _, e := range tr.Events {
+		proc := e.Resource
+		if i := strings.IndexByte(proc, '-'); i >= 0 {
+			proc = proc[:i]
+		}
+		byProc[proc] = append(byProc[proc], e)
+	}
+	for proc, evs := range byProc {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start.Less(evs[i-1].End) {
+				t.Fatalf("STRICT %s: overlapping ops %+v and %+v", proc, evs[i-1], evs[i])
+			}
+		}
+	}
+}
+
+func TestResourcesOrdered(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	tr, err := Run(inst, model.Overlap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Resources()
+	// P0..P2 have no input port (first stage), P3..P6 no output port.
+	want := []string{"P0", "P0-out", "P1", "P1-out", "P2", "P2-out",
+		"P3-in", "P3", "P4-in", "P4", "P5-in", "P5", "P6-in", "P6"}
+	if len(res) != len(want) {
+		t.Fatalf("resources = %v", res)
+	}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("resources[%d] = %s, want %s (all: %v)", i, res[i], want[i], res)
+		}
+	}
+}
+
+func TestUtilizationBelowOneWithoutCriticalResource(t *testing.T) {
+	// Example B has no critical resource: in a long window every resource's
+	// utilization stays strictly below 1.
+	inst := examplesdata.ExampleB()
+	tr, err := Run(inst, model.Overlap, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for res, u := range tr.Utilization() {
+		if !u.Less(rat.One()) {
+			t.Errorf("resource %s has utilization %v >= 1", res, u)
+		}
+	}
+}
+
+func TestMeasuredPeriodMatchesAnalyticExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		inst *model.Instance
+		cm   model.CommModel
+		want rat.Rat
+	}{
+		{"A overlap", examplesdata.ExampleA(), model.Overlap, rat.FromInt(189)},
+		{"A strict", examplesdata.ExampleA(), model.Strict, rat.New(1384, 6)},
+		{"B overlap", examplesdata.ExampleB(), model.Overlap, rat.New(3500, 12)},
+	}
+	for _, c := range cases {
+		got, err := MeasuredPeriod(c.inst, c.cm, 60, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: measured %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOperationalMatchesTPNUnroll(t *testing.T) {
+	// The from-first-principles simulator and the TPN unrolling must produce
+	// identical completion times for every data set, both models.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomInstance(rng, 2+rng.Intn(3), 3, 1, 25)
+		m := int(inst.PathCount())
+		periods := 8
+		nData := periods * m
+		for _, cm := range model.Models() {
+			tr, err := Run(inst, cm, periods)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, err := RunOperational(inst, cm, nData)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Index TPN completion times of the last stage by data set.
+			lastStage := inst.NumStages() - 1
+			tpnEnd := make(map[int64]rat.Rat)
+			for _, e := range tr.Events {
+				if e.Kind != petri.KindCompute {
+					continue
+				}
+				var st int
+				var ds int64
+				if _, err := fmt.Sscanf(e.Label, "S%d(%d)", &st, &ds); err == nil && st == lastStage {
+					tpnEnd[ds] = e.End
+				}
+			}
+			for j := 0; j < nData; j++ {
+				want, ok := tpnEnd[int64(j)]
+				if !ok {
+					t.Fatalf("missing TPN completion for data set %d", j)
+				}
+				if !op.CompEnd[lastStage][j].Equal(want) {
+					t.Fatalf("trial %d %v: data set %d completes at %v (operational) vs %v (TPN), reps=%v",
+						trial, cm, j, op.CompEnd[lastStage][j], want, inst.ReplicationCounts())
+				}
+			}
+		}
+	}
+}
+
+func TestOperationalMeasuredPeriodMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		inst := randomInstance(rng, 2+rng.Intn(3), 3, 1, 20)
+		m := int(inst.PathCount())
+		op, err := RunOperational(inst, model.Overlap, 40*m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := op.MeasuredPeriod(inst, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic, err := core.PeriodOverlapPoly(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !measured.Equal(analytic.Period) {
+			t.Fatalf("trial %d: operational period %v != analytic %v", trial, measured, analytic.Period)
+		}
+	}
+}
+
+func TestRunOperationalErrors(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	if _, err := RunOperational(inst, model.Overlap, 0); err == nil {
+		t.Error("nData=0 accepted")
+	}
+	op, err := RunOperational(inst, model.Overlap, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := op.MeasuredPeriod(inst, 5); err == nil {
+		t.Error("short horizon accepted")
+	}
+}

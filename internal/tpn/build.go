@@ -1,0 +1,204 @@
+// Package tpn constructs the timed Petri nets of Section 3 of the paper
+// from a timed instance: the OVERLAP ONE-PORT net (Subsection 3.2,
+// Figures 3 and 4) and the STRICT ONE-PORT net (Subsection 3.3, Figure 5).
+//
+// Both nets are rectangular: m = lcm(m_0..m_(n-1)) rows (one per path of
+// Proposition 1) by 2n-1 columns (n computations interleaved with n-1 file
+// transfers). Construction is O(mn), as stated at the end of Section 3.
+package tpn
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/petri"
+)
+
+// MaxRows caps the unfolded-net size: m = lcm(m_i) can grow combinatorially
+// (Example C has m = 10395), and the paper itself reports runs of up to
+// 150,000 seconds caused by large duplication factors. Builders return
+// ErrTooLarge above the cap so experiment drivers can resample or fall back
+// to the polynomial algorithm.
+const MaxRows = 20000
+
+// ErrTooLarge reports that the unfolded TPN would exceed MaxRows rows.
+type ErrTooLarge struct {
+	Rows int64
+}
+
+func (e ErrTooLarge) Error() string {
+	return fmt.Sprintf("tpn: unfolded net needs %d rows (cap %d)", e.Rows, MaxRows)
+}
+
+// Build constructs the TPN for the requested communication model.
+func Build(inst *model.Instance, m model.CommModel) (*petri.Net, error) {
+	switch m {
+	case model.Overlap:
+		return BuildOverlap(inst)
+	case model.Strict:
+		return BuildStrict(inst)
+	default:
+		return nil, fmt.Errorf("tpn: unknown model %v", m)
+	}
+}
+
+// grid creates the m x (2n-1) transition grid shared by both models and the
+// row-internal precedence places (constraint 1 of Subsection 3.2: F_i cannot
+// be sent before S_i completes, S_(i+1) cannot start before F_i arrives).
+func grid(inst *model.Instance) (*petri.Net, error) {
+	m64 := inst.PathCount()
+	if m64 > MaxRows {
+		return nil, ErrTooLarge{Rows: m64}
+	}
+	m := int(m64)
+	n := inst.NumStages()
+	cols := 2*n - 1
+	net := &petri.Net{Rows: m, Cols: cols}
+	for j := 0; j < m; j++ {
+		for c := 0; c < cols; c++ {
+			var t petri.Transition
+			if c%2 == 0 {
+				i := c / 2
+				a := j % inst.Replication(i)
+				t = petri.Transition{
+					Name:  fmt.Sprintf("S%d/%s#%d", i, inst.ProcName(i, a), j),
+					Time:  inst.CompTime(i, a),
+					Row:   j,
+					Col:   c,
+					Kind:  petri.KindCompute,
+					Stage: i,
+					Proc:  inst.ProcID(i, a),
+					Dst:   -1,
+				}
+			} else {
+				i := (c - 1) / 2
+				a := j % inst.Replication(i)
+				b := j % inst.Replication(i+1)
+				t = petri.Transition{
+					Name:  fmt.Sprintf("F%d:%s->%s#%d", i, inst.ProcName(i, a), inst.ProcName(i+1, b), j),
+					Time:  inst.CommTime(i, a, b),
+					Row:   j,
+					Col:   c,
+					Kind:  petri.KindTransfer,
+					Stage: i,
+					Proc:  inst.ProcID(i, a),
+					Dst:   inst.ProcID(i+1, b),
+				}
+			}
+			net.AddTransition(t)
+		}
+	}
+	// Constraint 1: forward places along each row.
+	for j := 0; j < m; j++ {
+		for c := 0; c+1 < cols; c++ {
+			net.AddPlace(net.TransitionAt(j, c), net.TransitionAt(j, c+1), 0, "flow")
+		}
+	}
+	return net, nil
+}
+
+// circuit adds the round-robin circuit through the given (row, col) cells in
+// row order: token-free places between consecutive cells and a single-token
+// place closing the loop (the paper's "a token is put in every place going
+// from T^{jk} to T^{j1}"). A single cell yields a self-loop with one token,
+// which serializes successive uses of the same resource.
+func circuit(net *petri.Net, rows []int, col int, label string) {
+	k := len(rows)
+	for l := 0; l+1 < k; l++ {
+		net.AddPlace(net.TransitionAt(rows[l], col), net.TransitionAt(rows[l+1], col), 0, label)
+	}
+	net.AddPlace(net.TransitionAt(rows[k-1], col), net.TransitionAt(rows[0], col), 1, label)
+}
+
+// rowsOfReplica lists, in increasing order, the rows on which replica a of
+// stage i appears (j ≡ a mod m_i).
+func rowsOfReplica(inst *model.Instance, i, a int) []int {
+	m := int(inst.PathCount())
+	mi := inst.Replication(i)
+	rows := make([]int, 0, m/mi)
+	for j := a; j < m; j += mi {
+		rows = append(rows, j)
+	}
+	return rows
+}
+
+// BuildOverlap constructs the OVERLAP ONE-PORT net of Subsection 3.2. On top
+// of the shared grid it adds, per processor, three independent round-robin
+// circuits (constraints 2-4): one over its computations, one over its
+// outgoing transfers (unless it runs the last stage) and one over its
+// incoming transfers (unless it runs the first stage). Independent circuits
+// model full-duplex communication overlapped with computation.
+func BuildOverlap(inst *model.Instance) (*petri.Net, error) {
+	net, err := grid(inst)
+	if err != nil {
+		return nil, err
+	}
+	n := inst.NumStages()
+	for i := 0; i < n; i++ {
+		for a := 0; a < inst.Replication(i); a++ {
+			rows := rowsOfReplica(inst, i, a)
+			name := inst.ProcName(i, a)
+			// Constraint 2: round-robin over computations.
+			circuit(net, rows, 2*i, "rr-comp "+name)
+			// Constraint 3: round-robin over outgoing communications.
+			if i < n-1 {
+				circuit(net, rows, 2*i+1, "rr-out "+name)
+			}
+			// Constraint 4: round-robin over incoming communications.
+			if i > 0 {
+				circuit(net, rows, 2*i-1, "rr-in "+name)
+			}
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// BuildStrict constructs the STRICT ONE-PORT net of Subsection 3.3. Each
+// processor is a single serial resource cycling through
+// receive -> compute -> send: a place links the send transition of each of
+// its rows to the receive transition of its next row (with the wrap place
+// carrying the token). Processors running the first (resp. last) stage have
+// no receive (resp. send); the circuit then starts at the computation
+// (resp. ends at it).
+func BuildStrict(inst *model.Instance) (*petri.Net, error) {
+	net, err := grid(inst)
+	if err != nil {
+		return nil, err
+	}
+	n := inst.NumStages()
+	for i := 0; i < n; i++ {
+		for a := 0; a < inst.Replication(i); a++ {
+			rows := rowsOfReplica(inst, i, a)
+			name := inst.ProcName(i, a)
+			firstCol := 2 * i // compute column
+			if i > 0 {
+				firstCol = 2*i - 1 // receive column
+			}
+			lastCol := 2 * i // compute column
+			if i < n-1 {
+				lastCol = 2*i + 1 // send column
+			}
+			k := len(rows)
+			for l := 0; l < k; l++ {
+				next := (l + 1) % k
+				tokens := 0
+				if next == 0 {
+					tokens = 1
+				}
+				net.AddPlace(
+					net.TransitionAt(rows[l], lastCol),
+					net.TransitionAt(rows[next], firstCol),
+					tokens,
+					"rr-strict "+name,
+				)
+			}
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,302 @@
+package tpn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+	"repro/internal/petri"
+	"repro/internal/rat"
+)
+
+// TestOverlapTPNStructureExampleA checks the net of Figure 4: m = 6 rows,
+// 2n-1 = 7 columns, and the place sets mandated by constraints 1-4 of
+// Subsection 3.2.
+func TestOverlapTPNStructureExampleA(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	net, err := BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Rows != 6 || net.Cols != 7 {
+		t.Fatalf("grid = %dx%d, want 6x7", net.Rows, net.Cols)
+	}
+	if got, want := len(net.Transitions), 42; got != want {
+		t.Fatalf("transitions = %d, want %d", got, want)
+	}
+	// Places: flow 6*(7-1) = 36; circuits: per replica of stage i, one place
+	// per row it appears on, for each applicable port:
+	// comp circuits: all stages: rows 6+6+6+6 = 24 places;
+	// out circuits (stages 0..2): 6+6+6 = 18;
+	// in circuits (stages 1..3): 6+6+6 = 18. Total 36+24+18+18 = 96.
+	if got, want := len(net.Places), 96; got != want {
+		t.Fatalf("places = %d, want %d", got, want)
+	}
+	// One token per circuit: 4 comp-stage replica sets (1+2+3+1 = 7
+	// circuits), 1+2+3 out circuits, 2+3+1 in circuits => 7+6+6 = 19 tokens.
+	if got, want := net.TokenCount(), 19; got != want {
+		t.Fatalf("tokens = %d, want %d", got, want)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictTPNStructureExampleA checks the net of Figure 5(b).
+func TestStrictTPNStructureExampleA(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	net, err := BuildStrict(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Rows != 6 || net.Cols != 7 {
+		t.Fatalf("grid = %dx%d, want 6x7", net.Rows, net.Cols)
+	}
+	// Places: flow 36 + one strict circuit place per (replica, row):
+	// each stage contributes 6 (m) places: 4*6 = 24. Total 60.
+	if got, want := len(net.Places), 60; got != want {
+		t.Fatalf("places = %d, want %d", got, want)
+	}
+	// One token per processor circuit: 7 processors.
+	if got, want := net.TokenCount(), 7; got != want {
+		t.Fatalf("tokens = %d, want %d", got, want)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransitionLabelsExampleA spot-checks the grid contents against
+// Table 1's round-robin paths.
+func TestTransitionLabelsExampleA(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	net, err := BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 (data set 1): S1 on P2 (col 2), transfer F1 P2->P4 (col 3),
+	// S2 on P4 (col 4).
+	tr := net.Transitions[net.TransitionAt(1, 2)]
+	if tr.Kind != petri.KindCompute || tr.Stage != 1 || tr.Proc != 2 {
+		t.Errorf("row1 col2 = %+v", tr)
+	}
+	tr = net.Transitions[net.TransitionAt(1, 3)]
+	if tr.Kind != petri.KindTransfer || tr.Stage != 1 || tr.Proc != 2 || tr.Dst != 4 {
+		t.Errorf("row1 col3 = %+v", tr)
+	}
+	if !tr.Time.Equal(rat.FromInt(157)) {
+		t.Errorf("P2->P4 transfer time = %v, want 157", tr.Time)
+	}
+	tr = net.Transitions[net.TransitionAt(1, 4)]
+	if tr.Kind != petri.KindCompute || tr.Proc != 4 {
+		t.Errorf("row1 col4 = %+v", tr)
+	}
+}
+
+// TestFig9SubTPN extracts the F1 column of Example A's overlap net
+// (Figure 9): 6 transfer transitions carrying the times
+// {57, 68, 77} (P1 rows) and {13, 157, 165} (P2 rows).
+func TestFig9SubTPN(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	net, err := BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := net.SubNetByCols(3) // F1 column
+	if len(sub.Transitions) != 6 {
+		t.Fatalf("sub transitions = %d, want 6", len(sub.Transitions))
+	}
+	counts := map[int64]int{}
+	for _, tr := range sub.Transitions {
+		counts[tr.Time.Num()]++
+	}
+	for _, v := range []int64{57, 68, 77, 13, 157, 165} {
+		if counts[v] != 1 {
+			t.Errorf("transfer time %d appears %d times", v, counts[v])
+		}
+	}
+	// 12 circuit places (6 out + 6 in), 2 tokens (P1, P2 out) + 3 (P3-P5 in).
+	if len(sub.Places) != 12 {
+		t.Fatalf("sub places = %d, want 12", len(sub.Places))
+	}
+	if sub.TokenCount() != 5 {
+		t.Fatalf("sub tokens = %d, want 5", sub.TokenCount())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig10SubTPN extracts the single communication column of Example B's
+// overlap net (Figure 10): 12 transfers, 3 sender circuits + 4 receiver
+// circuits = 7 tokens, 24 places.
+func TestFig10SubTPN(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	net, err := BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := net.SubNetByCols(1)
+	if len(sub.Transitions) != 12 {
+		t.Fatalf("sub transitions = %d, want 12", len(sub.Transitions))
+	}
+	if len(sub.Places) != 24 {
+		t.Fatalf("sub places = %d, want 24", len(sub.Places))
+	}
+	if sub.TokenCount() != 7 {
+		t.Fatalf("sub tokens = %d, want 7", sub.TokenCount())
+	}
+	// The critical cycle of this sub-TPN yields the whole system's period:
+	// ratio/m = 3500/12 per data set.
+	res, err := sub.MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ratio.DivInt(12).Equal(rat.New(3500, 12)) {
+		t.Fatalf("sub-TPN critical ratio = %v, want 3500", res.Ratio)
+	}
+}
+
+// TestOverlapCyclesStayInColumns verifies the key structural property of
+// Subsection 4.1: every cycle of the overlap net lives in a single column.
+func TestOverlapCyclesStayInColumns(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	net, err := BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := net.System()
+	err = sys.EnumerateElementaryCycles(func(cycle []int) error {
+		col := -1
+		for _, ei := range cycle {
+			c := net.Transitions[sys.G.Edges[ei].From].Col
+			if col == -1 {
+				col = c
+			} else if col != c {
+				return errors.New("cycle spans multiple columns")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictHasCrossColumnCycles verifies the contrasting property of
+// Subsection 4.2: the strict net has backward edges creating cycles through
+// several columns (Figure 8).
+func TestStrictHasCrossColumnCycles(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	net, err := BuildStrict(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := net.System()
+	found := errors.New("found")
+	err = sys.EnumerateElementaryCycles(func(cycle []int) error {
+		cols := map[int]bool{}
+		for _, ei := range cycle {
+			cols[net.Transitions[sys.G.Edges[ei].From].Col] = true
+		}
+		if len(cols) > 1 {
+			return found
+		}
+		return nil
+	})
+	if !errors.Is(err, found) {
+		t.Fatal("no cross-column cycle found in strict net")
+	}
+}
+
+// TestBuildTooLarge checks the lcm guard.
+func TestBuildTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reps := []int{5, 21, 27, 11} // m = 10395 < cap, fine
+	_ = rng
+	inst := examplesdata.ExampleC()
+	if _, err := BuildOverlap(inst); err != nil {
+		t.Fatalf("m=10395 should fit under cap %d: %v", MaxRows, err)
+	}
+	_ = reps
+	// Force an over-cap instance: replicas 32, 27, 25, 7, 11, 13 =>
+	// m = 32*27*25*7*11*13 huge.
+	comp := make([][]rat.Rat, 6)
+	for i, r := range []int{32, 27, 25, 7, 11, 13} {
+		comp[i] = make([]rat.Rat, r)
+		for a := range comp[i] {
+			comp[i][a] = rat.One()
+		}
+	}
+	comm := make([][][]rat.Rat, 5)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, len(comp[i]))
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, len(comp[i+1]))
+			for b := range comm[i][a] {
+				comm[i][a][b] = rat.One()
+			}
+		}
+	}
+	inst2, err := model.FromTimes(comp, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = BuildOverlap(inst2)
+	var tooLarge ErrTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("expected ErrTooLarge, got %v", err)
+	}
+}
+
+// TestUnrolledPeriodMatchesAnalytic cross-validates semantics: the measured
+// steady-state period of the unrolled net equals m times the per-data-set
+// period, for both models, on random instances.
+func TestUnrolledPeriodMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		reps := []int{1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(3)}
+		comp := make([][]rat.Rat, 3)
+		for i, r := range reps {
+			comp[i] = make([]rat.Rat, r)
+			for a := range comp[i] {
+				comp[i][a] = rat.FromInt(1 + rng.Int63n(20))
+			}
+		}
+		comm := make([][][]rat.Rat, 2)
+		for i := range comm {
+			comm[i] = make([][]rat.Rat, reps[i])
+			for a := range comm[i] {
+				comm[i][a] = make([]rat.Rat, reps[i+1])
+				for b := range comm[i][a] {
+					comm[i][a][b] = rat.FromInt(1 + rng.Int63n(20))
+				}
+			}
+		}
+		inst, err := model.FromTimes(comp, comm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cm := range model.Models() {
+			net, err := Build(inst, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crit, err := net.MaxCycleRatio()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := int(inst.PathCount())
+			measured, err := net.MeasuredPeriod(40+4*m, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !measured.Equal(crit.Ratio) {
+				t.Fatalf("trial %d %v: measured %v != analytic %v (reps %v)",
+					trial, cm, measured, crit.Ratio, reps)
+			}
+		}
+	}
+}

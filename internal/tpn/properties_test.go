@@ -1,0 +1,253 @@
+package tpn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/petri"
+	"repro/internal/rat"
+)
+
+// randomInst draws a random timed instance for property tests.
+func randomInst(rng *rand.Rand, maxStages, maxRep int) *model.Instance {
+	n := 2 + rng.Intn(maxStages-1)
+	reps := make([]int, n)
+	for i := range reps {
+		reps[i] = 1 + rng.Intn(maxRep)
+	}
+	draw := func() rat.Rat { return rat.FromInt(1 + rng.Int63n(20)) }
+	comp := make([][]rat.Rat, n)
+	for i := range comp {
+		comp[i] = make([]rat.Rat, reps[i])
+		for a := range comp[i] {
+			comp[i][a] = draw()
+		}
+	}
+	comm := make([][][]rat.Rat, n-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, reps[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, reps[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = draw()
+			}
+		}
+	}
+	inst, err := model.FromTimes(comp, comm)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// TestQuickGridShape: both builders produce exactly m*(2n-1) transitions
+// laid out row-major, with computation/transfer columns alternating and the
+// round-robin replica assignment of Proposition 1.
+func TestQuickGridShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInst(rng, 4, 3)
+		for _, cm := range model.Models() {
+			net, err := Build(inst, cm)
+			if err != nil {
+				return false
+			}
+			m := int(inst.PathCount())
+			n := inst.NumStages()
+			if net.Rows != m || net.Cols != 2*n-1 || len(net.Transitions) != m*(2*n-1) {
+				return false
+			}
+			for j := 0; j < m; j++ {
+				for c := 0; c < net.Cols; c++ {
+					tr := net.Transitions[net.TransitionAt(j, c)]
+					if tr.Row != j || tr.Col != c {
+						return false
+					}
+					if c%2 == 0 {
+						i := c / 2
+						a := j % inst.Replication(i)
+						if tr.Kind != petri.KindCompute || tr.Stage != i ||
+							tr.Proc != inst.ProcID(i, a) || !tr.Time.Equal(inst.CompTime(i, a)) {
+							return false
+						}
+					} else {
+						i := (c - 1) / 2
+						a := j % inst.Replication(i)
+						b := j % inst.Replication(i+1)
+						if tr.Kind != petri.KindTransfer || tr.Stage != i ||
+							tr.Proc != inst.ProcID(i, a) || tr.Dst != inst.ProcID(i+1, b) ||
+							!tr.Time.Equal(inst.CommTime(i, a, b)) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTokenBudget: the overlap net carries one token per resource
+// circuit (one compute circuit per replica, plus out circuits except on the
+// last stage, plus in circuits except on the first); the strict net carries
+// exactly one token per processor.
+func TestQuickTokenBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInst(rng, 4, 3)
+		n := inst.NumStages()
+		procs := 0
+		for i := 0; i < n; i++ {
+			procs += inst.Replication(i)
+		}
+		wantOverlap := procs + (procs - inst.Replication(n-1)) + (procs - inst.Replication(0))
+		ov, err := BuildOverlap(inst)
+		if err != nil {
+			return false
+		}
+		if ov.TokenCount() != wantOverlap {
+			return false
+		}
+		st, err := BuildStrict(inst)
+		if err != nil {
+			return false
+		}
+		return st.TokenCount() == procs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEveryResourceSerialized: in every unrolled schedule, operations
+// of the same port/unit never overlap — the fundamental one-port invariant.
+func TestQuickEveryResourceSerialized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInst(rng, 3, 3)
+		for _, cm := range model.Models() {
+			net, err := Build(inst, cm)
+			if err != nil {
+				return false
+			}
+			const K = 5
+			start, err := net.Unroll(K)
+			if err != nil {
+				return false
+			}
+			// Collect (resource, interval) pairs. Overlap: compute unit, in
+			// port, out port separately; strict: whole processor.
+			res := map[string][]iv{}
+			add := func(key string, s, e rat.Rat) {
+				res[key] = append(res[key], iv{s, e})
+			}
+			for ti, tr := range net.Transitions {
+				for k := 0; k < K; k++ {
+					s := start[ti][k]
+					e := s.Add(tr.Time)
+					switch {
+					case tr.Kind == petri.KindCompute && cm == model.Overlap:
+						add(key("c", tr.Proc), s, e)
+					case tr.Kind == petri.KindCompute:
+						add(key("p", tr.Proc), s, e)
+					case cm == model.Overlap:
+						add(key("o", tr.Proc), s, e)
+						add(key("i", tr.Dst), s, e)
+					default:
+						add(key("p", tr.Proc), s, e)
+						add(key("p", tr.Dst), s, e)
+					}
+				}
+			}
+			for _, ivs := range res {
+				sortIvs(ivs)
+				for i := 1; i < len(ivs); i++ {
+					if ivs[i].s.Less(ivs[i-1].e) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func key(kind string, proc int) string {
+	return kind + string(rune('0'+proc%10)) + string(rune('A'+proc/10))
+}
+
+// iv is a busy interval on a resource.
+type iv struct{ s, e rat.Rat }
+
+func sortIvs(ivs []iv) {
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].s.Less(ivs[j-1].s); j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+}
+
+// TestQuickPeriodInvariantUnderTimeScaling: multiplying every operation
+// time by a positive constant scales the period by the same constant.
+func TestQuickPeriodInvariantUnderTimeScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInst(rng, 3, 3)
+		k := rat.New(int64(1+rng.Intn(7)), int64(1+rng.Intn(3)))
+		n := inst.NumStages()
+		comp := make([][]rat.Rat, n)
+		for i := range comp {
+			comp[i] = make([]rat.Rat, inst.Replication(i))
+			for a := range comp[i] {
+				comp[i][a] = inst.CompTime(i, a).Mul(k)
+			}
+		}
+		comm := make([][][]rat.Rat, n-1)
+		for i := range comm {
+			comm[i] = make([][]rat.Rat, inst.Replication(i))
+			for a := range comm[i] {
+				comm[i][a] = make([]rat.Rat, inst.Replication(i+1))
+				for b := range comm[i][a] {
+					comm[i][a][b] = inst.CommTime(i, a, b).Mul(k)
+				}
+			}
+		}
+		scaled, err := model.FromTimes(comp, comm)
+		if err != nil {
+			return false
+		}
+		for _, cm := range model.Models() {
+			n1, err := Build(inst, cm)
+			if err != nil {
+				return false
+			}
+			n2, err := Build(scaled, cm)
+			if err != nil {
+				return false
+			}
+			r1, err := n1.MaxCycleRatio()
+			if err != nil {
+				return false
+			}
+			r2, err := n2.MaxCycleRatio()
+			if err != nil {
+				return false
+			}
+			if !r2.Ratio.Equal(r1.Ratio.Mul(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package tpn
+
+import (
+	"testing"
+
+	"repro/internal/examplesdata"
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+// TestRegimeExampleA verifies the asymptotic law of (max,+) theory on the
+// paper's Example A: after a finite transient the schedule repeats with the
+// TPN period.
+func TestRegimeExampleA(t *testing.T) {
+	inst := examplesdata.ExampleA()
+	for _, tc := range []struct {
+		cm     model.CommModel
+		period rat.Rat
+	}{
+		{model.Overlap, rat.FromInt(6 * 189)},
+		{model.Strict, rat.FromInt(1384)},
+	} {
+		net, err := Build(inst, tc.cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := net.DetectRegime(40, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.cm, err)
+		}
+		if !reg.Period.Equal(tc.period) {
+			t.Errorf("%v: regime period %v, want %v", tc.cm, reg.Period, tc.period)
+		}
+		if reg.Cyclicity < 1 || reg.Transient < 0 {
+			t.Errorf("%v: degenerate regime %+v", tc.cm, reg)
+		}
+		t.Logf("%v: cyclicity %d, transient %d occurrences", tc.cm, reg.Cyclicity, reg.Transient)
+	}
+}
+
+// TestRegimeRatesNeverExceedPeriod checks rate(T) <= period for every
+// transition, with equality somewhere (the critical circuit).
+func TestRegimeRatesNeverExceedPeriod(t *testing.T) {
+	inst := examplesdata.ExampleB()
+	net, err := BuildOverlap(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := net.DetectRegime(40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, r := range reg.Rates {
+		if reg.Period.Less(r) {
+			t.Fatalf("rate %v exceeds period %v", r, reg.Period)
+		}
+		if r.Equal(reg.Period) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("no transition attains the period")
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Stages: 0, Procs: 5, CompLo: 1, CompHi: 1, CommLo: 1, CommHi: 1},
+		{Stages: 5, Procs: 3, CompLo: 1, CompHi: 1, CommLo: 1, CommHi: 1},
+		{Stages: 2, Procs: 5, CompLo: 0, CompHi: 1, CommLo: 1, CommHi: 1},
+		{Stages: 2, Procs: 5, CompLo: 2, CompHi: 1, CommLo: 1, CommHi: 1},
+		{Stages: 2, Procs: 5, CompLo: 1, CompHi: 1, CommLo: 5, CommHi: 4},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+	good := Spec{Stages: 2, Procs: 7, CompLo: 1, CompHi: 1, CommLo: 5, CommHi: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestReplicationUsesAllProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Spec{Stages: 10, Procs: 20, CompLo: 5, CompHi: 15, CommLo: 5, CommHi: 15}
+	for trial := 0; trial < 100; trial++ {
+		reps, err := s.Replication(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, r := range reps {
+			if r < 1 {
+				t.Fatalf("stage with %d replicas", r)
+			}
+			total += r
+		}
+		if total != 20 {
+			t.Fatalf("replication %v uses %d processors, want 20", reps, total)
+		}
+	}
+}
+
+func TestReplicationRespectsPathCountBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Spec{Stages: 10, Procs: 30, CompLo: 5, CompHi: 15, CommLo: 5, CommHi: 15, MaxPathCount: 60}
+	for trial := 0; trial < 100; trial++ {
+		inst, err := s.Instance(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.PathCount() > 60 {
+			t.Fatalf("path count %d exceeds bound", inst.PathCount())
+		}
+	}
+}
+
+func TestInstanceTimesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Spec{Stages: 3, Procs: 7, CompLo: 1, CompHi: 1, CommLo: 5, CommHi: 10}
+	for trial := 0; trial < 50; trial++ {
+		inst, err := s.Instance(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < inst.NumStages(); i++ {
+			for a := 0; a < inst.Replication(i); a++ {
+				if c := inst.CompTime(i, a); c.Den() != 1 || c.Num() != 1 {
+					t.Fatalf("comp time %v, want 1", c)
+				}
+			}
+		}
+		for i := 0; i < inst.NumStages()-1; i++ {
+			for a := 0; a < inst.Replication(i); a++ {
+				for b := 0; b < inst.Replication(i+1); b++ {
+					c := inst.CommTime(i, a, b)
+					if c.Den() != 1 || c.Num() < 5 || c.Num() > 10 {
+						t.Fatalf("comm time %v out of [5,10]", c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceDeterministicPerSeed(t *testing.T) {
+	s := Spec{Stages: 3, Procs: 9, CompLo: 5, CompHi: 15, CommLo: 5, CommHi: 15}
+	a, err := s.Instance(rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Instance(rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PathCount() != b.PathCount() {
+		t.Fatal("same seed gave different replication")
+	}
+	for i := 0; i < a.NumStages(); i++ {
+		for r := 0; r < a.Replication(i); r++ {
+			if !a.CompTime(i, r).Equal(b.CompTime(i, r)) {
+				t.Fatal("same seed gave different times")
+			}
+		}
+	}
+}
+
+func TestImpossiblePathBoundFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// 2 stages on 7 procs: compositions are (1,6)..(6,1); lcm >= 5 in most,
+	// minimum lcm is lcm(3,4)=12? No: (1,6)->6, (6,1)->6, (2,5)->10,
+	// (5,2)->10, (3,4)->12, (4,3)->12. Bound 5 is unsatisfiable.
+	s := Spec{Stages: 2, Procs: 7, CompLo: 1, CompHi: 1, CommLo: 1, CommHi: 1, MaxPathCount: 5}
+	if _, err := s.Replication(rng); err == nil {
+		t.Fatal("unsatisfiable bound accepted")
+	}
+}
