@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test check bench fmt
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check = everything CI runs: vet, build, tests, and a short bench smoke
+# (one iteration per benchmark, just to prove they still run).
+check: vet build test bench
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l -w .

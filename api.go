@@ -1,12 +1,15 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/engine"
 	"repro/internal/examplesdata"
+	"repro/internal/exper"
 	"repro/internal/gantt"
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -50,6 +53,14 @@ type (
 	Perturbation = dynamic.Perturbation
 	// DynamicStats summarizes a Monte-Carlo run.
 	DynamicStats = dynamic.Stats
+	// EngineOptions configures the batch-evaluation engine.
+	EngineOptions = engine.Options
+	// EvalTask is one batch entry: an instance under a communication model.
+	EvalTask = engine.Task
+	// EvalOutcome is the per-task result of an engine batch.
+	EvalOutcome = engine.Outcome
+	// SweepPoint is one point of the runtime-vs-duplication sweep.
+	SweepPoint = exper.SweepPoint
 )
 
 // Communication models.
@@ -171,6 +182,59 @@ func Latency(inst *Instance, cm CommModel, periods int) (*LatencyStats, error) {
 func MonteCarloDynamic(inst *Instance, cm CommModel, pert Perturbation, runs int, seed int64, parallelism int) (DynamicStats, error) {
 	return dynamic.MonteCarlo(inst, cm, pert, runs, seed, parallelism)
 }
+
+// Engine is the concurrent batch-evaluation subsystem: a fixed
+// work-stealing worker pool with a shared memoization cache, behind which
+// every large evaluation campaign of this repository runs. Results are
+// bit-identical to the serial path (exact arithmetic, index-ordered
+// output) at any worker count. An Engine is safe for concurrent use and is
+// worth reusing across calls: the memo cache persists, so a mapping
+// already evaluated by one search costs a lookup in the next.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine builds a batch-evaluation engine. The zero EngineOptions give
+// a GOMAXPROCS-sized pool with the default memo cache.
+func NewEngine(opts EngineOptions) *Engine {
+	return &Engine{eng: engine.New(opts)}
+}
+
+// EvaluateBatch computes the period of every task on the worker pool.
+// out[i] corresponds to tasks[i] regardless of worker interleaving, and
+// each Result is identical to what Throughput returns for the same
+// arguments. The only batch-level error is context cancellation.
+func (e *Engine) EvaluateBatch(ctx context.Context, tasks []EvalTask) ([]EvalOutcome, error) {
+	return e.eng.EvaluateBatch(ctx, tasks)
+}
+
+// SearchMappings runs every mapping heuristic (greedy construction,
+// randomized hill climbing, simulated annealing) through the engine and
+// returns the best mapping found. Candidate evaluations parallelize over
+// the pool and memoize, so partitions revisited across heuristics are
+// computed once.
+func (e *Engine) SearchMappings(ctx context.Context, pipe *Pipeline, plat *Platform, cm CommModel, rng *rand.Rand) (MappingResult, error) {
+	return sched.BestOfEngine(ctx, e.eng, pipe, plat, cm, rng)
+}
+
+// Sweep runs the runtime-vs-duplication sweep (cf. cmd/scaling) on the
+// engine: each replication vector times the Theorem 1 polynomial algorithm
+// against the general unfolded-TPN method. Pass exper.DefaultSweepPairs-
+// style vectors, e.g. [][]int{{2, 3}, {5, 21, 27, 11}}.
+func (e *Engine) Sweep(ctx context.Context, seed int64, pairs [][]int) ([]SweepPoint, error) {
+	return exper.RuntimeSweepEngine(ctx, e.eng, seed, pairs)
+}
+
+// MonteCarlo runs the dynamic-platform Monte-Carlo campaign on the engine.
+func (e *Engine) MonteCarlo(ctx context.Context, inst *Instance, cm CommModel, pert Perturbation, runs int, seed int64) (DynamicStats, error) {
+	return dynamic.MonteCarloEngine(ctx, e.eng, inst, cm, pert, runs, seed)
+}
+
+// CacheStats returns the engine's cumulative memo-cache hits and misses.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.eng.CacheStats() }
+
+// Workers returns the engine's fixed pool size.
+func (e *Engine) Workers() int { return e.eng.Workers() }
 
 // ExampleA returns the paper's Example A instance (Figure 2), reconstructed
 // from the published numbers: overlap period 189, strict period 1384/6.

@@ -8,12 +8,14 @@ package repro
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/examplesdata"
 	"repro/internal/exper"
 	"repro/internal/gantt"
@@ -274,6 +276,81 @@ func BenchmarkEngines(b *testing.B) {
 	b.Run("lawler-float", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sys.MaxRatioLawler(1e-9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineBatch measures the batch-evaluation engine against the
+// serial loop on a fixed batch of strict-model instances (each one a full
+// unfolded-TPN critical-cycle computation — the heavy, uneven workload the
+// work-stealing pool is built for). On a multi-core host the workers=4 run
+// should complete the batch at least 2x faster than workers=1; on a
+// single-core container the sub-benchmarks collapse to the same wall time,
+// which is itself the determinism guarantee at work (identical results,
+// identical totals). Memoization is disabled so every task is computed.
+func BenchmarkEngineBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2009))
+	tasks := make([]engine.Task, 32)
+	for k := range tasks {
+		tasks[k] = engine.Task{
+			Inst:  randomWithReps(rng, []int{6, 7}, 5, 15),
+			Model: model.Strict,
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tk := range tasks {
+				if _, err := core.Period(tk.Inst, tk.Model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: workers, CacheCapacity: -1})
+			for i := 0; i < b.N; i++ {
+				outs, err := eng.EvaluateBatch(context.Background(), tasks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outs) != len(tasks) {
+					b.Fatal("short batch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMemoization measures the memo cache on the mapping-search
+// access pattern: the same candidate instances evaluated repeatedly.
+func BenchmarkEngineMemoization(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tasks := make([]engine.Task, 16)
+	for k := range tasks {
+		tasks[k] = engine.Task{
+			Inst:  randomWithReps(rng, []int{2, 3}, 5, 15),
+			Model: model.Overlap,
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{Workers: 1, CacheCapacity: -1})
+			if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: 1})
+		if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
 				b.Fatal(err)
 			}
 		}

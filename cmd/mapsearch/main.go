@@ -4,17 +4,25 @@
 // mapping and randomized hill climbing — the NP-hard optimization problem
 // the paper cites as motivation [3].
 //
+// All candidate evaluations route through the batch-evaluation engine: a
+// work-stealing worker pool with a memo cache shared across the heuristics,
+// so a partition revisited by a later heuristic costs a lookup. Ctrl-C
+// cancels the search cleanly.
+//
 // Usage:
 //
-//	mapsearch [-stages 3] [-procs 8] [-seed 1] [-model overlap] [-restarts 20]
+//	mapsearch [-stages 3] [-procs 8] [-seed 1] [-model overlap] [-restarts 20] [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
@@ -27,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	modelName := flag.String("model", "overlap", "communication model")
 	restarts := flag.Int("restarts", 20, "hill-climbing restarts")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var cm model.CommModel
@@ -39,6 +48,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mapsearch: unknown model %q\n", *modelName)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := engine.New(engine.Options{Workers: *workers})
+
 	rng := rand.New(rand.NewSource(*seed))
 	pipe := pipeline.Random(rng, *stages, 50, 500)
 	plat := platform.Random(rng, *procs, 5, 25, 20, 200)
@@ -46,23 +59,31 @@ func main() {
 	fmt.Println("speeds:  ", plat.Speeds)
 
 	if *procs <= 10 {
-		if res, err := sched.ExhaustiveOneToOne(pipe, plat, cm); err == nil {
+		if res, err := sched.ExhaustiveOneToOneEngine(ctx, eng, pipe, plat, cm); err == nil {
 			fmt.Printf("\nbest one-to-one (exhaustive): period %v (%.3f)\n  %v\n",
 				res.Period, res.Period.Float64(), res.Mapping)
 		} else {
 			fmt.Println("\nexhaustive:", err)
 		}
 	}
-	if res, err := sched.Greedy(pipe, plat, cm); err == nil {
+	if res, err := sched.GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
 		fmt.Printf("\ngreedy replicated: period %v (%.3f)\n  %v\n",
 			res.Period, res.Period.Float64(), res.Mapping)
 	} else {
 		fmt.Println("\ngreedy:", err)
 	}
-	if res, err := sched.RandomSearch(pipe, plat, cm, rng, *restarts, 60); err == nil {
+	if res, err := sched.RandomSearchEngine(ctx, eng, pipe, plat, cm, rng, *restarts, 60); err == nil {
 		fmt.Printf("\nrandom hill climbing (%d restarts): period %v (%.3f)\n  %v\n",
 			*restarts, res.Period, res.Period.Float64(), res.Mapping)
 	} else {
 		fmt.Println("\nrandom search:", err)
+	}
+
+	hits, misses := eng.CacheStats()
+	fmt.Printf("\nengine: %d workers, memo cache %d hits / %d misses (%.0f%% of evaluations reused)\n",
+		eng.Workers(), hits, misses, 100*float64(hits)/float64(max(hits+misses, 1)))
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mapsearch: interrupted")
+		os.Exit(130)
 	}
 }

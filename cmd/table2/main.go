@@ -10,22 +10,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/exper"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of the paper's run counts (0 < scale <= 1)")
 	seed := flag.Int64("seed", 1, "base random seed")
-	par := flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS)")
+	par := flag.Int("par", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := engine.New(engine.Options{Workers: *par})
+
 	t0 := time.Now()
-	results, err := exper.RunAll(*scale, *seed, *par, func(rr exper.RowResult) {
+	results, err := exper.RunAllEngine(ctx, eng, *scale, *seed, func(rr exper.RowResult) {
 		fmt.Fprintf(os.Stderr, "done: %-8v %-45s %4d runs  nocrit=%d  (%v)\n",
 			rr.Model, rr.Label, rr.Total, rr.NoCritical, time.Since(t0).Round(time.Millisecond))
 	})

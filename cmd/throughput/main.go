@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/examplesdata"
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -41,6 +43,7 @@ func main() {
 	path := flag.String("instance", "", "JSON instance file")
 	modelName := flag.String("model", "both", "communication model: overlap, strict or both")
 	analyze := flag.Bool("analyze", false, "full report: critical cycle, utilization, slack, stream periods (unfolds the TPN)")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	inst, err := loadInstance(*example, *path)
@@ -64,7 +67,24 @@ func main() {
 	fmt.Printf("stages: %d   paths (lcm of replication): %d   max duplication: %d\n",
 		inst.NumStages(), inst.PathCount(), inst.MaxReplication())
 
-	for _, cm := range models {
+	// Both models are independent period computations: evaluate them as one
+	// engine batch (the analyze path needs the full report and stays serial).
+	var outs []engine.Outcome
+	if !*analyze {
+		eng := engine.New(engine.Options{Workers: *workers})
+		tasks := make([]engine.Task, len(models))
+		for k, cm := range models {
+			tasks[k] = engine.Task{Inst: inst, Model: cm}
+		}
+		var err error
+		outs, err = eng.EvaluateBatch(context.Background(), tasks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+	}
+
+	for k, cm := range models {
 		if *analyze {
 			rep, err := core.Analyze(inst, cm)
 			if err != nil {
@@ -78,7 +98,7 @@ func main() {
 			}
 			continue
 		}
-		res, err := core.Period(inst, cm)
+		res, err := outs[k].Result, outs[k].Err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "throughput: %v model: %v\n", cm, err)
 			os.Exit(1)

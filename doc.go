@@ -34,6 +34,15 @@
 //	res, _ := repro.Throughput(inst, repro.Overlap)
 //	fmt.Println("period:", res.Period, "Mct:", res.Mct)
 //
+// For large campaigns — Table 2's thousands of random instances, mapping
+// search, Monte-Carlo sweeps — use the concurrent batch-evaluation engine,
+// which runs a fixed work-stealing worker pool with a memoization cache and
+// returns results bit-identical to the serial path at any worker count:
+//
+//	eng := repro.NewEngine(repro.EngineOptions{})
+//	outs, _ := eng.EvaluateBatch(ctx, []repro.EvalTask{{Inst: inst, Model: repro.Overlap}})
+//	best, _ := eng.SearchMappings(ctx, pipe, plat, repro.Overlap, rng)
+//
 // See the examples/ directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 package repro

@@ -9,13 +9,13 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/rat"
 )
@@ -86,6 +86,17 @@ type Stats struct {
 // MonteCarlo evaluates `runs` perturbed instances under the given model,
 // using a bounded worker pool (parallelism 0 = GOMAXPROCS).
 func MonteCarlo(inst *model.Instance, cm model.CommModel, pert Perturbation, runs int, seed int64, parallelism int) (Stats, error) {
+	eng := engine.New(engine.Options{Workers: parallelism, CacheCapacity: -1})
+	return MonteCarloEngine(context.Background(), eng, inst, cm, pert, runs, seed)
+}
+
+// MonteCarloEngine runs the Monte-Carlo campaign on the given engine's
+// worker pool. Sample k derives its rng from seed+k and outcomes aggregate
+// in index order, so the statistics are bit-identical at any worker count.
+// Samples bypass the engine's memo cache: each perturbed instance has
+// unique exact times, so caching them would only displace entries a shared
+// engine's other workloads (mapping search) actually revisit.
+func MonteCarloEngine(ctx context.Context, eng *engine.Engine, inst *model.Instance, cm model.CommModel, pert Perturbation, runs int, seed int64) (Stats, error) {
 	if err := pert.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -96,56 +107,39 @@ func MonteCarlo(inst *model.Instance, cm model.CommModel, pert Perturbation, run
 	if err != nil {
 		return Stats{}, err
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
 	type outcome struct {
 		period float64
 		gapPct float64
 		noCrit bool
 		err    error
 	}
-	jobs := make(chan int64)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for js := range jobs {
-				rng := rand.New(rand.NewSource(js))
-				sample, err := pert.Sample(inst, rng)
-				if err != nil {
-					results <- outcome{err: err}
-					continue
-				}
-				res, err := core.Period(sample, cm)
-				if err != nil {
-					results <- outcome{err: err}
-					continue
-				}
-				results <- outcome{
-					period: res.Period.Float64(),
-					gapPct: res.Gap().Float64() * 100,
-					noCrit: !res.HasCriticalResource(),
-				}
-			}
-		}()
-	}
-	go func() {
-		for k := 0; k < runs; k++ {
-			jobs <- seed + int64(k)
+	outs := make([]outcome, runs)
+	if err := eng.ForEach(ctx, runs, func(k int) {
+		rng := rand.New(rand.NewSource(seed + int64(k)))
+		sample, err := pert.Sample(inst, rng)
+		if err != nil {
+			outs[k] = outcome{err: err}
+			return
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+		res, err := core.Period(sample, cm)
+		if err != nil {
+			outs[k] = outcome{err: err}
+			return
+		}
+		outs[k] = outcome{
+			period: res.Period.Float64(),
+			gapPct: res.Gap().Float64() * 100,
+			noCrit: !res.HasCriticalResource(),
+		}
+	}); err != nil {
+		return Stats{}, err
+	}
 
 	st := Stats{Runs: runs, BasePeriod: base.Period.Float64(), MinPeriod: math.Inf(1), MaxPeriod: math.Inf(-1)}
 	var sum, sumSq, gapSum float64
 	var firstErr error
 	seen := 0
-	for o := range results {
+	for _, o := range outs {
 		if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err

@@ -1,0 +1,362 @@
+// Package engine is the concurrent batch-evaluation subsystem: a fixed
+// worker pool with work-stealing over index ranges, context cancellation,
+// and a memoization cache keyed by the canonical form of an instance.
+//
+// Every experiment of the paper — Table 2 (thousands of random instances),
+// the mapping-search comparison (thousands of candidate mappings), the
+// runtime sweep, the Monte-Carlo perturbation study — is a large batch of
+// independent (instance, model) period evaluations. The engine turns those
+// batches into deterministic parallel work:
+//
+//   - Determinism. Results are written to the output slice at the input
+//     index, so the caller sees the exact serial order no matter how the
+//     workers interleave; all arithmetic stays exact (rat.Rat), so a
+//     parallel batch is bit-identical to the serial loop.
+//
+//   - Work stealing. The index range [0, n) is split into one contiguous
+//     span per worker; a worker pops from the front of its own span and,
+//     when empty, steals from the back of a victim's span. Both ends are a
+//     single packed atomic, so the hot path is one CAS and uneven batches
+//     (strict-model TPN evaluations vary by orders of magnitude) balance
+//     without a central queue.
+//
+//   - Memoization. Mapping search revisits the same replica partition many
+//     times (greedy enlargement, hill-climbing moves, annealing), and a
+//     partition's period does not depend on which heuristic proposed it.
+//     Evaluate canonicalizes the instance (model, replication vector, exact
+//     operation times) into a key and computes each distinct instance once.
+//     Keys are the full canonical string, not a hash, so a collision cannot
+//     silently return the wrong period.
+package engine
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the fixed worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheCapacity bounds the number of memoized results; 0 means
+	// DefaultCacheCapacity, negative disables memoization entirely.
+	CacheCapacity int
+}
+
+// DefaultCacheCapacity is the memo-cache bound used when Options leaves
+// CacheCapacity zero. At roughly a hundred bytes per entry the default
+// stays within a few MiB while covering every candidate a mapping search
+// typically revisits.
+const DefaultCacheCapacity = 1 << 15
+
+// Engine evaluates batches of (instance, model) tasks on a fixed worker
+// pool. It is safe for concurrent use; the memo cache is shared by all
+// batches evaluated through the same Engine.
+type Engine struct {
+	workers int
+	cache   *memoCache // nil when memoization is disabled
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// New builds an Engine. The zero Options give a GOMAXPROCS-sized pool with
+// the default memo cache.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: w}
+	switch {
+	case opts.CacheCapacity < 0:
+		// memoization disabled
+	case opts.CacheCapacity == 0:
+		e.cache = newMemoCache(DefaultCacheCapacity)
+	default:
+		e.cache = newMemoCache(opts.CacheCapacity)
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats returns the cumulative memo-cache hit and miss counts.
+func (e *Engine) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// Task is one period evaluation: an instance under a communication model.
+type Task struct {
+	Inst  *model.Instance
+	Model model.CommModel
+}
+
+// Outcome is the result of one Task. Err carries per-task failures (for
+// example tpn.ErrTooLarge on an instance the unfolded method cannot hold);
+// batch-level failures such as cancellation are reported by EvaluateBatch
+// itself.
+type Outcome struct {
+	Result core.Result
+	Err    error
+}
+
+// Evaluate computes the period of a single task, consulting and filling the
+// memo cache. The returned Result is identical to core.Period on the same
+// arguments.
+func (e *Engine) Evaluate(t Task) (core.Result, error) {
+	if e.cache == nil {
+		return core.Period(t.Inst, t.Model)
+	}
+	k := canonicalKey(t)
+	if res, ok := e.cache.get(k); ok {
+		e.hits.Add(1)
+		return res, nil
+	}
+	e.misses.Add(1)
+	res, err := core.Period(t.Inst, t.Model)
+	if err != nil {
+		return res, err // errors are deterministic but cheap to rediscover
+	}
+	e.cache.put(k, res)
+	return res, nil
+}
+
+// EvaluateBatch evaluates tasks on the worker pool. out[i] always
+// corresponds to tasks[i]; ordering and values are bit-identical to calling
+// core.Period serially in index order. The only batch-level error is
+// cancellation: when ctx is done the partial outcomes are discarded and
+// ctx.Err() is returned.
+func (e *Engine) EvaluateBatch(ctx context.Context, tasks []Task) ([]Outcome, error) {
+	out := make([]Outcome, len(tasks))
+	err := e.ForEach(ctx, len(tasks), func(i int) {
+		res, err := e.Evaluate(tasks[i])
+		out[i] = Outcome{Result: res, Err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the worker pool with work
+// stealing. fn must be safe for concurrent invocation on distinct indices;
+// every index is executed at most once, and exactly once when ForEach
+// returns nil. On cancellation in-flight calls finish, remaining indices
+// are skipped, and ctx.Err() is returned.
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	if n > math.MaxInt32 {
+		// The packed-span representation holds 32-bit bounds; batches this
+		// large are already balanced by a shared counter alone.
+		return e.forEachCounter(ctx, n, fn, workers)
+	}
+	spans := newSpans(n, workers)
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(self int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				idx, ok := spans[self].popFront()
+				if !ok {
+					idx, ok = steal(spans, self)
+				}
+				if !ok {
+					return
+				}
+				fn(idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// forEachCounter dispatches indices from one shared atomic counter — the
+// fallback for batches too large for packed 32-bit spans.
+func (e *Engine) forEachCounter(ctx context.Context, n int, fn func(i int), workers int) error {
+	var next atomic.Int64
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// span is a contiguous index range [lo, hi) with both bounds packed into a
+// single atomic word: the owner pops lo forward, thieves pop hi backward,
+// and one CAS decides every pop race.
+type span struct {
+	bounds atomic.Int64
+	// pad the spans apart so owner and thief CAS loops on neighboring
+	// workers do not false-share a cache line.
+	_ [7]int64
+}
+
+func pack(lo, hi int32) int64       { return int64(hi)<<32 | int64(uint32(lo)) }
+func unpack(v int64) (lo, hi int32) { return int32(uint32(v)), int32(v >> 32) }
+
+// newSpans splits [0, n) into one near-even contiguous span per worker.
+func newSpans(n, workers int) []*span {
+	spans := make([]*span, workers)
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		s := &span{}
+		s.bounds.Store(pack(int32(lo), int32(hi)))
+		spans[w] = s
+		lo = hi
+	}
+	return spans
+}
+
+// popFront claims the owner-side index of the span.
+func (s *span) popFront() (int, bool) {
+	for {
+		v := s.bounds.Load()
+		lo, hi := unpack(v)
+		if lo >= hi {
+			return 0, false
+		}
+		if s.bounds.CompareAndSwap(v, pack(lo+1, hi)) {
+			return int(lo), true
+		}
+	}
+}
+
+// popBack claims the thief-side index of the span.
+func (s *span) popBack() (int, bool) {
+	for {
+		v := s.bounds.Load()
+		lo, hi := unpack(v)
+		if lo >= hi {
+			return 0, false
+		}
+		if s.bounds.CompareAndSwap(v, pack(lo, hi-1)) {
+			return int(hi - 1), true
+		}
+	}
+}
+
+// steal scans the other workers' spans (starting after self, wrapping) and
+// claims an index from the back of the first non-empty victim.
+func steal(spans []*span, self int) (int, bool) {
+	for off := 1; off < len(spans); off++ {
+		victim := spans[(self+off)%len(spans)]
+		if idx, ok := victim.popBack(); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// canonicalKey serializes everything the period depends on — the model, the
+// replication vector and the exact operation times — into a canonical
+// string. Processor ids and display names are deliberately excluded: two
+// mappings that induce the same timed structure share one cache entry.
+func canonicalKey(t Task) string {
+	inst := t.Inst
+	n := inst.NumStages()
+	var b strings.Builder
+	b.Grow(16 * n * inst.MaxReplication())
+	b.WriteString(strconv.Itoa(int(t.Model)))
+	for i := 0; i < n; i++ {
+		b.WriteByte('|')
+		for a := 0; a < inst.Replication(i); a++ {
+			b.WriteString(inst.CompTime(i, a).String())
+			b.WriteByte(',')
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		b.WriteByte('/')
+		for a := 0; a < inst.Replication(i); a++ {
+			for bb := 0; bb < inst.Replication(i+1); bb++ {
+				b.WriteString(inst.CommTime(i, a, bb).String())
+				b.WriteByte(',')
+			}
+		}
+	}
+	return b.String()
+}
+
+// memoCache is a bounded concurrent map. When full it stops inserting
+// rather than evicting. Which entries land before the bound fills depends
+// on worker interleaving, but that only moves the hit rate: a hit returns
+// the same Result a fresh computation would, so cache state never affects
+// what a batch returns.
+type memoCache struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[string]core.Result
+}
+
+func newMemoCache(capacity int) *memoCache {
+	return &memoCache{cap: capacity, m: make(map[string]core.Result)}
+}
+
+func (c *memoCache) get(k string) (core.Result, bool) {
+	c.mu.RLock()
+	res, ok := c.m[k]
+	c.mu.RUnlock()
+	return res, ok
+}
+
+func (c *memoCache) put(k string, res core.Result) {
+	c.mu.Lock()
+	if len(c.m) < c.cap {
+		c.m[k] = res
+	}
+	c.mu.Unlock()
+}

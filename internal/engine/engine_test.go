@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+// randomInstance draws an instance with the given replication counts and
+// uniform integer operation times in [lo, hi].
+func randomInstance(t testing.TB, rng *rand.Rand, reps []int, lo, hi int64) *model.Instance {
+	t.Helper()
+	draw := func() rat.Rat { return rat.FromInt(lo + rng.Int63n(hi-lo+1)) }
+	comp := make([][]rat.Rat, len(reps))
+	for i, r := range reps {
+		comp[i] = make([]rat.Rat, r)
+		for a := range comp[i] {
+			comp[i][a] = draw()
+		}
+	}
+	comm := make([][][]rat.Rat, len(reps)-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, reps[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, reps[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = draw()
+			}
+		}
+	}
+	inst, err := model.FromTimes(comp, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func randomTasks(t testing.TB, seed int64, count int) []Task {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shapes := [][]int{{1, 2, 3}, {2, 3}, {3, 4}, {2, 2, 2}, {1, 4, 2}}
+	tasks := make([]Task, count)
+	for k := range tasks {
+		cm := model.Overlap
+		if k%2 == 1 {
+			cm = model.Strict
+		}
+		tasks[k] = Task{
+			Inst:  randomInstance(t, rng, shapes[k%len(shapes)], 5, 15),
+			Model: cm,
+		}
+	}
+	return tasks
+}
+
+// serialOutcomes is the reference path the engine must match bit for bit.
+func serialOutcomes(tasks []Task) []Outcome {
+	out := make([]Outcome, len(tasks))
+	for i, tk := range tasks {
+		res, err := core.Period(tk.Inst, tk.Model)
+		out[i] = Outcome{Result: res, Err: err}
+	}
+	return out
+}
+
+func TestEvaluateBatchMatchesSerial(t *testing.T) {
+	tasks := randomTasks(t, 42, 60)
+	want := serialOutcomes(tasks)
+	for _, workers := range []int{1, 2, 4, 7} {
+		eng := New(Options{Workers: workers})
+		got, err := eng.EvaluateBatch(context.Background(), tasks)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d task %d: err %v vs serial %v", workers, i, got[i].Err, want[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+				t.Fatalf("workers=%d task %d: result %+v differs from serial %+v",
+					workers, i, got[i].Result, want[i].Result)
+			}
+		}
+	}
+}
+
+func TestEvaluateBatchDeterministicAcrossRuns(t *testing.T) {
+	tasks := randomTasks(t, 7, 40)
+	eng := New(Options{Workers: 4})
+	first, err := eng.EvaluateBatch(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		again, err := eng.EvaluateBatch(context.Background(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("round %d differs from first run", round)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 5, 97, 256} {
+			eng := New(Options{Workers: workers})
+			counts := make([]int32, n)
+			if err := eng.ForEach(context.Background(), n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			}); err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachStealsUnevenWork(t *testing.T) {
+	// Pile all the heavy work into the first worker's span: without
+	// stealing the batch would serialize behind worker 0.
+	eng := New(Options{Workers: 4})
+	var ran int32
+	err := eng.ForEach(context.Background(), 64, func(i int) {
+		if i < 16 {
+			// Heavy indices: spin a little to let the other workers
+			// drain their spans and start stealing.
+			for j := 0; j < 1000; j++ {
+				_ = j
+			}
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 64 {
+		t.Fatalf("ran %d of 64", ran)
+	}
+}
+
+func TestSpanPopBothEnds(t *testing.T) {
+	s := &span{}
+	s.bounds.Store(pack(0, 4))
+	if idx, ok := s.popFront(); !ok || idx != 0 {
+		t.Fatalf("popFront = %d, %v", idx, ok)
+	}
+	if idx, ok := s.popBack(); !ok || idx != 3 {
+		t.Fatalf("popBack = %d, %v", idx, ok)
+	}
+	if idx, ok := s.popFront(); !ok || idx != 1 {
+		t.Fatalf("popFront = %d, %v", idx, ok)
+	}
+	if idx, ok := s.popBack(); !ok || idx != 2 {
+		t.Fatalf("popBack = %d, %v", idx, ok)
+	}
+	if _, ok := s.popFront(); ok {
+		t.Fatal("popFront on empty span succeeded")
+	}
+	if _, ok := s.popBack(); ok {
+		t.Fatal("popBack on empty span succeeded")
+	}
+}
+
+func TestEvaluateBatchCancellation(t *testing.T) {
+	tasks := randomTasks(t, 3, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: no task should matter
+	eng := New(Options{Workers: 4})
+	out, err := eng.EvaluateBatch(ctx, tasks)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("canceled batch must not return partial outcomes")
+	}
+}
+
+func TestForEachCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(Options{Workers: 2})
+	var ran int32
+	err := eng.ForEach(ctx, 1000, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Fatalf("cancellation did not stop the batch (ran %d)", n)
+	}
+}
+
+func TestMemoCacheHitsAndIdenticalResults(t *testing.T) {
+	tasks := randomTasks(t, 11, 10)
+	eng := New(Options{Workers: 2})
+	first, err := eng.EvaluateBatch(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := eng.CacheStats()
+	if misses0 == 0 {
+		t.Fatal("first batch should miss")
+	}
+	second, err := eng.EvaluateBatch(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := eng.CacheStats()
+	if hits1-hits0 != int64(len(tasks)) {
+		t.Fatalf("second batch hits = %d, want %d", hits1-hits0, len(tasks))
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached results differ from computed results")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	tasks := randomTasks(t, 13, 4)
+	eng := New(Options{Workers: 1, CacheCapacity: -1})
+	if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := eng.CacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheCapacityStopsInserting(t *testing.T) {
+	tasks := randomTasks(t, 17, 12)
+	eng := New(Options{Workers: 1, CacheCapacity: 3})
+	if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.cache.m); got > 3 {
+		t.Fatalf("cache holds %d entries, cap 3", got)
+	}
+	// Results must still be correct beyond the cap.
+	out, err := eng.EvaluateBatch(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialOutcomes(tasks)
+	for i := range want {
+		if !reflect.DeepEqual(out[i].Result, want[i].Result) {
+			t.Fatalf("task %d wrong beyond cache cap", i)
+		}
+	}
+}
+
+func TestCanonicalKeyIgnoresProcessorIDs(t *testing.T) {
+	// The same timed structure must share a cache entry no matter which
+	// processors realize it; distinct times must not.
+	rng := rand.New(rand.NewSource(5))
+	a := randomInstance(t, rng, []int{2, 3}, 5, 15)
+	b := randomInstance(t, rng, []int{2, 3}, 5, 15)
+	ka := canonicalKey(Task{Inst: a, Model: model.Overlap})
+	kaAgain := canonicalKey(Task{Inst: a, Model: model.Overlap})
+	if ka != kaAgain {
+		t.Fatal("canonical key not stable")
+	}
+	if ka == canonicalKey(Task{Inst: a, Model: model.Strict}) {
+		t.Fatal("key ignores the communication model")
+	}
+	if ka == canonicalKey(Task{Inst: b, Model: model.Overlap}) {
+		t.Fatal("distinct instances collided (times differ with probability ~1)")
+	}
+}

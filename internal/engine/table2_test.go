@@ -1,0 +1,83 @@
+package engine_test
+
+// The acceptance bar of the engine: on the full Table 2 row grid — every
+// instance family of the paper's experimental campaign, both communication
+// models — a parallel EvaluateBatch must return Results bit-identical to
+// the serial core.Period loop, at several worker counts.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exper"
+	"repro/internal/model"
+)
+
+// table2Tasks draws instancesPerRow instances from every row of the
+// Table 2 grid for the given model, exactly as exper.RunEngine derives
+// them (rng seeded per instance index).
+func table2Tasks(t *testing.T, cm model.CommModel, instancesPerRow int) []engine.Task {
+	t.Helper()
+	var tasks []engine.Task
+	for rowIdx, row := range exper.Table2Rows(cm, 1, exper.DefaultMaxPathCount) {
+		for k := 0; k < instancesPerRow; k++ {
+			seed := int64(rowIdx*10_000 + k + 1)
+			rng := rand.New(rand.NewSource(seed))
+			sp := row.Specs[k%len(row.Specs)]
+			inst, err := sp.Instance(rng)
+			if err != nil {
+				t.Fatalf("row %q instance %d: %v", row.Label, k, err)
+			}
+			tasks = append(tasks, engine.Task{Inst: inst, Model: cm})
+		}
+	}
+	return tasks
+}
+
+func TestEvaluateBatchBitIdenticalOnTable2Grid(t *testing.T) {
+	perRow := 3
+	if testing.Short() {
+		perRow = 1
+	}
+	var tasks []engine.Task
+	for _, cm := range model.Models() {
+		tasks = append(tasks, table2Tasks(t, cm, perRow)...)
+	}
+	if want := 2 * 6 * perRow; len(tasks) != want {
+		t.Fatalf("grid produced %d tasks, want %d (all rows, both models)", len(tasks), want)
+	}
+
+	// Serial reference path.
+	want := make([]core.Result, len(tasks))
+	for i, tk := range tasks {
+		res, err := core.Period(tk.Inst, tk.Model)
+		if err != nil {
+			t.Fatalf("serial task %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	for _, workers := range []int{1, 4} {
+		eng := engine.New(engine.Options{Workers: workers})
+		outs, err := eng.EvaluateBatch(context.Background(), tasks)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("workers=%d task %d: %v", workers, i, o.Err)
+			}
+			if !reflect.DeepEqual(o.Result, want[i]) {
+				t.Fatalf("workers=%d task %d: engine %+v differs from serial %+v",
+					workers, i, o.Result, want[i])
+			}
+			if !o.Result.Period.Equal(want[i].Period) || !o.Result.Mct.Equal(want[i].Mct) {
+				t.Fatalf("workers=%d task %d: exact values drifted", workers, i)
+			}
+		}
+	}
+}

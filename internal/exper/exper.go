@@ -3,20 +3,21 @@
 // maximum resource cycle-time and count the (rare) cases without critical
 // resource.
 //
-// Runs are distributed over a bounded worker pool; every instance is
-// evaluated exactly (rational arithmetic), so "no critical resource" means a
-// strict inequality P > Mct, not a floating-point artifact.
+// Runs are distributed over the batch-evaluation engine's work-stealing
+// worker pool; every instance is evaluated exactly (rational arithmetic),
+// so "no critical resource" means a strict inequality P > Mct, not a
+// floating-point artifact. Aggregation is index-ordered, so a row's result
+// is identical at any parallelism.
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
-	"sync"
 	"text/tabwriter"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/workload"
 )
@@ -101,56 +102,48 @@ const DefaultMaxPathCount = 2520
 // Run executes one row: Runs instances split across the row's specs, each
 // evaluated under the row's model. Parallelism 0 means GOMAXPROCS.
 func Run(row Row, seed int64, parallelism int) (RowResult, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
+	return RunEngine(context.Background(), engine.New(engine.Options{Workers: parallelism}), row, seed)
+}
+
+// RunEngine executes one row on the given engine. Instance k derives its
+// rng from seed+k, so the generated population is independent of worker
+// count and interleaving; outcomes are aggregated in index order, making
+// the whole RowResult (including which error is reported) deterministic.
+func RunEngine(ctx context.Context, eng *engine.Engine, row Row, seed int64) (RowResult, error) {
 	type outcome struct {
 		noCrit bool
 		gapPct float64
 		err    error
 	}
-	jobs := make(chan int64)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for js := range jobs {
-				rng := rand.New(rand.NewSource(js))
-				sp := row.Specs[int(js)%len(row.Specs)]
-				inst, err := sp.Instance(rng)
-				if err != nil {
-					results <- outcome{err: err}
-					continue
-				}
-				res, err := core.Period(inst, row.Model)
-				if err != nil {
-					results <- outcome{err: fmt.Errorf("exper: %v on %v: %w", row.Model, sp, err)}
-					continue
-				}
-				o := outcome{}
-				if !res.HasCriticalResource() {
-					o.noCrit = true
-					o.gapPct = res.Gap().Float64() * 100
-				}
-				results <- o
-			}
-		}()
-	}
-	go func() {
-		for k := 0; k < row.Runs; k++ {
-			jobs <- seed + int64(k)
+	outs := make([]outcome, row.Runs)
+	if err := eng.ForEach(ctx, row.Runs, func(k int) {
+		js := seed + int64(k)
+		rng := rand.New(rand.NewSource(js))
+		sp := row.Specs[int(js)%len(row.Specs)]
+		inst, err := sp.Instance(rng)
+		if err != nil {
+			outs[k] = outcome{err: err}
+			return
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+		res, err := eng.Evaluate(engine.Task{Inst: inst, Model: row.Model})
+		if err != nil {
+			outs[k] = outcome{err: fmt.Errorf("exper: %v on %v: %w", row.Model, sp, err)}
+			return
+		}
+		o := outcome{}
+		if !res.HasCriticalResource() {
+			o.noCrit = true
+			o.gapPct = res.Gap().Float64() * 100
+		}
+		outs[k] = o
+	}); err != nil {
+		return RowResult{Row: row}, err
+	}
 
 	rr := RowResult{Row: row}
 	var gapSum float64
 	var firstErr error
-	for o := range results {
+	for _, o := range outs {
 		if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err
@@ -177,10 +170,15 @@ func Run(row Row, seed int64, parallelism int) (RowResult, error) {
 
 // RunAll executes rows for both models and returns all results.
 func RunAll(scale float64, seed int64, parallelism int, progress func(RowResult)) ([]RowResult, error) {
+	return RunAllEngine(context.Background(), engine.New(engine.Options{Workers: parallelism}), scale, seed, progress)
+}
+
+// RunAllEngine executes rows for both models on one shared engine.
+func RunAllEngine(ctx context.Context, eng *engine.Engine, scale float64, seed int64, progress func(RowResult)) ([]RowResult, error) {
 	var out []RowResult
 	for _, cm := range model.Models() {
 		for i, row := range Table2Rows(cm, scale, DefaultMaxPathCount) {
-			rr, err := Run(row, seed+int64(i)*1_000_003+int64(cm)*7_000_009, parallelism)
+			rr, err := RunEngine(ctx, eng, row, seed+int64(i)*1_000_003+int64(cm)*7_000_009)
 			if err != nil {
 				return out, err
 			}

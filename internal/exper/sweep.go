@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/rat"
 	"repro/internal/tpn"
@@ -36,44 +38,74 @@ type SweepPoint struct {
 // RuntimeSweep evaluates randomly-timed two-stage instances with increasing
 // replication, timing the polynomial algorithm against the general method.
 // The replication vectors use coprime pairs so m = m_0 * m_1 grows
-// quadratically while the pattern graphs stay m_0 x m_1.
+// quadratically while the pattern graphs stay m_0 x m_1. Points run on a
+// single worker so the wall-time columns measure an unloaded core; use
+// RuntimeSweepEngine to trade timing fidelity for parallel turnaround.
 func RuntimeSweep(seed int64, pairs [][]int) ([]SweepPoint, error) {
+	return RuntimeSweepEngine(context.Background(), engine.New(engine.Options{Workers: 1}), seed, pairs)
+}
+
+// RuntimeSweepEngine runs the sweep on the given engine. The instance of
+// every point is drawn up front from one serial rng stream (so the
+// population is identical at any worker count); the points then time both
+// algorithms independently on the pool. Per-point timings overlap when the
+// pool is wider than one worker, which inflates absolute wall times on a
+// busy machine but preserves the poly-vs-TPN comparison each point makes.
+func RuntimeSweepEngine(ctx context.Context, eng *engine.Engine, seed int64, pairs [][]int) ([]SweepPoint, error) {
 	rng := rand.New(rand.NewSource(seed))
-	var out []SweepPoint
-	for _, reps := range pairs {
+	insts := make([]*model.Instance, len(pairs))
+	for k, reps := range pairs {
 		inst, err := randomTimedInstance(rng, reps, 5, 15)
 		if err != nil {
 			return nil, err
 		}
-		pt := SweepPoint{Reps: reps, PathCount: inst.PathCount()}
-
-		t0 := time.Now()
-		poly, err := core.PeriodOverlapPoly(inst)
+		insts[k] = inst
+	}
+	out := make([]SweepPoint, len(pairs))
+	errs := make([]error, len(pairs))
+	if err := eng.ForEach(ctx, len(pairs), func(k int) {
+		out[k], errs[k] = sweepPoint(insts[k], pairs[k])
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pt.PolyTime = time.Since(t0)
-		pt.Period = poly.Period
-
-		t0 = time.Now()
-		full, err := core.PeriodTPN(inst, model.Overlap)
-		switch {
-		case err == nil:
-			pt.TPNTime = time.Since(t0)
-			if !full.Period.Equal(poly.Period) {
-				return nil, fmt.Errorf("exper: sweep disagreement at reps %v: poly %v vs tpn %v",
-					reps, poly.Period, full.Period)
-			}
-		default:
-			var tooLarge tpn.ErrTooLarge
-			if !errors.As(err, &tooLarge) {
-				return nil, err
-			}
-			pt.TPNSkipped = true
-		}
-		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// sweepPoint times the polynomial algorithm against the unfolded-TPN
+// method on one instance and cross-checks that they agree.
+func sweepPoint(inst *model.Instance, reps []int) (SweepPoint, error) {
+	pt := SweepPoint{Reps: reps, PathCount: inst.PathCount()}
+
+	t0 := time.Now()
+	poly, err := core.PeriodOverlapPoly(inst)
+	if err != nil {
+		return pt, err
+	}
+	pt.PolyTime = time.Since(t0)
+	pt.Period = poly.Period
+
+	t0 = time.Now()
+	full, err := core.PeriodTPN(inst, model.Overlap)
+	switch {
+	case err == nil:
+		pt.TPNTime = time.Since(t0)
+		if !full.Period.Equal(poly.Period) {
+			return pt, fmt.Errorf("exper: sweep disagreement at reps %v: poly %v vs tpn %v",
+				reps, poly.Period, full.Period)
+		}
+	default:
+		var tooLarge tpn.ErrTooLarge
+		if !errors.As(err, &tooLarge) {
+			return pt, err
+		}
+		pt.TPNSkipped = true
+	}
+	return pt, nil
 }
 
 // DefaultSweepPairs lists replication vectors of growing m: coprime

@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/pipeline"
@@ -39,8 +41,16 @@ func (o *AnnealOptions) defaults() {
 // escapes the local optima that trap pure hill climbing on platforms where
 // replication of one stage only pays off after rebalancing another.
 func Anneal(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand, opts AnnealOptions) (Result, error) {
+	return AnnealEngine(context.Background(), defaultEngine(), pipe, plat, cm, rng, opts)
+}
+
+// AnnealEngine is Anneal with evaluations memoized by the engine. The
+// cooling walk is sequential by construction; the memo cache pays off when
+// the walk re-proposes a partition (frequent near convergence) and when the
+// engine is shared with the other heuristics.
+func AnnealEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand, opts AnnealOptions) (Result, error) {
 	opts.defaults()
-	start, err := Greedy(pipe, plat, cm)
+	start, err := GreedyEngine(ctx, eng, pipe, plat, cm)
 	if err != nil {
 		return Result{}, err
 	}
@@ -57,12 +67,15 @@ func Anneal(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 	temp := t0
 
 	for step := 0; step < opts.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		cand := neighbor(rng, current, n, p)
 		temp *= cool
 		if cand == nil {
 			continue
 		}
-		period, err := evalReplicas(pipe, plat, cand, cm)
+		period, err := evalReplicasEngine(eng, pipe, plat, cand, cm)
 		if err != nil {
 			continue
 		}
@@ -87,21 +100,38 @@ func Anneal(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 // BestOf runs every heuristic (greedy, random restarts, annealing) and
 // returns the best mapping found.
 func BestOf(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand) (Result, error) {
+	return BestOfEngine(context.Background(), defaultEngine(), pipe, plat, cm, rng)
+}
+
+// BestOfEngine runs every heuristic through one shared engine, so a
+// partition proposed by hill climbing after greedy already visited it costs
+// a cache lookup instead of a period computation.
+func BestOfEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand) (Result, error) {
 	var best Result
-	consider := func(r Result, err error) {
+	consider := func(r Result, err error) error {
 		if err != nil {
-			return
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil
 		}
 		if best.Mapping == nil || r.Period.Less(best.Period) {
 			best = r
 		}
+		return nil
 	}
-	g, err := Greedy(pipe, plat, cm)
-	consider(g, err)
-	rs, err := RandomSearch(pipe, plat, cm, rng, 10, 50)
-	consider(rs, err)
-	an, err := Anneal(pipe, plat, cm, rng, AnnealOptions{Steps: 1500})
-	consider(an, err)
+	g, err := GreedyEngine(ctx, eng, pipe, plat, cm)
+	if err := consider(g, err); err != nil {
+		return Result{}, err
+	}
+	rs, err := RandomSearchEngine(ctx, eng, pipe, plat, cm, rng, 10, 50)
+	if err := consider(rs, err); err != nil {
+		return Result{}, err
+	}
+	an, err := AnnealEngine(ctx, eng, pipe, plat, cm, rng, AnnealOptions{Steps: 1500})
+	if err := consider(an, err); err != nil {
+		return Result{}, err
+	}
 	if best.Mapping == nil {
 		return Result{}, fmt.Errorf("sched: no heuristic found a feasible mapping")
 	}

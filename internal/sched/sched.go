@@ -8,11 +8,13 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/pipeline"
@@ -33,6 +35,26 @@ func Evaluate(pipe *pipeline.Pipeline, plat *platform.Platform, mapp *mapping.Ma
 	return res.Period, nil
 }
 
+// EvaluateEngine is Evaluate routed through a shared engine: the
+// candidate's period is memoized, so a partition revisited by any
+// heuristic (greedy enlargement, hill-climbing moves, annealing) sharing
+// the engine is computed once.
+func EvaluateEngine(eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, mapp *mapping.Mapping, cm model.CommModel) (rat.Rat, error) {
+	inst, err := model.FromMapped(pipe, plat, mapp)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	res, err := eng.Evaluate(engine.Task{Inst: inst, Model: cm})
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	return res.Period, nil
+}
+
+// defaultEngine builds the single-call engine backing the engine-less entry
+// points: a GOMAXPROCS pool with the default memo cache.
+func defaultEngine() *engine.Engine { return engine.New(engine.Options{}) }
+
 // Result is a mapping with its achieved period.
 type Result struct {
 	Mapping *mapping.Mapping
@@ -48,6 +70,18 @@ func (r Result) Throughput() rat.Rat { return rat.One().Div(r.Period) }
 const maxProcsExhaustive = 10
 
 func ExhaustiveOneToOne(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (Result, error) {
+	return ExhaustiveOneToOneEngine(context.Background(), defaultEngine(), pipe, plat, cm)
+}
+
+// exhaustiveChunk bounds how many enumerated assignments are materialized
+// before being flushed to the engine as one batch.
+const exhaustiveChunk = 1024
+
+// ExhaustiveOneToOneEngine enumerates injective assignments in
+// lexicographic order, evaluates them in engine batches, and keeps the
+// first assignment attaining the minimum period — the same winner the
+// serial enumeration picks.
+func ExhaustiveOneToOneEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (Result, error) {
 	n := pipe.NumStages()
 	p := plat.NumProcs()
 	if p > maxProcsExhaustive {
@@ -57,6 +91,38 @@ func ExhaustiveOneToOne(pipe *pipeline.Pipeline, plat *platform.Platform, cm mod
 		return Result{}, fmt.Errorf("sched: %d stages need at least as many processors (got %d)", n, p)
 	}
 	var best Result
+	chunk := make([]*mapping.Mapping, 0, exhaustiveChunk)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		// Missing links make some assignments infeasible; evaluate the
+		// feasible ones, remembering their enumeration positions.
+		idx := make([]int, 0, len(chunk))
+		compact := make([]engine.Task, 0, len(chunk))
+		for k, mapp := range chunk {
+			inst, err := model.FromMapped(pipe, plat, mapp)
+			if err != nil {
+				continue
+			}
+			idx = append(idx, k)
+			compact = append(compact, engine.Task{Inst: inst, Model: cm})
+		}
+		outs, err := eng.EvaluateBatch(ctx, compact)
+		if err != nil {
+			return err
+		}
+		for j, o := range outs {
+			if o.Err != nil {
+				continue
+			}
+			if best.Mapping == nil || o.Result.Period.Less(best.Period) {
+				best = Result{Mapping: chunk[idx[j]], Period: o.Result.Period}
+			}
+		}
+		chunk = chunk[:0]
+		return nil
+	}
 	assigned := make([]int, n)
 	used := make([]bool, p)
 	var rec func(stage int) error
@@ -70,13 +136,9 @@ func ExhaustiveOneToOne(pipe *pipeline.Pipeline, plat *platform.Platform, cm mod
 			if err != nil {
 				return err
 			}
-			period, err := Evaluate(pipe, plat, mapp, cm)
-			if err != nil {
-				// Missing links make some assignments infeasible; skip them.
-				return nil
-			}
-			if best.Mapping == nil || period.Less(best.Period) {
-				best = Result{Mapping: mapp, Period: period}
+			chunk = append(chunk, mapp)
+			if len(chunk) == exhaustiveChunk {
+				return flush()
 			}
 			return nil
 		}
@@ -96,6 +158,9 @@ func ExhaustiveOneToOne(pipe *pipeline.Pipeline, plat *platform.Platform, cm mod
 	if err := rec(0); err != nil {
 		return Result{}, err
 	}
+	if err := flush(); err != nil {
+		return Result{}, err
+	}
 	if best.Mapping == nil {
 		return Result{}, fmt.Errorf("sched: no feasible one-to-one mapping")
 	}
@@ -107,6 +172,14 @@ func ExhaustiveOneToOne(pipe *pipeline.Pipeline, plat *platform.Platform, cm mod
 // whichever stage's enlargement reduces the period the most (ties: first
 // stage). Processors within a stage are kept sorted by id for determinism.
 func Greedy(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (Result, error) {
+	return GreedyEngine(context.Background(), defaultEngine(), pipe, plat, cm)
+}
+
+// GreedyEngine is Greedy with every enlargement round evaluated as one
+// engine batch: the n candidate mappings "give processor u to stage i" are
+// independent, so each round parallelizes across the pool while the winner
+// is still chosen by the serial rule (smallest period, first stage on ties).
+func GreedyEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (Result, error) {
 	n := pipe.NumStages()
 	p := plat.NumProcs()
 	if n > p {
@@ -129,25 +202,43 @@ func Greedy(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 		replicas[i] = []int{bySpeed[i]}
 	}
 	free := bySpeed[n:]
-	current, err := evalReplicas(pipe, plat, replicas, cm)
+	current, err := evalReplicasEngine(eng, pipe, plat, replicas, cm)
 	if err != nil {
 		return Result{}, err
 	}
 	for len(free) > 0 {
 		u := free[0]
-		bestStage := -1
-		bestPeriod := current
+		// One candidate per stage: enlarge stage i with processor u.
+		stages := make([]int, 0, n)
+		tasks := make([]engine.Task, 0, n)
 		for i := 0; i < n; i++ {
 			cand := cloneReplicas(replicas)
 			cand[i] = append(cand[i], u)
 			sort.Ints(cand[i])
-			period, err := evalReplicas(pipe, plat, cand, cm)
+			mapp, err := mapping.New(cand, p)
 			if err != nil {
 				continue
 			}
-			if period.Less(bestPeriod) {
-				bestPeriod = period
-				bestStage = i
+			inst, err := model.FromMapped(pipe, plat, mapp)
+			if err != nil {
+				continue
+			}
+			stages = append(stages, i)
+			tasks = append(tasks, engine.Task{Inst: inst, Model: cm})
+		}
+		outs, err := eng.EvaluateBatch(ctx, tasks)
+		if err != nil {
+			return Result{}, err
+		}
+		bestStage := -1
+		bestPeriod := current
+		for j, o := range outs {
+			if o.Err != nil {
+				continue
+			}
+			if o.Result.Period.Less(bestPeriod) {
+				bestPeriod = o.Result.Period
+				bestStage = stages[j]
 			}
 		}
 		if bestStage < 0 {
@@ -170,6 +261,15 @@ func Greedy(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 // to another stage, add an unused one, or drop one) until a local optimum,
 // keeping the best mapping seen overall.
 func RandomSearch(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand, restarts, movesPerRestart int) (Result, error) {
+	return RandomSearchEngine(context.Background(), defaultEngine(), pipe, plat, cm, rng, restarts, movesPerRestart)
+}
+
+// RandomSearchEngine is RandomSearch with evaluations memoized by the
+// engine. Hill climbing is inherently sequential (each move depends on the
+// last accepted state), so the walk itself is untouched — the rng stream
+// and therefore the visited partitions match the serial path exactly — but
+// partitions revisited across moves and restarts are computed once.
+func RandomSearchEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand, restarts, movesPerRestart int) (Result, error) {
 	n := pipe.NumStages()
 	p := plat.NumProcs()
 	if n > p {
@@ -177,8 +277,11 @@ func RandomSearch(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.Com
 	}
 	var best Result
 	for r := 0; r < restarts; r++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		replicas := randomPartition(rng, n, p)
-		period, err := evalReplicas(pipe, plat, replicas, cm)
+		period, err := evalReplicasEngine(eng, pipe, plat, replicas, cm)
 		if err != nil {
 			continue
 		}
@@ -187,7 +290,7 @@ func RandomSearch(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.Com
 			if cand == nil {
 				continue
 			}
-			cperiod, err := evalReplicas(pipe, plat, cand, cm)
+			cperiod, err := evalReplicasEngine(eng, pipe, plat, cand, cm)
 			if err != nil {
 				continue
 			}
@@ -289,10 +392,10 @@ func cloneReplicas(replicas [][]int) [][]int {
 	return out
 }
 
-func evalReplicas(pipe *pipeline.Pipeline, plat *platform.Platform, replicas [][]int, cm model.CommModel) (rat.Rat, error) {
+func evalReplicasEngine(eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, replicas [][]int, cm model.CommModel) (rat.Rat, error) {
 	mapp, err := mapping.New(cloneReplicas(replicas), plat.NumProcs())
 	if err != nil {
 		return rat.Rat{}, err
 	}
-	return Evaluate(pipe, plat, mapp, cm)
+	return EvaluateEngine(eng, pipe, plat, mapp, cm)
 }
