@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check bench fmt
+.PHONY: all vet build test race check bench fmt
 
 all: vet build test
 
@@ -13,12 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
-# check = everything CI runs: vet, build, tests, and a short bench smoke
-# (one iteration per benchmark, just to prove they still run).
-check: vet build test bench
+race:
+	$(GO) test -race ./...
+
+# check = everything CI runs: vet, build, tests (plain and -race), and a
+# short bench smoke (one iteration per benchmark with -benchmem, so
+# allocation regressions show up in the log).
+check: vet build test race bench
 
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
 
 fmt:
 	gofmt -l -w .

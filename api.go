@@ -123,6 +123,35 @@ func ThroughputTPN(inst *Instance, cm CommModel) (Result, error) {
 	return core.PeriodTPN(inst, cm)
 }
 
+// Solver is a reusable single-threaded period-computation context: it owns
+// the unfolded-net builder, the cycle-ratio system and the contraction/Karp
+// workspace, so a loop evaluating many instances pays the allocations once.
+// Results are bit-identical to Throughput/ThroughputTPN. A Solver is not
+// safe for concurrent use — give each goroutine its own, or use Engine,
+// whose workers already do.
+type Solver struct {
+	s *core.Solver
+}
+
+// NewSolver returns a solver with the given row cap for the unfolded-TPN
+// method (0 = the default cap of 20000 rows).
+func NewSolver(maxRows int) *Solver {
+	s := core.NewSolver()
+	s.MaxRows = maxRows
+	return &Solver{s: s}
+}
+
+// Throughput computes the period on the solver's reused scratch.
+func (s *Solver) Throughput(inst *Instance, cm CommModel) (Result, error) {
+	return s.s.Period(inst, cm)
+}
+
+// ThroughputTPN forces the unfolded-TPN computation on the solver's reused
+// scratch.
+func (s *Solver) ThroughputTPN(inst *Instance, cm CommModel) (Result, error) {
+	return s.s.PeriodTPN(inst, cm)
+}
+
 // Resources returns the per-processor cycle-time decomposition
 // (Cin/Ccomp/Cout and the per-model Cexec); Mct is their maximum.
 func Resources(inst *Instance) []Resource {

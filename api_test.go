@@ -39,6 +39,29 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestSolverAPI(t *testing.T) {
+	s := NewSolver(0)
+	for _, inst := range []*Instance{ExampleA(), ExampleB(), ExampleA()} {
+		for _, cm := range []CommModel{Overlap, Strict} {
+			got, err := s.Throughput(inst, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Throughput(inst, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Period.Equal(want.Period) {
+				t.Fatalf("%v: solver %v != free %v", cm, got.Period, want.Period)
+			}
+		}
+	}
+	// A capped solver refuses what it cannot unfold.
+	if _, err := NewSolver(5).ThroughputTPN(ExampleA(), Strict); err == nil {
+		t.Fatal("cap 5 on m=6 should fail")
+	}
+}
+
 func TestExamplesExposed(t *testing.T) {
 	a, err := Throughput(ExampleA(), Overlap)
 	if err != nil {

@@ -250,6 +250,76 @@ func BenchmarkScalingDuplication(b *testing.B) {
 	}
 }
 
+// BenchmarkPeriodStrict is the acceptance benchmark of the zero-allocation
+// solver refactor: one strict-model evaluation (full unfolded-TPN
+// construction + critical cycle) through three paths. "fresh-solver"
+// allocates a new solver context per call — what a per-call (non-reusing)
+// path costs under the refactored code; the true pre-refactor free-function
+// path was far heavier still (1322 allocs/op on Example A strict, see the
+// before/after table in EXPERIMENTS.md). "free-function" is today's
+// core.PeriodTPN, which borrows from a pool of package-default solvers;
+// "reused-solver" holds one core.Solver the way each engine worker does.
+// Run with -benchmem: the reused solver must show >= 10x fewer allocs/op
+// than fresh-solver.
+func BenchmarkPeriodStrict(b *testing.B) {
+	rng := rand.New(rand.NewSource(2009))
+	inst := randomWithReps(rng, []int{4, 6}, 5, 15) // m = 12, 3 columns
+	want, err := core.PeriodTPN(inst, model.Strict)
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := func(b *testing.B, res core.Result, err error) {
+		if err != nil || !res.Period.Equal(want.Period) {
+			b.Fatalf("period %v err %v", res.Period, err)
+		}
+	}
+	b.Run("fresh-solver", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.NewSolver().PeriodTPN(inst, model.Strict)
+			check(b, res, err)
+		}
+	})
+	b.Run("free-function", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.PeriodTPN(inst, model.Strict)
+			check(b, res, err)
+		}
+	})
+	b.Run("reused-solver", func(b *testing.B) {
+		b.ReportAllocs()
+		s := core.NewSolver()
+		for i := 0; i < b.N; i++ {
+			res, err := s.PeriodTPN(inst, model.Strict)
+			check(b, res, err)
+		}
+	})
+}
+
+// BenchmarkPeriodOverlapPoly measures the Theorem 1 polynomial path through
+// a reused solver vs a fresh context per call.
+func BenchmarkPeriodOverlapPoly(b *testing.B) {
+	inst := examplesdata.ExampleC() // m = 10395, every pattern graph <= 7x9
+	b.Run("fresh-solver", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewSolver().PeriodOverlapPoly(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-solver", func(b *testing.B) {
+		b.ReportAllocs()
+		s := core.NewSolver()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.PeriodOverlapPoly(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEngines ablates the three exact cycle-ratio engines on the
 // Figure 10 sub-TPN system.
 func BenchmarkEngines(b *testing.B) {

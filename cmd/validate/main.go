@@ -11,19 +11,27 @@
 //
 // Any disagreement prints the offending instance and exits non-zero.
 //
+// Runs spread over the batch-evaluation engine's work-stealing pool
+// (instances are seeded independently, so the check set is identical at any
+// worker count) and Ctrl-C cancels cleanly mid-campaign.
+//
 // Usage:
 //
-//	validate [-runs 200] [-seed 1] [-maxrep 4] [-stages 4] [-quiet]
+//	validate [-runs 200] [-seed 1] [-maxrep 4] [-stages 4] [-quiet] [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/mpa"
 	"repro/internal/rat"
@@ -37,30 +45,51 @@ func main() {
 	maxRep := flag.Int("maxrep", 4, "maximum replication per stage")
 	maxStages := flag.Int("stages", 4, "maximum number of stages")
 	quiet := flag.Bool("quiet", false, "only print failures and the summary")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *runs < 0 {
+		*runs = 0
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := engine.New(engine.Options{Workers: *workers, CacheCapacity: -1})
+
 	t0 := time.Now()
-	bad := 0
-	for k := 0; k < *runs; k++ {
+	fails := make([]error, *runs) // per-run verdicts, reported in run order
+	var done atomic.Int64
+	err := eng.ForEach(ctx, *runs, func(k int) {
 		rng := rand.New(rand.NewSource(*seed + int64(k)))
 		inst := randomInstance(rng, 2+rng.Intn(*maxStages-1), *maxRep)
 		for _, cm := range model.Models() {
-			if err := check(inst, cm); err != nil {
-				bad++
-				fmt.Fprintf(os.Stderr, "FAIL run %d (%v, reps %v): %v\n",
-					k, cm, inst.ReplicationCounts(), err)
+			if cerr := check(inst, cm); cerr != nil {
+				fails[k] = fmt.Errorf("(%v, reps %v): %w", cm, inst.ReplicationCounts(), cerr)
+				break
 			}
 		}
-		if !*quiet && (k+1)%50 == 0 {
-			fmt.Printf("checked %d/%d instances (%v)\n", k+1, *runs, time.Since(t0).Round(time.Millisecond))
+		if n := done.Add(1); !*quiet && n%50 == 0 {
+			fmt.Printf("checked %d/%d instances (%v)\n", n, *runs, time.Since(t0).Round(time.Millisecond))
 		}
+	})
+	bad := 0
+	for k, ferr := range fails {
+		if ferr != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "FAIL run %d %v\n", k, ferr)
+		}
+	}
+	if err != nil {
+		// Interrupted: the disagreements recorded so far are already printed
+		// above — they are the evidence this tool exists to produce.
+		fmt.Fprintf(os.Stderr, "validate: interrupted (%d disagreements among completed runs)\n", bad)
+		os.Exit(130)
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "validate: %d disagreements\n", bad)
 		os.Exit(1)
 	}
-	fmt.Printf("validate: %d instances x 2 models, all engines agree (%v)\n",
-		*runs, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("validate: %d instances x 2 models, all engines agree (%d workers, %v)\n",
+		*runs, eng.Workers(), time.Since(t0).Round(time.Millisecond))
 }
 
 func check(inst *model.Instance, cm model.CommModel) error {

@@ -25,7 +25,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/petri"
 	"repro/internal/rat"
-	"repro/internal/tpn"
 )
 
 // Method identifies which algorithm produced a Result.
@@ -72,22 +71,22 @@ func (r Result) Gap() rat.Rat {
 // Period computes the period of the instance under the given model,
 // choosing the best algorithm: the polynomial algorithm for OVERLAP, the
 // general TPN method for STRICT (for which polynomiality is open, Section 6).
+// It is a thin wrapper over a pooled package-default Solver; hot loops
+// should hold their own Solver instead.
 func Period(inst *model.Instance, m model.CommModel) (Result, error) {
-	if m == model.Overlap {
-		return PeriodOverlapPoly(inst)
-	}
-	return PeriodTPN(inst, m)
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	return s.Period(inst, m)
 }
 
 // PeriodTPN computes the period by building the full unfolded TPN and
 // extracting its critical cycle. Works for both models; cost grows with
-// m = lcm(m_i) and the builder rejects instances beyond tpn.MaxRows.
+// m = lcm(m_i) and the builder rejects instances beyond tpn.MaxRows (use a
+// Solver with a custom MaxRows to raise the cap).
 func PeriodTPN(inst *model.Instance, m model.CommModel) (Result, error) {
-	net, err := tpn.Build(inst, m)
-	if err != nil {
-		return Result{}, err
-	}
-	return periodFromNet(inst, m, net)
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	return s.PeriodTPN(inst, m)
 }
 
 func periodFromNet(inst *model.Instance, m model.CommModel, net *petri.Net) (Result, error) {
@@ -114,33 +113,9 @@ func periodFromNet(inst *model.Instance, m model.CommModel, net *petri.Net) (Res
 // The first term covers computation columns (each processor's round-robin
 // circuit), the second communication columns via the pattern graphs.
 func PeriodOverlapPoly(inst *model.Instance) (Result, error) {
-	n := inst.NumStages()
-	period := rat.Zero()
-	// Computation columns.
-	for i := 0; i < n; i++ {
-		mi := int64(inst.Replication(i))
-		for a := 0; a < inst.Replication(i); a++ {
-			period = rat.Max(period, inst.CompTime(i, a).DivInt(mi))
-		}
-	}
-	// Communication columns.
-	for i := 0; i < n-1; i++ {
-		pat := NewCommPattern(inst, i)
-		for g := 0; g < pat.P; g++ {
-			cand, err := pat.ComponentPeriodCandidate(g)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: file F%d component %d: %w", i, g, err)
-			}
-			period = rat.Max(period, cand)
-		}
-	}
-	return Result{
-		Model:     model.Overlap,
-		Period:    period,
-		Mct:       inst.Mct(model.Overlap),
-		PathCount: inst.PathCount(),
-		Method:    MethodPoly,
-	}, nil
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	return s.PeriodOverlapPoly(inst)
 }
 
 // CommPattern carries the gcd/lcm decomposition of one communication column
@@ -206,8 +181,15 @@ func (cp CommPattern) ReceiverIndex(g, beta int) int { return g + beta*cp.P }
 // its single-token resource circuits, and the TPN-level ratio divides by m
 // to give the per-data-set period.
 func (cp CommPattern) PatternGraph(g int) *cycles.System {
+	return cp.PatternGraphInto(g, cycles.NewSystem(cp.U*cp.V))
+}
+
+// PatternGraphInto builds the pattern graph of component g into s, reusing
+// the system's storage (the Solver's polynomial path calls this once per
+// component with one shared system).
+func (cp CommPattern) PatternGraphInto(g int, s *cycles.System) *cycles.System {
 	u, v := cp.U, cp.V
-	s := cycles.NewSystem(u * v)
+	s.Reset(u * v)
 	id := func(alpha, beta int) int { return alpha*v + beta }
 	for alpha := 0; alpha < u; alpha++ {
 		a := (v * alpha) % u // component-local sender of grid row α

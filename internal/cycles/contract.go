@@ -3,7 +3,6 @@ package cycles
 import (
 	"fmt"
 
-	"repro/internal/graph"
 	"repro/internal/rat"
 )
 
@@ -18,18 +17,36 @@ import (
 //
 // The witness cycle in the result is expressed as edge indices of the
 // original system.
+//
+// MaxRatio allocates a fresh Workspace per call; hot loops should hold a
+// Workspace (or a core.Solver, which owns one) and call Workspace.MaxRatio
+// to amortize the scratch across evaluations.
 func (s *System) MaxRatio() (Result, error) {
-	if err := s.Validate(); err != nil {
-		return Result{}, err
+	var ws Workspace
+	return ws.MaxRatio(s)
+}
+
+// MaxRatio computes the maximum cycle ratio of s on the workspace's reused
+// scratch. It is the same algorithm as System.MaxRatio with the same
+// iteration orders, so results — ratio and witness cycle — are
+// bit-identical; only the allocation behaviour differs. s is not mutated.
+func (ws *Workspace) MaxRatio(s *System) (Result, error) {
+	for i, c := range s.Cost {
+		if c.Sign() < 0 {
+			return Result{}, fmt.Errorf("cycles: edge %d has negative cost %v", i, c)
+		}
 	}
-	if !s.hasCycle() {
+	if !ws.acyclic(s, true) {
+		return Result{}, ErrDeadlock
+	}
+	if ws.acyclic(s, false) {
 		return Result{}, ErrNoCycle
 	}
-	comp, ncomp := s.G.SCC()
+	comp, ncomp := ws.scc(s)
 	best := Result{}
 	found := false
 	for c := 0; c < ncomp; c++ {
-		r, ok, err := s.maxRatioSCC(comp, c)
+		r, ok, err := ws.maxRatioSCC(s, comp, c)
 		if err != nil {
 			return Result{}, err
 		}
@@ -56,127 +73,163 @@ type contractedEdge struct {
 	cost     rat.Rat // token edge cost + longest zero-token path cost
 	tokens   int64
 	// path reconstruction: the token edge index, then the zero-token edge
-	// indices of the longest path from its head to the target's tail.
-	tokenEdge int
-	pathEdges []int
+	// indices of the longest path from its head to the target's tail, stored
+	// in the workspace arena.
+	tokenEdge        int
+	pathOff, pathLen int
 }
 
 // maxRatioSCC contracts one strongly connected component and runs Karp on it.
-func (s *System) maxRatioSCC(comp []int, c int) (Result, bool, error) {
+func (ws *Workspace) maxRatioSCC(s *System, comp []int, c int) (Result, bool, error) {
 	// Intra-component edges, split into token edges and zero-token edges.
-	var tokenEdges, zeroEdges []int
+	ws.tokenEdges = ws.tokenEdges[:0]
+	ws.zeroEdges = ws.zeroEdges[:0]
 	for i, e := range s.G.Edges {
 		if comp[e.From] != c || comp[e.To] != c {
 			continue
 		}
 		if s.Tokens[e.ID] > 0 {
-			tokenEdges = append(tokenEdges, i)
+			ws.tokenEdges = append(ws.tokenEdges, i)
 		} else {
-			zeroEdges = append(zeroEdges, i)
+			ws.zeroEdges = append(ws.zeroEdges, i)
 		}
 	}
-	if len(tokenEdges) == 0 {
+	if len(ws.tokenEdges) == 0 {
 		// Component with no token edge: acyclic by liveness (validated), so
 		// it contributes no cycle.
 		return Result{}, false, nil
 	}
 
-	// Map component vertices to local ids and build the zero-token DAG.
-	local := make(map[int]int)
-	var verts []int
-	addVert := func(v int) int {
-		if id, ok := local[v]; ok {
-			return id
+	// Map component vertices to local ids (first-seen order: token edge
+	// endpoints, then zero edge endpoints — matching the historical order).
+	ws.epoch++
+	ws.localID = growInts(ws.localID, s.G.N)
+	ws.localStamp = growInts(ws.localStamp, s.G.N)
+	ws.verts = ws.verts[:0]
+	local := func(v int) int {
+		if ws.localStamp[v] == ws.epoch {
+			return ws.localID[v]
 		}
-		id := len(verts)
-		local[v] = id
-		verts = append(verts, v)
+		id := len(ws.verts)
+		ws.localStamp[v] = ws.epoch
+		ws.localID[v] = id
+		ws.verts = append(ws.verts, v)
 		return id
 	}
-	for _, ei := range tokenEdges {
-		addVert(s.G.Edges[ei].From)
-		addVert(s.G.Edges[ei].To)
+	for _, ei := range ws.tokenEdges {
+		local(s.G.Edges[ei].From)
+		local(s.G.Edges[ei].To)
 	}
-	for _, ei := range zeroEdges {
-		addVert(s.G.Edges[ei].From)
-		addVert(s.G.Edges[ei].To)
+	for _, ei := range ws.zeroEdges {
+		local(s.G.Edges[ei].From)
+		local(s.G.Edges[ei].To)
 	}
-	n := len(verts)
-	dag := graph.New(n)
-	for _, ei := range zeroEdges {
-		e := s.G.Edges[ei]
-		dag.AddEdge(local[e.From], local[e.To], ei)
+	n := len(ws.verts)
+
+	// Zero-token DAG adjacency over local vertices and its topological order.
+	nz := len(ws.zeroEdges)
+	ws.zeroStart = growInts(ws.zeroStart, n+1)
+	ws.zeroItems = growInts(ws.zeroItems, nz)
+	ws.keyTmp = growInts(ws.keyTmp, nz)
+	ws.valTmp = growInts(ws.valTmp, nz)
+	for j, ei := range ws.zeroEdges {
+		ws.keyTmp[j] = ws.localID[s.G.Edges[ei].From]
+		ws.valTmp[j] = j
 	}
-	order, err := dag.TopoOrder()
-	if err != nil {
+	ws.fillCSR(ws.zeroStart, ws.zeroItems, n, ws.keyTmp[:nz], ws.valTmp[:nz])
+	// Successor view of the same CSR (parallel to zeroItems), so the one
+	// Kahn implementation serves both the acyclicity checks and this
+	// topological order — the ordering discipline witness tie-breaking
+	// depends on lives in exactly one place.
+	ws.zeroSucc = growInts(ws.zeroSucc, nz)
+	for t := 0; t < nz; t++ {
+		ws.zeroSucc[t] = ws.localID[s.G.Edges[ws.zeroEdges[ws.zeroItems[t]]].To]
+	}
+	if ws.kahn(n, ws.zeroStart, ws.zeroSucc) != n {
 		return Result{}, false, ErrDeadlock
 	}
 
 	// Tails of token edges, for quick "is this vertex a contraction target".
-	tailsOf := make(map[int][]int) // local vertex -> token edge list positions
-	for pos, ei := range tokenEdges {
-		tailsOf[local[s.G.Edges[ei].From]] = append(tailsOf[local[s.G.Edges[ei].From]], pos)
+	nt := len(ws.tokenEdges)
+	ws.tailStart = growInts(ws.tailStart, n+1)
+	ws.tailItems = growInts(ws.tailItems, nt)
+	ws.keyTmp = growInts(ws.keyTmp, nt)
+	ws.valTmp = growInts(ws.valTmp, nt)
+	for j, ei := range ws.tokenEdges {
+		ws.keyTmp[j] = ws.localID[s.G.Edges[ei].From]
+		ws.valTmp[j] = j
 	}
+	ws.fillCSR(ws.tailStart, ws.tailItems, n, ws.keyTmp[:nt], ws.valTmp[:nt])
 
 	// For each token edge, longest zero-token path from its head to every
 	// reachable vertex (DAG DP), generating contracted edges to every token
 	// edge tail reached.
-	var cedges []contractedEdge
-	adj := dag.Adj()
-	for pos, ei := range tokenEdges {
-		head := local[s.G.Edges[ei].To]
-		dist := make([]rat.Rat, n)
-		has := make([]bool, n)
-		pred := make([]int, n) // incoming zero edge on longest path
-		for i := range pred {
-			pred[i] = -1
+	ws.dist = growRats(ws.dist, n)
+	ws.has = growBools(ws.has, n)
+	ws.pred = growInts(ws.pred, n)
+	ws.cedges = ws.cedges[:0]
+	ws.arena = ws.arena[:0]
+	for pos, ei := range ws.tokenEdges {
+		head := ws.localID[s.G.Edges[ei].To]
+		for i := 0; i < n; i++ {
+			ws.has[i] = false
+			ws.pred[i] = -1
 		}
-		has[head] = true
-		for _, u := range order {
-			if !has[u] {
+		ws.has[head] = true
+		ws.dist[head] = rat.Zero()
+		for _, u := range ws.order {
+			if !ws.has[u] {
 				continue
 			}
-			for _, zi := range adj[u] {
-				ze := dag.Edges[zi]
-				cand := dist[u].Add(s.Cost[ze.ID])
-				if !has[ze.To] || dist[ze.To].Less(cand) {
-					dist[ze.To] = cand
-					has[ze.To] = true
-					pred[ze.To] = ze.ID
+			for t := ws.zeroStart[u]; t < ws.zeroStart[u+1]; t++ {
+				zei := ws.zeroEdges[ws.zeroItems[t]]
+				to := ws.localID[s.G.Edges[zei].To]
+				cand := ws.dist[u].Add(s.Cost[zei])
+				if !ws.has[to] || ws.dist[to].Less(cand) {
+					ws.dist[to] = cand
+					ws.has[to] = true
+					ws.pred[to] = zei
 				}
 			}
 		}
 		for v := 0; v < n; v++ {
-			if !has[v] {
+			if !ws.has[v] {
 				continue
 			}
-			for _, toPos := range tailsOf[v] {
-				// Reconstruct the zero-token path head -> v.
-				var path []int
-				for x := v; pred[x] != -1; {
-					path = append([]int{pred[x]}, path...)
-					x = local[s.G.Edges[pred[x]].From]
+			for t := ws.tailStart[v]; t < ws.tailStart[v+1]; t++ {
+				toPos := ws.tailItems[t]
+				// Reconstruct the zero-token path head -> v into the arena.
+				ws.pathTmp = ws.pathTmp[:0]
+				for x := v; ws.pred[x] != -1; {
+					pe := ws.pred[x]
+					ws.pathTmp = append(ws.pathTmp, pe)
+					x = ws.localID[s.G.Edges[pe].From]
 				}
-				cedges = append(cedges, contractedEdge{
+				off := len(ws.arena)
+				for i := len(ws.pathTmp) - 1; i >= 0; i-- {
+					ws.arena = append(ws.arena, ws.pathTmp[i])
+				}
+				ws.cedges = append(ws.cedges, contractedEdge{
 					from:      pos,
 					to:        toPos,
-					cost:      s.Cost[ei].Add(dist[v]),
+					cost:      s.Cost[ei].Add(ws.dist[v]),
 					tokens:    int64(s.Tokens[ei]),
 					tokenEdge: ei,
-					pathEdges: path,
+					pathOff:   off,
+					pathLen:   len(ws.pathTmp),
 				})
 			}
 		}
 	}
-	if len(cedges) == 0 {
+	if len(ws.cedges) == 0 {
 		return Result{}, false, nil
 	}
 
 	// Expand multi-token contracted edges so Karp's uniform-token assumption
 	// holds. (The paper's TPNs only use single-token places; this keeps the
 	// engine general.)
-	expanded, nverts := expandTokens(cedges, len(tokenEdges))
-	lambda, cyc, ok := karpMaxMean(expanded, nverts)
+	nverts := ws.expandTokens(nt)
+	lambda, cyc, ok := ws.karpMaxMean(nverts)
 	if !ok {
 		return Result{}, false, nil
 	}
@@ -185,7 +238,7 @@ func (s *System) maxRatioSCC(comp []int, c int) (Result, bool, error) {
 	for _, ce := range cyc {
 		if ce.tokenEdge >= 0 {
 			witness = append(witness, ce.tokenEdge)
-			witness = append(witness, ce.pathEdges...)
+			witness = append(witness, ws.arena[ce.pathOff:ce.pathOff+ce.pathLen]...)
 		}
 	}
 	return Result{Ratio: lambda, Cycle: witness}, true, nil
@@ -195,17 +248,19 @@ func (s *System) maxRatioSCC(comp []int, c int) (Result, bool, error) {
 type meanEdge struct {
 	from, to  int
 	cost      rat.Rat
-	tokenEdge int   // original token edge (or -1 for expansion filler)
-	pathEdges []int // zero-token path following the token edge
+	tokenEdge int // original token edge (or -1 for expansion filler)
+	// zero-token path following the token edge, in the workspace arena
+	pathOff, pathLen int
 }
 
 // expandTokens converts contracted edges with k>1 tokens into k unit edges
-// through fresh intermediate vertices (cost on the first hop).
-func expandTokens(cedges []contractedEdge, n int) ([]meanEdge, int) {
-	var out []meanEdge
-	for _, ce := range cedges {
+// through fresh intermediate vertices (cost on the first hop). It fills
+// ws.medges and returns the vertex count of the expanded graph.
+func (ws *Workspace) expandTokens(n int) int {
+	ws.medges = ws.medges[:0]
+	for _, ce := range ws.cedges {
 		if ce.tokens == 1 {
-			out = append(out, meanEdge{ce.from, ce.to, ce.cost, ce.tokenEdge, ce.pathEdges})
+			ws.medges = append(ws.medges, meanEdge{ce.from, ce.to, ce.cost, ce.tokenEdge, ce.pathOff, ce.pathLen})
 			continue
 		}
 		prev := ce.from
@@ -217,33 +272,39 @@ func expandTokens(cedges []contractedEdge, n int) ([]meanEdge, int) {
 			}
 			cost := rat.Zero()
 			te := -1
-			var pe []int
+			off, ln := 0, 0
 			if k == 0 {
 				cost = ce.cost
 				te = ce.tokenEdge
-				pe = ce.pathEdges
+				off, ln = ce.pathOff, ce.pathLen
 			}
-			out = append(out, meanEdge{prev, to, cost, te, pe})
+			ws.medges = append(ws.medges, meanEdge{prev, to, cost, te, off, ln})
 			prev = to
 		}
 	}
-	return out, n
+	return n
 }
 
-// karpMaxMean computes the maximum mean-weight cycle over a graph given by
-// unit-token edges, exactly, together with a witness cycle. It handles
-// graphs that are not strongly connected by working per SCC.
-func karpMaxMean(edges []meanEdge, n int) (rat.Rat, []meanEdge, bool) {
-	g := graph.New(n)
-	for i, e := range edges {
-		g.AddEdge(e.from, e.to, i)
+// karpMaxMean computes the maximum mean-weight cycle over ws.medges, exactly,
+// together with a witness cycle. It handles graphs that are not strongly
+// connected by working per SCC.
+func (ws *Workspace) karpMaxMean(n int) (rat.Rat, []meanEdge, bool) {
+	m := len(ws.medges)
+	ws.karpStart = growInts(ws.karpStart, n+1)
+	ws.karpSucc = growInts(ws.karpSucc, m)
+	ws.keyTmp = growInts(ws.keyTmp, m)
+	ws.valTmp = growInts(ws.valTmp, m)
+	for j := range ws.medges {
+		ws.keyTmp[j] = ws.medges[j].from
+		ws.valTmp[j] = ws.medges[j].to
 	}
-	comp, ncomp := g.SCC()
+	ws.fillCSR(ws.karpStart, ws.karpSucc, n, ws.keyTmp[:m], ws.valTmp[:m])
+	comp, ncomp := ws.sccKarp.run(n, ws.karpStart, ws.karpSucc)
 	best := rat.Zero()
 	var bestCycle []meanEdge
 	found := false
 	for c := 0; c < ncomp; c++ {
-		lambda, cyc, ok := karpSCC(g, edges, comp, c)
+		lambda, cyc, ok := ws.karpSCC(comp, c, n)
 		if ok && (!found || best.Less(lambda)) {
 			best, bestCycle, found = lambda, cyc, true
 		}
@@ -251,55 +312,54 @@ func karpMaxMean(edges []meanEdge, n int) (rat.Rat, []meanEdge, bool) {
 	return best, bestCycle, found
 }
 
-// karpSCC runs Karp's algorithm on one strongly connected component.
-func karpSCC(g *graph.Digraph, edges []meanEdge, comp []int, c int) (rat.Rat, []meanEdge, bool) {
-	var verts []int
-	for v := 0; v < g.N; v++ {
+// karpSCC runs Karp's algorithm on one strongly connected component of the
+// expanded contracted graph.
+func (ws *Workspace) karpSCC(comp []int, c, nverts int) (rat.Rat, []meanEdge, bool) {
+	ws.karpVerts = ws.karpVerts[:0]
+	ws.karpID = growInts(ws.karpID, nverts)
+	for v := 0; v < nverts; v++ {
+		ws.karpID[v] = -1
 		if comp[v] == c {
-			verts = append(verts, v)
+			ws.karpID[v] = len(ws.karpVerts)
+			ws.karpVerts = append(ws.karpVerts, v)
 		}
 	}
-	var within []int
-	for i, e := range g.Edges {
-		if comp[e.From] == c && comp[e.To] == c {
-			within = append(within, i)
+	ws.karpWithin = ws.karpWithin[:0]
+	for i, e := range ws.medges {
+		if comp[e.from] == c && comp[e.to] == c {
+			ws.karpWithin = append(ws.karpWithin, i)
 		}
 	}
-	if len(within) == 0 {
+	if len(ws.karpWithin) == 0 {
 		return rat.Zero(), nil, false // trivial SCC without self loop
 	}
-	idx := make(map[int]int, len(verts))
-	for i, v := range verts {
-		idx[v] = i
-	}
-	n := len(verts)
+	n := len(ws.karpVerts)
 
-	// D[k][v] = max weight of a k-edge progression from source to v.
-	D := make([][]rat.Rat, n+1)
-	has := make([][]bool, n+1)
-	parent := make([][]int, n+1) // edge (index into `edges`) achieving D[k][v]
-	for k := 0; k <= n; k++ {
-		D[k] = make([]rat.Rat, n)
-		has[k] = make([]bool, n)
-		parent[k] = make([]int, n)
-		for i := range parent[k] {
-			parent[k][i] = -1
-		}
+	// D[k][v] = max weight of a k-edge progression from source to v,
+	// flattened row-major into reused tables.
+	size := (n + 1) * n
+	ws.kD = growRats(ws.kD, size)
+	ws.kHas = growBools(ws.kHas, size)
+	ws.kParent = growInts(ws.kParent, size)
+	for i := 0; i < size; i++ {
+		ws.kHas[i] = false
+		ws.kParent[i] = -1
 	}
-	has[0][0] = true
+	ws.kHas[0] = true
+	ws.kD[0] = rat.Zero()
 	for k := 1; k <= n; k++ {
-		for _, gi := range within {
-			e := g.Edges[gi]
-			me := edges[e.ID]
-			u, v := idx[e.From], idx[e.To]
-			if !has[k-1][u] {
+		row, prev := k*n, (k-1)*n
+		for _, mi := range ws.karpWithin {
+			me := &ws.medges[mi]
+			u, v := ws.karpID[me.from], ws.karpID[me.to]
+			if !ws.kHas[prev+u] {
 				continue
 			}
-			cand := D[k-1][u].Add(me.cost)
-			if !has[k][v] || D[k][v].Less(cand) {
-				D[k][v] = cand
-				has[k][v] = true
-				parent[k][v] = e.ID
+			cand := ws.kD[prev+u].Add(me.cost)
+			if !ws.kHas[row+v] || ws.kD[row+v].Less(cand) {
+				ws.kD[row+v] = cand
+				ws.kHas[row+v] = true
+				ws.kParent[row+v] = mi
 			}
 		}
 	}
@@ -308,17 +368,18 @@ func karpSCC(g *graph.Digraph, edges []meanEdge, comp []int, c int) (rat.Rat, []
 	found := false
 	best := rat.Zero()
 	bestV := -1
+	last := n * n
 	for v := 0; v < n; v++ {
-		if !has[n][v] {
+		if !ws.kHas[last+v] {
 			continue
 		}
 		inner := rat.Zero()
 		innerSet := false
 		for k := 0; k < n; k++ {
-			if !has[k][v] {
+			if !ws.kHas[k*n+v] {
 				continue
 			}
-			cand := D[n][v].Sub(D[k][v]).DivInt(int64(n - k))
+			cand := ws.kD[last+v].Sub(ws.kD[k*n+v]).DivInt(int64(n - k))
 			if !innerSet || cand.Less(inner) {
 				inner = cand
 				innerSet = true
@@ -339,24 +400,27 @@ func karpSCC(g *graph.Digraph, edges []meanEdge, comp []int, c int) (rat.Rat, []
 
 	// Witness: walk the n-edge progression ending at bestV back; some vertex
 	// repeats, and the enclosed sub-walk is a maximum mean cycle.
-	pathV := make([]int, n+1) // local vertices along the progression
-	pathE := make([]int, n+1) // edge arriving at pathV[k] (edges index)
-	pathV[n] = bestV
+	ws.pathV = growInts(ws.pathV, n+1) // local vertices along the progression
+	ws.pathE = growInts(ws.pathE, n+1) // edge arriving at pathV[k] (medge index)
+	ws.pathV[n] = bestV
 	for k := n; k >= 1; k-- {
-		ei := parent[k][pathV[k]]
-		pathE[k] = ei
-		pathV[k-1] = idx[edges[ei].from]
+		mi := ws.kParent[k*n+ws.pathV[k]]
+		ws.pathE[k] = mi
+		ws.pathV[k-1] = ws.karpID[ws.medges[mi].from]
 	}
-	seen := make(map[int]int) // local vertex -> first position
+	ws.seenPos = growInts(ws.seenPos, n)
+	for i := 0; i < n; i++ {
+		ws.seenPos[i] = -1
+	}
 	var cyc []meanEdge
 	for k := 0; k <= n; k++ {
-		if j, ok := seen[pathV[k]]; ok {
+		if j := ws.seenPos[ws.pathV[k]]; j >= 0 {
 			for t := j + 1; t <= k; t++ {
-				cyc = append(cyc, edges[pathE[t]])
+				cyc = append(cyc, ws.medges[ws.pathE[t]])
 			}
 			break
 		}
-		seen[pathV[k]] = k
+		ws.seenPos[ws.pathV[k]] = k
 	}
 	if len(cyc) == 0 {
 		panic(fmt.Sprintf("cycles: karp witness reconstruction failed (n=%d)", n))

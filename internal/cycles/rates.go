@@ -22,9 +22,10 @@ func (s *System) VertexRates() ([]rat.Rat, error) {
 	}
 	comp, ncomp := s.G.SCC()
 	// Per-SCC max cycle ratio (zero when the SCC has no cycle).
+	var ws Workspace
 	sccRatio := make([]rat.Rat, ncomp)
 	for c := 0; c < ncomp; c++ {
-		r, ok, err := s.maxRatioSCC(comp, c)
+		r, ok, err := ws.maxRatioSCC(s, comp, c)
 		if err != nil {
 			return nil, err
 		}

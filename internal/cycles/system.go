@@ -40,6 +40,19 @@ func NewSystem(n int) *System {
 	return &System{G: graph.New(n)}
 }
 
+// Reset empties the system and sets the vertex count to n, keeping the edge,
+// cost and token backing arrays so a solver loop can rebuild systems of
+// similar size without reallocating.
+func (s *System) Reset(n int) {
+	if s.G == nil {
+		s.G = graph.New(n)
+	} else {
+		s.G.Reset(n)
+	}
+	s.Cost = s.Cost[:0]
+	s.Tokens = s.Tokens[:0]
+}
+
 // AddEdge appends an edge u->v with the given cost and token count and
 // returns its index.
 func (s *System) AddEdge(u, v int, cost rat.Rat, tokens int) int {

@@ -1,0 +1,90 @@
+package cycles
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWorkspaceMatchesFreshMaxRatio reuses one Workspace across many
+// systems of varying size and requires results — ratio and witness cycle —
+// bit-identical to a fresh Workspace per call (what System.MaxRatio does):
+// reuse must never leak state between systems. Independent-implementation
+// equivalence is covered by TestWorkspaceMatchesHoward below and the
+// brute-force cross-checks in cycles_test.go.
+func TestWorkspaceMatchesFreshMaxRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var ws Workspace
+	for trial := 0; trial < 60; trial++ {
+		s := randomLiveSystem(rng, 2+rng.Intn(14))
+		got, gotErr := ws.MaxRatio(s)
+		want, wantErr := s.MaxRatio()
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: err %v vs %v", trial, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !got.Ratio.Equal(want.Ratio) {
+			t.Fatalf("trial %d: workspace ratio %v != fresh %v", trial, got.Ratio, want.Ratio)
+		}
+		if len(got.Cycle) != len(want.Cycle) {
+			t.Fatalf("trial %d: witness lengths differ: %v vs %v", trial, got.Cycle, want.Cycle)
+		}
+		for i := range got.Cycle {
+			if got.Cycle[i] != want.Cycle[i] {
+				t.Fatalf("trial %d: witness differs at %d: %v vs %v", trial, i, got.Cycle, want.Cycle)
+			}
+		}
+		if err := s.VerifyRatio(got.Ratio); err != nil {
+			t.Fatalf("trial %d: certificate: %v", trial, err)
+		}
+	}
+}
+
+// TestWorkspaceMatchesHoward cross-checks the workspace engine against
+// Howard policy iteration on the same random family.
+func TestWorkspaceMatchesHoward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ws Workspace
+	for trial := 0; trial < 30; trial++ {
+		s := randomLiveSystem(rng, 2+rng.Intn(10))
+		got, err := ws.MaxRatio(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		how, err := s.MaxRatioHoward()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Ratio.Equal(how.Ratio) {
+			t.Fatalf("trial %d: workspace %v != howard %v", trial, got.Ratio, how.Ratio)
+		}
+	}
+}
+
+// TestSystemResetReuse rebuilds different systems into one reused System
+// and checks results stay independent of what was built before.
+func TestSystemResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shared := NewSystem(0)
+	var ws Workspace
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		fresh := randomLiveSystem(rand.New(rand.NewSource(int64(trial))), n)
+		shared.Reset(n)
+		for i, e := range fresh.G.Edges {
+			shared.AddEdge(e.From, e.To, fresh.Cost[i], fresh.Tokens[i])
+		}
+		got, err := ws.MaxRatio(shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.MaxRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Ratio.Equal(want.Ratio) {
+			t.Fatalf("trial %d: reused-system ratio %v != fresh %v", trial, got.Ratio, want.Ratio)
+		}
+	}
+}

@@ -25,8 +25,16 @@
 //     partition's period does not depend on which heuristic proposed it.
 //     Evaluate canonicalizes the instance (model, replication vector, exact
 //     operation times) into a key and computes each distinct instance once.
-//     Keys are the full canonical string, not a hash, so a collision cannot
-//     silently return the wrong period.
+//     The cache is sharded 64 ways and indexed by a 64-bit hash computed
+//     while the key is built — a lookup never re-hashes the multi-KB
+//     canonical string — but every hit still compares the stored canonical
+//     string, so a hash collision cannot silently return the wrong period.
+//
+//   - Solver reuse. Every evaluation borrows a core.Solver from a pool
+//     owned by the engine: the unfolded net, the cycle-ratio system and the
+//     contraction/Karp workspace are reused across tasks instead of being
+//     rebuilt per call, which removes the allocation churn that dominated
+//     strict-model batches.
 package engine
 
 import (
@@ -49,6 +57,11 @@ type Options struct {
 	// CacheCapacity bounds the number of memoized results; 0 means
 	// DefaultCacheCapacity, negative disables memoization entirely.
 	CacheCapacity int
+	// MaxRows caps the unfolded-TPN size of the engine's solvers; 0 means
+	// the package default (tpn.MaxRows = 20000). Campaigns that can afford
+	// the memory may raise it — solver storage is reused across tasks, so a
+	// large net is paid for once per worker, not once per evaluation.
+	MaxRows int
 }
 
 // DefaultCacheCapacity is the memo-cache bound used when Options leaves
@@ -58,11 +71,12 @@ type Options struct {
 const DefaultCacheCapacity = 1 << 15
 
 // Engine evaluates batches of (instance, model) tasks on a fixed worker
-// pool. It is safe for concurrent use; the memo cache is shared by all
-// batches evaluated through the same Engine.
+// pool. It is safe for concurrent use; the memo cache and the solver pool
+// are shared by all batches evaluated through the same Engine.
 type Engine struct {
 	workers int
 	cache   *memoCache // nil when memoization is disabled
+	solvers sync.Pool  // *core.Solver, one borrowed per in-flight evaluation
 	hits    atomic.Int64
 	misses  atomic.Int64
 }
@@ -74,7 +88,13 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	maxRows := opts.MaxRows
 	e := &Engine{workers: w}
+	e.solvers.New = func() any {
+		s := core.NewSolver()
+		s.MaxRows = maxRows
+		return s
+	}
 	switch {
 	case opts.CacheCapacity < 0:
 		// memoization disabled
@@ -109,25 +129,33 @@ type Outcome struct {
 	Err    error
 }
 
-// Evaluate computes the period of a single task, consulting and filling the
-// memo cache. The returned Result is identical to core.Period on the same
-// arguments.
+// Evaluate computes the period of a single task on a pooled solver,
+// consulting and filling the memo cache. The returned Result is identical
+// to core.Period on the same arguments.
 func (e *Engine) Evaluate(t Task) (core.Result, error) {
 	if e.cache == nil {
-		return core.Period(t.Inst, t.Model)
+		return e.evaluateSolver(t)
 	}
-	k := canonicalKey(t)
-	if res, ok := e.cache.get(k); ok {
+	h, k := canonicalKey(t)
+	if res, ok := e.cache.get(h, k); ok {
 		e.hits.Add(1)
 		return res, nil
 	}
 	e.misses.Add(1)
-	res, err := core.Period(t.Inst, t.Model)
+	res, err := e.evaluateSolver(t)
 	if err != nil {
 		return res, err // errors are deterministic but cheap to rediscover
 	}
-	e.cache.put(k, res)
+	e.cache.put(h, k, res)
 	return res, nil
+}
+
+// evaluateSolver runs the actual period computation on a pooled solver;
+// cache hits never get here, so they skip the pool round-trip entirely.
+func (e *Engine) evaluateSolver(t Task) (core.Result, error) {
+	s := e.solvers.Get().(*core.Solver)
+	defer e.solvers.Put(s)
+	return s.Period(t.Inst, t.Model)
 }
 
 // EvaluateBatch evaluates tasks on the worker pool. out[i] always
@@ -302,61 +330,135 @@ func steal(spans []*span, self int) (int, bool) {
 	return 0, false
 }
 
+// fnv64 constants (FNV-1a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// keyHasher accumulates the canonical key string and its 64-bit FNV-1a hash
+// in one pass, so the cache never has to re-hash a multi-KB key at lookup
+// time.
+type keyHasher struct {
+	b strings.Builder
+	h uint64
+}
+
+func (k *keyHasher) writeString(s string) {
+	k.b.WriteString(s)
+	for i := 0; i < len(s); i++ {
+		k.h = (k.h ^ uint64(s[i])) * fnvPrime64
+	}
+}
+
+func (k *keyHasher) writeByte(c byte) {
+	k.b.WriteByte(c)
+	k.h = (k.h ^ uint64(c)) * fnvPrime64
+}
+
 // canonicalKey serializes everything the period depends on — the model, the
 // replication vector and the exact operation times — into a canonical
-// string. Processor ids and display names are deliberately excluded: two
-// mappings that induce the same timed structure share one cache entry.
-func canonicalKey(t Task) string {
+// string plus its hash. Processor ids and display names are deliberately
+// excluded: two mappings that induce the same timed structure share one
+// cache entry. The full string is stored alongside the hash and compared on
+// every hit, so a hash collision costs a string compare, never a wrong
+// period.
+func canonicalKey(t Task) (uint64, string) {
 	inst := t.Inst
 	n := inst.NumStages()
-	var b strings.Builder
-	b.Grow(16 * n * inst.MaxReplication())
-	b.WriteString(strconv.Itoa(int(t.Model)))
+	k := keyHasher{h: fnvOffset64}
+	k.b.Grow(16 * n * inst.MaxReplication())
+	k.writeString(strconv.Itoa(int(t.Model)))
 	for i := 0; i < n; i++ {
-		b.WriteByte('|')
+		k.writeByte('|')
 		for a := 0; a < inst.Replication(i); a++ {
-			b.WriteString(inst.CompTime(i, a).String())
-			b.WriteByte(',')
+			k.writeString(inst.CompTime(i, a).String())
+			k.writeByte(',')
 		}
 	}
 	for i := 0; i < n-1; i++ {
-		b.WriteByte('/')
+		k.writeByte('/')
 		for a := 0; a < inst.Replication(i); a++ {
 			for bb := 0; bb < inst.Replication(i+1); bb++ {
-				b.WriteString(inst.CommTime(i, a, bb).String())
-				b.WriteByte(',')
+				k.writeString(inst.CommTime(i, a, bb).String())
+				k.writeByte(',')
 			}
 		}
 	}
-	return b.String()
+	return k.h, k.b.String()
 }
 
-// memoCache is a bounded concurrent map. When full it stops inserting
-// rather than evicting. Which entries land before the bound fills depends
-// on worker interleaving, but that only moves the hit rate: a hit returns
-// the same Result a fresh computation would, so cache state never affects
-// what a batch returns.
+// memoShardCount is the number of independent cache shards. 64 shards keep
+// mutex pressure negligible for pools of up to dozens of workers while the
+// per-shard maps stay small.
+const memoShardCount = 64
+
+// memoCache is a bounded concurrent map, sharded by key hash to keep mutex
+// pressure off the worker pool. When the global bound is reached it stops
+// inserting rather than evicting. Which entries land before the bound fills
+// depends on worker interleaving, but that only moves the hit rate: a hit
+// returns the same Result a fresh computation would, so cache state never
+// affects what a batch returns.
 type memoCache struct {
-	mu  sync.RWMutex
-	cap int
-	m   map[string]core.Result
+	cap    int
+	count  atomic.Int64 // total entries across shards
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]memoEntry
+	// pad the shards apart so neighboring shard locks do not false-share a
+	// cache line.
+	_ [4]uint64
+}
+
+// memoEntry stores the full canonical key next to the result: the map is
+// keyed by hash, and the key comparison on hit is what makes collisions
+// harmless.
+type memoEntry struct {
+	key string
+	res core.Result
 }
 
 func newMemoCache(capacity int) *memoCache {
-	return &memoCache{cap: capacity, m: make(map[string]core.Result)}
-}
-
-func (c *memoCache) get(k string) (core.Result, bool) {
-	c.mu.RLock()
-	res, ok := c.m[k]
-	c.mu.RUnlock()
-	return res, ok
-}
-
-func (c *memoCache) put(k string, res core.Result) {
-	c.mu.Lock()
-	if len(c.m) < c.cap {
-		c.m[k] = res
+	c := &memoCache{cap: capacity}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64][]memoEntry)
 	}
-	c.mu.Unlock()
+	return c
 }
+
+func (c *memoCache) get(h uint64, k string) (core.Result, bool) {
+	sh := &c.shards[h%memoShardCount]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for i := range sh.m[h] {
+		if e := &sh.m[h][i]; e.key == k {
+			return e.res, true
+		}
+	}
+	return core.Result{}, false
+}
+
+func (c *memoCache) put(h uint64, k string, res core.Result) {
+	// The capacity check is advisory across shards: concurrent puts can
+	// overshoot by at most the number of in-flight workers, which keeps the
+	// bound while avoiding a global lock.
+	if c.count.Load() >= int64(c.cap) {
+		return
+	}
+	sh := &c.shards[h%memoShardCount]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := range sh.m[h] {
+		if sh.m[h][i].key == k {
+			return // raced with another worker computing the same task
+		}
+	}
+	sh.m[h] = append(sh.m[h], memoEntry{key: k, res: res})
+	c.count.Add(1)
+}
+
+// size returns the total number of cached entries (tests only).
+func (c *memoCache) size() int { return int(c.count.Load()) }

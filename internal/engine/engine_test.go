@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/rat"
+	"repro/internal/tpn"
 )
 
 // randomInstance draws an instance with the given replication counts and
@@ -252,7 +254,7 @@ func TestCacheCapacityStopsInserting(t *testing.T) {
 	if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(eng.cache.m); got > 3 {
+	if got := eng.cache.size(); got > 3 {
 		t.Fatalf("cache holds %d entries, cap 3", got)
 	}
 	// Results must still be correct beyond the cap.
@@ -274,15 +276,64 @@ func TestCanonicalKeyIgnoresProcessorIDs(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	a := randomInstance(t, rng, []int{2, 3}, 5, 15)
 	b := randomInstance(t, rng, []int{2, 3}, 5, 15)
-	ka := canonicalKey(Task{Inst: a, Model: model.Overlap})
-	kaAgain := canonicalKey(Task{Inst: a, Model: model.Overlap})
-	if ka != kaAgain {
+	ha, ka := canonicalKey(Task{Inst: a, Model: model.Overlap})
+	haAgain, kaAgain := canonicalKey(Task{Inst: a, Model: model.Overlap})
+	if ka != kaAgain || ha != haAgain {
 		t.Fatal("canonical key not stable")
 	}
-	if ka == canonicalKey(Task{Inst: a, Model: model.Strict}) {
+	if hs, ks := canonicalKey(Task{Inst: a, Model: model.Strict}); ka == ks || ha == hs {
 		t.Fatal("key ignores the communication model")
 	}
-	if ka == canonicalKey(Task{Inst: b, Model: model.Overlap}) {
+	if hb, kb := canonicalKey(Task{Inst: b, Model: model.Overlap}); ka == kb || ha == hb {
 		t.Fatal("distinct instances collided (times differ with probability ~1)")
+	}
+}
+
+func TestEngineMaxRowsOption(t *testing.T) {
+	// The row cap travels from Options into every pooled solver: a strict
+	// evaluation whose unfolded net exceeds it must fail per-task with
+	// tpn.ErrTooLarge, and a roomier engine must succeed on the same task.
+	rng := rand.New(rand.NewSource(3))
+	task := Task{Inst: randomInstance(t, rng, []int{2, 3}, 5, 15), Model: model.Strict} // m = 6
+	capped := New(Options{Workers: 1, MaxRows: 5})
+	_, err := capped.Evaluate(task)
+	var tooLarge tpn.ErrTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("got err %v, want ErrTooLarge", err)
+	}
+	if tooLarge.Rows != 6 || tooLarge.Cap != 5 {
+		t.Fatalf("ErrTooLarge = %+v, want Rows 6 Cap 5", tooLarge)
+	}
+	roomy := New(Options{Workers: 1, MaxRows: 6})
+	got, err := roomy.Evaluate(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Period(task.Inst, task.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Period.Equal(want.Period) {
+		t.Fatalf("capped-engine period %v != default %v", got.Period, want.Period)
+	}
+}
+
+func TestMemoCacheCollisionSafety(t *testing.T) {
+	// Two distinct canonical strings forced onto the same hash must coexist:
+	// the stored-key comparison, not the hash, decides a hit.
+	c := newMemoCache(DefaultCacheCapacity)
+	const h = uint64(42)
+	resA := core.Result{PathCount: 1}
+	resB := core.Result{PathCount: 2}
+	c.put(h, "instance-A", resA)
+	c.put(h, "instance-B", resB)
+	if got, ok := c.get(h, "instance-A"); !ok || got.PathCount != 1 {
+		t.Fatalf("entry A: got %+v ok=%v", got, ok)
+	}
+	if got, ok := c.get(h, "instance-B"); !ok || got.PathCount != 2 {
+		t.Fatalf("entry B: got %+v ok=%v", got, ok)
+	}
+	if _, ok := c.get(h, "instance-C"); ok {
+		t.Fatal("phantom hit on colliding hash with unknown key")
 	}
 }

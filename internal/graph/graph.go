@@ -43,22 +43,38 @@ func (g *Digraph) AddEdge(u, v, id int) int {
 }
 
 // Adj returns, for each vertex, the indices of its outgoing edges.
-// The slice is cached; callers must not mutate it.
+// The slice is cached; callers must not mutate it. All per-vertex lists
+// share one backing array, so building the adjacency costs three
+// allocations regardless of vertex count.
 func (g *Digraph) Adj() [][]int {
 	if g.adj == nil {
-		g.adj = make([][]int, g.N)
 		counts := make([]int, g.N)
 		for _, e := range g.Edges {
 			counts[e.From]++
 		}
+		g.adj = make([][]int, g.N)
+		flat := make([]int, len(g.Edges))
+		off := 0
 		for v := range g.adj {
-			g.adj[v] = make([]int, 0, counts[v])
+			g.adj[v] = flat[off : off : off+counts[v]]
+			off += counts[v]
 		}
 		for i, e := range g.Edges {
 			g.adj[e.From] = append(g.adj[e.From], i)
 		}
 	}
 	return g.adj
+}
+
+// Reset empties the graph and sets the vertex count to n, keeping the edge
+// backing array for reuse.
+func (g *Digraph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g.N = n
+	g.Edges = g.Edges[:0]
+	g.adj = nil
 }
 
 // SCC computes strongly connected components with an iterative Tarjan

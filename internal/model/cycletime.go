@@ -108,12 +108,10 @@ func (in *Instance) Resources() []Resource {
 // model. It is a lower bound for the period (Section 2) and equals the
 // period when no stage is replicated.
 func (in *Instance) Mct(m CommModel) rat.Rat {
-	res := in.Resources()
-	best := rat.Zero()
-	for _, r := range res {
-		best = rat.Max(best, r.Cexec(m))
+	if m == Overlap {
+		return in.mct[0]
 	}
-	return best
+	return in.mct[1]
 }
 
 // CriticalResources returns the resources whose cycle-time attains Mct.

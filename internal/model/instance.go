@@ -54,6 +54,22 @@ type Instance struct {
 	comm [][][]rat.Rat // comm[i][a][b]: transfer time of F_i from replica a of S_i to replica b of S_(i+1)
 	proc [][]int       // global processor id per (stage, replica); synthetic ids if built from raw times
 	name [][]string    // display name per (stage, replica)
+
+	// Derived quantities, precomputed at construction: instances are
+	// immutable, and the period-computation hot path asks for these on
+	// every evaluation.
+	pc  int64      // m = lcm(m_i)
+	mct [2]rat.Rat // maximum cycle-time, indexed Overlap/Strict
+}
+
+// finish precomputes the derived quantities; both constructors call it
+// exactly once on the fully-assembled instance.
+func (in *Instance) finish() {
+	in.pc = rat.LCMAll(in.ReplicationCounts())
+	for _, r := range in.Resources() {
+		in.mct[0] = rat.Max(in.mct[0], r.CexecOverlap)
+		in.mct[1] = rat.Max(in.mct[1], r.CexecStrict)
+	}
 }
 
 // FromMapped derives the instance of a (pipeline, platform, mapping) triple.
@@ -105,6 +121,7 @@ func FromMapped(pipe *pipeline.Pipeline, plat *platform.Platform, mapp *mapping.
 			}
 		}
 	}
+	inst.finish()
 	return inst, nil
 }
 
@@ -163,6 +180,7 @@ func FromTimes(comp [][]rat.Rat, comm [][][]rat.Rat) (*Instance, error) {
 			}
 		}
 	}
+	inst.finish()
 	return inst, nil
 }
 
@@ -181,8 +199,8 @@ func (in *Instance) ReplicationCounts() []int64 {
 	return out
 }
 
-// PathCount returns m = lcm(m_0..m_(n-1)).
-func (in *Instance) PathCount() int64 { return rat.LCMAll(in.ReplicationCounts()) }
+// PathCount returns m = lcm(m_0..m_(n-1)), precomputed at construction.
+func (in *Instance) PathCount() int64 { return in.pc }
 
 // CompTime returns the computation time of replica a of stage i.
 func (in *Instance) CompTime(i, a int) rat.Rat { return in.comp[i][a] }

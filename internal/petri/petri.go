@@ -7,11 +7,16 @@
 // theory (Baccelli et al.): after a transient, every transition fires once
 // per period P_tpn = max over cycles C of L(C)/t(C), where L(C) is the total
 // firing time along C and t(C) the number of tokens on C's places.
+//
+// The Net itself is a pure solve structure: transitions store only the
+// firing time and the grid metadata the algorithms need (row, column, kind,
+// stage, processors). Display strings — transition names for DOT output,
+// figure labels — are rendered lazily from that metadata (see render.go),
+// so building and solving a net allocates no label storage at all.
 package petri
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/cycles"
 	"repro/internal/rat"
@@ -41,6 +46,10 @@ func (k TransKind) String() string {
 
 // Transition is a timed transition of the event graph.
 type Transition struct {
+	// Name is an optional explicit display name. The workflow builders leave
+	// it empty — names are derivable from the grid metadata below and are
+	// rendered lazily by DisplayName, so the hot construction path never
+	// allocates label strings. Hand-built nets may still set it.
 	Name string
 	Time rat.Rat
 	// Grid coordinates in the paper's rectangular construction: Row is the
@@ -62,6 +71,10 @@ type Place struct {
 	From, To int // transition indices
 	Tokens   int // initial marking
 	Label    string
+	// Proc tags resource (round-robin circuit) places with the processor
+	// they serialize, -1 for precedence places; PlaceLabel renders the
+	// combination lazily so construction never concatenates label strings.
+	Proc int
 }
 
 // Net is a timed event graph.
@@ -72,15 +85,30 @@ type Net struct {
 	Rows, Cols int
 }
 
+// Reset empties the net and sets the grid dimensions, keeping the transition
+// and place backing arrays. Builders that construct nets in a loop (one per
+// evaluation) reuse the same Net through Reset instead of reallocating.
+func (n *Net) Reset(rows, cols int) {
+	n.Transitions = n.Transitions[:0]
+	n.Places = n.Places[:0]
+	n.Rows, n.Cols = rows, cols
+}
+
 // AddTransition appends a transition and returns its index.
 func (n *Net) AddTransition(t Transition) int {
 	n.Transitions = append(n.Transitions, t)
 	return len(n.Transitions) - 1
 }
 
-// AddPlace appends a place.
+// AddPlace appends a precedence place (no resource tag).
 func (n *Net) AddPlace(from, to, tokens int, label string) {
-	n.Places = append(n.Places, Place{From: from, To: to, Tokens: tokens, Label: label})
+	n.Places = append(n.Places, Place{From: from, To: to, Tokens: tokens, Label: label, Proc: -1})
+}
+
+// AddResourcePlace appends a place belonging to the round-robin circuit of
+// the given processor; PlaceLabel renders "<label> P<proc>" on demand.
+func (n *Net) AddResourcePlace(from, to, tokens int, label string, proc int) {
+	n.Places = append(n.Places, Place{From: from, To: to, Tokens: tokens, Label: label, Proc: proc})
 }
 
 // Validate checks structural sanity and liveness (no token-free cycle).
@@ -93,9 +121,9 @@ func (n *Net) Validate() error {
 			return fmt.Errorf("petri: place %d has negative marking", i)
 		}
 	}
-	for i, t := range n.Transitions {
-		if t.Time.Sign() < 0 {
-			return fmt.Errorf("petri: transition %d (%s) has negative firing time", i, t.Name)
+	for i := range n.Transitions {
+		if n.Transitions[i].Time.Sign() < 0 {
+			return fmt.Errorf("petri: transition %d (%s) has negative firing time", i, n.TransitionName(i))
 		}
 	}
 	if err := n.System().Validate(); err != nil {
@@ -104,15 +132,21 @@ func (n *Net) Validate() error {
 	return nil
 }
 
-// System converts the net to a cycle-ratio system: each place becomes an
-// edge whose cost is the firing time of its *input* transition, so that the
-// cost of a cycle equals the sum of firing times of the transitions on it.
-func (n *Net) System() *cycles.System {
-	s := cycles.NewSystem(len(n.Transitions))
+// SystemInto fills sys with the net's cycle-ratio system, reusing the
+// system's backing storage: each place becomes an edge whose cost is the
+// firing time of its *input* transition, so that the cost of a cycle equals
+// the sum of firing times of the transitions on it. It returns sys.
+func (n *Net) SystemInto(sys *cycles.System) *cycles.System {
+	sys.Reset(len(n.Transitions))
 	for _, p := range n.Places {
-		s.AddEdge(p.From, p.To, n.Transitions[p.From].Time, p.Tokens)
+		sys.AddEdge(p.From, p.To, n.Transitions[p.From].Time, p.Tokens)
 	}
-	return s
+	return sys
+}
+
+// System converts the net to a freshly allocated cycle-ratio system.
+func (n *Net) System() *cycles.System {
+	return n.SystemInto(cycles.NewSystem(len(n.Transitions)))
 }
 
 // TokenCount returns the total initial marking.
@@ -153,7 +187,8 @@ func (n *Net) SubNetByCols(cols ...int) *Net {
 		f, okF := remap[p.From]
 		t, okT := remap[p.To]
 		if okF && okT {
-			sub.AddPlace(f, t, p.Tokens, p.Label)
+			p.From, p.To = f, t
+			sub.Places = append(sub.Places, p)
 		}
 	}
 	return sub
@@ -162,51 +197,4 @@ func (n *Net) SubNetByCols(cols ...int) *Net {
 // MaxCycleRatio computes P_tpn = max_C L(C)/t(C) exactly, with a witness.
 func (n *Net) MaxCycleRatio() (cycles.Result, error) {
 	return n.System().MaxRatio()
-}
-
-// WriteDOT renders the net in Graphviz DOT format, grouping transitions by
-// row, for visual comparison with Figures 4, 5, 8, 9, 10 of the paper.
-func (n *Net) WriteDOT(w io.Writer, title string) error {
-	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", title); err != nil {
-		return err
-	}
-	for i, t := range n.Transitions {
-		label := fmt.Sprintf("%s\\n%v", t.Name, t.Time)
-		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\"];\n", i, label); err != nil {
-			return err
-		}
-	}
-	for _, p := range n.Places {
-		attrs := ""
-		if p.Tokens > 0 {
-			attrs = fmt.Sprintf(" [label=\"●x%d\", style=bold]", p.Tokens)
-			if p.Tokens == 1 {
-				attrs = " [label=\"●\", style=bold]"
-			}
-		}
-		if _, err := fmt.Fprintf(w, "  t%d -> t%d%s;\n", p.From, p.To, attrs); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintln(w, "}")
-	return err
-}
-
-// Stats summarizes the net size.
-type Stats struct {
-	Transitions int
-	Places      int
-	Tokens      int
-	Rows, Cols  int
-}
-
-// Stats returns size statistics.
-func (n *Net) Stats() Stats {
-	return Stats{
-		Transitions: len(n.Transitions),
-		Places:      len(n.Places),
-		Tokens:      n.TokenCount(),
-		Rows:        n.Rows,
-		Cols:        n.Cols,
-	}
 }

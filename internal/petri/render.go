@@ -1,0 +1,88 @@
+package petri
+
+// Render metadata, split from the solve structure: everything here exists
+// only for human-facing output (DOT graphs, figure labels, size summaries)
+// and is computed lazily from the grid metadata, so the construction and
+// critical-cycle hot path never pays for label strings.
+
+import (
+	"fmt"
+	"io"
+)
+
+// DisplayName renders the transition's descriptive name. An explicit Name
+// wins; otherwise the name is derived from the grid metadata exactly as the
+// builders historically spelled it: "S<stage>/P<proc>#<row>" for
+// computations and "F<file>:P<src>->P<dst>#<row>" for transfers.
+func (t *Transition) DisplayName() string {
+	if t.Name != "" {
+		return t.Name
+	}
+	if t.Kind == KindTransfer {
+		return fmt.Sprintf("F%d:P%d->P%d#%d", t.Stage, t.Proc, t.Dst, t.Row)
+	}
+	return fmt.Sprintf("S%d/P%d#%d", t.Stage, t.Proc, t.Row)
+}
+
+// TransitionName returns the display name of transition i.
+func (n *Net) TransitionName(i int) string {
+	return n.Transitions[i].DisplayName()
+}
+
+// PlaceLabel renders the display label of place i, appending the processor
+// identity for resource places ("rr-comp P3") exactly as the builders
+// historically spelled it.
+func (n *Net) PlaceLabel(i int) string {
+	p := &n.Places[i]
+	if p.Proc >= 0 {
+		return fmt.Sprintf("%s P%d", p.Label, p.Proc)
+	}
+	return p.Label
+}
+
+// WriteDOT renders the net in Graphviz DOT format, grouping transitions by
+// row, for visual comparison with Figures 4, 5, 8, 9, 10 of the paper.
+func (n *Net) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", title); err != nil {
+		return err
+	}
+	for i := range n.Transitions {
+		label := fmt.Sprintf("%s\\n%v", n.TransitionName(i), n.Transitions[i].Time)
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\"];\n", i, label); err != nil {
+			return err
+		}
+	}
+	for _, p := range n.Places {
+		attrs := ""
+		if p.Tokens > 0 {
+			attrs = fmt.Sprintf(" [label=\"●x%d\", style=bold]", p.Tokens)
+			if p.Tokens == 1 {
+				attrs = " [label=\"●\", style=bold]"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  t%d -> t%d%s;\n", p.From, p.To, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Stats summarizes the net size.
+type Stats struct {
+	Transitions int
+	Places      int
+	Tokens      int
+	Rows, Cols  int
+}
+
+// Stats returns size statistics.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Transitions: len(n.Transitions),
+		Places:      len(n.Places),
+		Tokens:      n.TokenCount(),
+		Rows:        n.Rows,
+		Cols:        n.Cols,
+	}
+}

@@ -5,6 +5,13 @@
 // Both nets are rectangular: m = lcm(m_0..m_(n-1)) rows (one per path of
 // Proposition 1) by 2n-1 columns (n computations interleaved with n-1 file
 // transfers). Construction is O(mn), as stated at the end of Section 3.
+//
+// Two entry points are provided. The free functions (Build, BuildOverlap,
+// BuildStrict) allocate a fresh validated net — use them when the net is
+// kept around (rendering, unrolling, simulation). A Builder constructs nets
+// into reused label-free storage with a configurable row cap — the period
+// stack (core.Solver, the batch engine) holds one per evaluation thread so
+// thousands of evaluations share one allocation footprint.
 package tpn
 
 import (
@@ -14,23 +21,72 @@ import (
 	"repro/internal/petri"
 )
 
-// MaxRows caps the unfolded-net size: m = lcm(m_i) can grow combinatorially
-// (Example C has m = 10395), and the paper itself reports runs of up to
-// 150,000 seconds caused by large duplication factors. Builders return
-// ErrTooLarge above the cap so experiment drivers can resample or fall back
-// to the polynomial algorithm.
+// MaxRows is the default cap on the unfolded-net size: m = lcm(m_i) can grow
+// combinatorially (Example C has m = 10395), and the paper itself reports
+// runs of up to 150,000 seconds caused by large duplication factors.
+// Builders return ErrTooLarge above the cap so experiment drivers can
+// resample or fall back to the polynomial algorithm. The cap is
+// configurable per Builder (and through core.Solver / engine.Options);
+// MaxRows is the default for the free functions and for builders that leave
+// MaxRows zero.
 const MaxRows = 20000
 
-// ErrTooLarge reports that the unfolded TPN would exceed MaxRows rows.
+// ErrTooLarge reports that the unfolded TPN would exceed the row cap.
 type ErrTooLarge struct {
 	Rows int64
+	// Cap is the row cap that was exceeded (MaxRows unless the builder was
+	// configured otherwise; 0 is normalized to MaxRows for errors produced
+	// before the cap was known).
+	Cap int
 }
 
 func (e ErrTooLarge) Error() string {
-	return fmt.Sprintf("tpn: unfolded net needs %d rows (cap %d)", e.Rows, MaxRows)
+	c := e.Cap
+	if c == 0 {
+		c = MaxRows
+	}
+	return fmt.Sprintf("tpn: unfolded net needs %d rows (cap %d)", e.Rows, c)
 }
 
-// Build constructs the TPN for the requested communication model.
+// Builder constructs unfolded TPNs into reused storage: the net's transition
+// and place arrays, and the row scratch of the round-robin circuits, are
+// kept across Build calls. The returned net is label-free (display names
+// render lazily from grid metadata) and remains valid only until the next
+// Build on the same Builder. A Builder is not safe for concurrent use; the
+// zero value is ready.
+type Builder struct {
+	// MaxRows caps the unfolded-net size; 0 means the package default
+	// (MaxRows = 20000).
+	MaxRows int
+
+	net  petri.Net
+	rows []int // scratch for rowsOfReplica
+}
+
+// RowCap returns the effective row cap.
+func (b *Builder) RowCap() int {
+	if b.MaxRows <= 0 {
+		return MaxRows
+	}
+	return b.MaxRows
+}
+
+// Build constructs the TPN for the requested communication model into the
+// builder's reused net. Unlike the free functions, Build skips the O(net)
+// structural re-validation: builder nets are correct by construction and the
+// cycle-ratio engine re-checks liveness on every solve.
+func (b *Builder) Build(inst *model.Instance, m model.CommModel) (*petri.Net, error) {
+	switch m {
+	case model.Overlap:
+		return b.BuildOverlap(inst)
+	case model.Strict:
+		return b.BuildStrict(inst)
+	default:
+		return nil, fmt.Errorf("tpn: unknown model %v", m)
+	}
+}
+
+// Build constructs a fresh, validated TPN for the requested model.
 func Build(inst *model.Instance, m model.CommModel) (*petri.Net, error) {
 	switch m {
 	case model.Overlap:
@@ -42,18 +98,19 @@ func Build(inst *model.Instance, m model.CommModel) (*petri.Net, error) {
 	}
 }
 
-// grid creates the m x (2n-1) transition grid shared by both models and the
+// grid fills the m x (2n-1) transition grid shared by both models and the
 // row-internal precedence places (constraint 1 of Subsection 3.2: F_i cannot
 // be sent before S_i completes, S_(i+1) cannot start before F_i arrives).
-func grid(inst *model.Instance) (*petri.Net, error) {
+func (b *Builder) grid(inst *model.Instance) (*petri.Net, error) {
 	m64 := inst.PathCount()
-	if m64 > MaxRows {
-		return nil, ErrTooLarge{Rows: m64}
+	if m64 > int64(b.RowCap()) {
+		return nil, ErrTooLarge{Rows: m64, Cap: b.RowCap()}
 	}
 	m := int(m64)
 	n := inst.NumStages()
 	cols := 2*n - 1
-	net := &petri.Net{Rows: m, Cols: cols}
+	net := &b.net
+	net.Reset(m, cols)
 	for j := 0; j < m; j++ {
 		for c := 0; c < cols; c++ {
 			var t petri.Transition
@@ -61,7 +118,6 @@ func grid(inst *model.Instance) (*petri.Net, error) {
 				i := c / 2
 				a := j % inst.Replication(i)
 				t = petri.Transition{
-					Name:  fmt.Sprintf("S%d/%s#%d", i, inst.ProcName(i, a), j),
 					Time:  inst.CompTime(i, a),
 					Row:   j,
 					Col:   c,
@@ -73,16 +129,15 @@ func grid(inst *model.Instance) (*petri.Net, error) {
 			} else {
 				i := (c - 1) / 2
 				a := j % inst.Replication(i)
-				b := j % inst.Replication(i+1)
+				bb := j % inst.Replication(i+1)
 				t = petri.Transition{
-					Name:  fmt.Sprintf("F%d:%s->%s#%d", i, inst.ProcName(i, a), inst.ProcName(i+1, b), j),
-					Time:  inst.CommTime(i, a, b),
+					Time:  inst.CommTime(i, a, bb),
 					Row:   j,
 					Col:   c,
 					Kind:  petri.KindTransfer,
 					Stage: i,
 					Proc:  inst.ProcID(i, a),
-					Dst:   inst.ProcID(i+1, b),
+					Dst:   inst.ProcID(i+1, bb),
 				}
 			}
 			net.AddTransition(t)
@@ -97,82 +152,80 @@ func grid(inst *model.Instance) (*petri.Net, error) {
 	return net, nil
 }
 
-// circuit adds the round-robin circuit through the given (row, col) cells in
-// row order: token-free places between consecutive cells and a single-token
-// place closing the loop (the paper's "a token is put in every place going
-// from T^{jk} to T^{j1}"). A single cell yields a self-loop with one token,
-// which serializes successive uses of the same resource.
-func circuit(net *petri.Net, rows []int, col int, label string) {
+// circuit adds the round-robin circuit of processor proc through the given
+// (row, col) cells in row order: token-free places between consecutive
+// cells and a single-token place closing the loop (the paper's "a token is
+// put in every place going from T^{jk} to T^{j1}"). A single cell yields a
+// self-loop with one token, which serializes successive uses of the same
+// resource.
+func circuit(net *petri.Net, rows []int, col int, label string, proc int) {
 	k := len(rows)
 	for l := 0; l+1 < k; l++ {
-		net.AddPlace(net.TransitionAt(rows[l], col), net.TransitionAt(rows[l+1], col), 0, label)
+		net.AddResourcePlace(net.TransitionAt(rows[l], col), net.TransitionAt(rows[l+1], col), 0, label, proc)
 	}
-	net.AddPlace(net.TransitionAt(rows[k-1], col), net.TransitionAt(rows[0], col), 1, label)
+	net.AddResourcePlace(net.TransitionAt(rows[k-1], col), net.TransitionAt(rows[0], col), 1, label, proc)
 }
 
 // rowsOfReplica lists, in increasing order, the rows on which replica a of
-// stage i appears (j ≡ a mod m_i).
-func rowsOfReplica(inst *model.Instance, i, a int) []int {
+// stage i appears (j ≡ a mod m_i), into the builder's reused scratch.
+func (b *Builder) rowsOfReplica(inst *model.Instance, i, a int) []int {
 	m := int(inst.PathCount())
 	mi := inst.Replication(i)
-	rows := make([]int, 0, m/mi)
+	b.rows = b.rows[:0]
 	for j := a; j < m; j += mi {
-		rows = append(rows, j)
+		b.rows = append(b.rows, j)
 	}
-	return rows
+	return b.rows
 }
 
-// BuildOverlap constructs the OVERLAP ONE-PORT net of Subsection 3.2. On top
-// of the shared grid it adds, per processor, three independent round-robin
-// circuits (constraints 2-4): one over its computations, one over its
-// outgoing transfers (unless it runs the last stage) and one over its
-// incoming transfers (unless it runs the first stage). Independent circuits
-// model full-duplex communication overlapped with computation.
-func BuildOverlap(inst *model.Instance) (*petri.Net, error) {
-	net, err := grid(inst)
+// BuildOverlap constructs the OVERLAP ONE-PORT net of Subsection 3.2 into
+// the builder's reused net. On top of the shared grid it adds, per
+// processor, three independent round-robin circuits (constraints 2-4): one
+// over its computations, one over its outgoing transfers (unless it runs the
+// last stage) and one over its incoming transfers (unless it runs the first
+// stage). Independent circuits model full-duplex communication overlapped
+// with computation.
+func (b *Builder) BuildOverlap(inst *model.Instance) (*petri.Net, error) {
+	net, err := b.grid(inst)
 	if err != nil {
 		return nil, err
 	}
 	n := inst.NumStages()
 	for i := 0; i < n; i++ {
 		for a := 0; a < inst.Replication(i); a++ {
-			rows := rowsOfReplica(inst, i, a)
-			name := inst.ProcName(i, a)
+			rows := b.rowsOfReplica(inst, i, a)
+			proc := inst.ProcID(i, a)
 			// Constraint 2: round-robin over computations.
-			circuit(net, rows, 2*i, "rr-comp "+name)
+			circuit(net, rows, 2*i, "rr-comp", proc)
 			// Constraint 3: round-robin over outgoing communications.
 			if i < n-1 {
-				circuit(net, rows, 2*i+1, "rr-out "+name)
+				circuit(net, rows, 2*i+1, "rr-out", proc)
 			}
 			// Constraint 4: round-robin over incoming communications.
 			if i > 0 {
-				circuit(net, rows, 2*i-1, "rr-in "+name)
+				circuit(net, rows, 2*i-1, "rr-in", proc)
 			}
 		}
-	}
-	if err := net.Validate(); err != nil {
-		return nil, err
 	}
 	return net, nil
 }
 
-// BuildStrict constructs the STRICT ONE-PORT net of Subsection 3.3. Each
-// processor is a single serial resource cycling through
-// receive -> compute -> send: a place links the send transition of each of
-// its rows to the receive transition of its next row (with the wrap place
-// carrying the token). Processors running the first (resp. last) stage have
-// no receive (resp. send); the circuit then starts at the computation
+// BuildStrict constructs the STRICT ONE-PORT net of Subsection 3.3 into the
+// builder's reused net. Each processor is a single serial resource cycling
+// through receive -> compute -> send: a place links the send transition of
+// each of its rows to the receive transition of its next row (with the wrap
+// place carrying the token). Processors running the first (resp. last) stage
+// have no receive (resp. send); the circuit then starts at the computation
 // (resp. ends at it).
-func BuildStrict(inst *model.Instance) (*petri.Net, error) {
-	net, err := grid(inst)
+func (b *Builder) BuildStrict(inst *model.Instance) (*petri.Net, error) {
+	net, err := b.grid(inst)
 	if err != nil {
 		return nil, err
 	}
 	n := inst.NumStages()
 	for i := 0; i < n; i++ {
 		for a := 0; a < inst.Replication(i); a++ {
-			rows := rowsOfReplica(inst, i, a)
-			name := inst.ProcName(i, a)
+			rows := b.rowsOfReplica(inst, i, a)
 			firstCol := 2 * i // compute column
 			if i > 0 {
 				firstCol = 2*i - 1 // receive column
@@ -188,14 +241,38 @@ func BuildStrict(inst *model.Instance) (*petri.Net, error) {
 				if next == 0 {
 					tokens = 1
 				}
-				net.AddPlace(
+				net.AddResourcePlace(
 					net.TransitionAt(rows[l], lastCol),
 					net.TransitionAt(rows[next], firstCol),
 					tokens,
-					"rr-strict "+name,
+					"rr-strict",
+					inst.ProcID(i, a),
 				)
 			}
 		}
+	}
+	return net, nil
+}
+
+// BuildOverlap constructs a fresh, validated OVERLAP ONE-PORT net.
+func BuildOverlap(inst *model.Instance) (*petri.Net, error) {
+	var b Builder
+	net, err := b.BuildOverlap(inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// BuildStrict constructs a fresh, validated STRICT ONE-PORT net.
+func BuildStrict(inst *model.Instance) (*petri.Net, error) {
+	var b Builder
+	net, err := b.BuildStrict(inst)
+	if err != nil {
+		return nil, err
 	}
 	if err := net.Validate(); err != nil {
 		return nil, err
