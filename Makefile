@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench fmt
+# Coverage gate: these packages hold the exact period engines and must stay
+# above the floor (CI enforces it via `make cover`).
+COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core
+COVER_MIN  = 75
+
+# Fuzz smoke budget per target (CI runs `make fuzz` on top of the corpus
+# replay that plain `go test` already performs).
+FUZZTIME ?= 10s
+
+.PHONY: all vet build test race check bench cover fuzz fmt
 
 all: vet build test
 
@@ -16,13 +25,31 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check = everything CI runs: vet, build, tests (plain and -race), and a
-# short bench smoke (one iteration per benchmark with -benchmem, so
-# allocation regressions show up in the log).
-check: vet build test race bench
+# check = everything CI runs: vet, build, tests (plain and -race), the
+# coverage gate, the fuzz smoke, and a short bench smoke (one iteration per
+# benchmark with -benchmem, so allocation regressions show up in the log).
+check: vet build test race cover fuzz bench
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
+
+# cover fails when any of COVER_PKGS drops below COVER_MIN% statement
+# coverage.
+cover:
+	@fail=0; \
+	for p in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover $$p | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+'); \
+		if [ -z "$$pct" ]; then echo "$$p: no coverage reported"; fail=1; continue; fi; \
+		echo "$$p: $$pct% (floor $(COVER_MIN)%)"; \
+		if [ "$$(awk -v p="$$pct" -v m=$(COVER_MIN) 'BEGIN{print (p+0 >= m) ? 1 : 0}')" != "1" ]; then fail=1; fi; \
+	done; \
+	if [ "$$fail" = "1" ]; then echo "FAIL: coverage below $(COVER_MIN)%"; exit 1; fi
+
+# fuzz runs each native fuzz target for FUZZTIME of coverage-guided input
+# generation (the committed corpora under testdata/fuzz replay in plain
+# `go test` runs).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzPeriodBackends -fuzztime $(FUZZTIME) ./internal/core
 
 fmt:
 	gofmt -l -w .

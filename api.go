@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/examplesdata"
@@ -61,7 +62,27 @@ type (
 	EvalOutcome = engine.Outcome
 	// SweepPoint is one point of the runtime-vs-duplication sweep.
 	SweepPoint = exper.SweepPoint
+	// Backend selects the exact maximum-cycle-ratio engine (see the
+	// Backend* constants). All backends return identical exact results;
+	// they differ only in running time.
+	Backend = cycles.Backend
 )
+
+// Cycle-ratio backends. BackendAuto (the zero value, and the default of
+// Solver and Engine) routes by token-edge share: Karp's contracted dynamic
+// program where token edges are sparse and contraction shrinks the graph,
+// Howard policy iteration where they are plentiful and contraction would
+// degenerate — deterministically, so batch results stay bit-identical at
+// any choice.
+const (
+	BackendAuto   = cycles.BackendAuto
+	BackendKarp   = cycles.BackendKarp
+	BackendHoward = cycles.BackendHoward
+)
+
+// ParseBackend parses "auto", "karp" or "howard" — the values the
+// commands' -backend flags accept.
+func ParseBackend(s string) (Backend, error) { return cycles.ParseBackend(s) }
 
 // Communication models.
 const (
@@ -134,11 +155,20 @@ type Solver struct {
 }
 
 // NewSolver returns a solver with the given row cap for the unfolded-TPN
-// method (0 = the default cap of 20000 rows).
+// method (0 = the default cap of 20000 rows) and the automatic cycle-ratio
+// backend; use SetBackend to force one.
 func NewSolver(maxRows int) *Solver {
 	s := core.NewSolver()
 	s.MaxRows = maxRows
 	return &Solver{s: s}
+}
+
+// SetBackend selects the solver's exact cycle-ratio backend (BackendAuto,
+// BackendKarp or BackendHoward) and returns the solver for chaining.
+// Results are identical across backends; only the running time changes.
+func (s *Solver) SetBackend(b Backend) *Solver {
+	s.s.Backend = b
+	return s
 }
 
 // Throughput computes the period on the solver's reused scratch.

@@ -15,11 +15,13 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/engine"
 	"repro/internal/examplesdata"
 	"repro/internal/exper"
 	"repro/internal/gantt"
 	"repro/internal/model"
+	"repro/internal/mpa"
 	"repro/internal/rat"
 	"repro/internal/sim"
 	"repro/internal/tpn"
@@ -318,6 +320,93 @@ func BenchmarkPeriodOverlapPoly(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPeriodBackends races the two exact cycle-ratio backends — token
+// contraction + Karp vs Howard policy iteration — on the strict-model
+// unfolded nets of the scaling families (the workload that motivates the
+// backend selection layer: Karp's contracted-graph dynamic program grows
+// quadratically with the net while Howard converges in a handful of policy
+// sweeps). EXPERIMENTS.md records the measured table; the acceptance bar is
+// a >= 2x Howard advantage on the largest family.
+func BenchmarkPeriodBackends(b *testing.B) {
+	rng := rand.New(rand.NewSource(2009))
+	for _, reps := range [][]int{{2, 3}, {4, 5}, {6, 7}, {8, 9}, {11, 13}, {13, 16}} {
+		inst := randomWithReps(rng, reps, 5, 15)
+		net, err := tpn.Build(inst, model.Strict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := net.System()
+		var ws cycles.Workspace
+		want, err := ws.MaxRatio(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		check := func(b *testing.B, res cycles.Result, err error) {
+			if err != nil || !res.Ratio.Equal(want.Ratio) {
+				b.Fatalf("ratio %v err %v, want %v", res.Ratio, err, want.Ratio)
+			}
+		}
+		b.Run(fmt.Sprintf("karp/m=%d", inst.PathCount()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ws.MaxRatio(sys)
+				check(b, res, err)
+			}
+		})
+		b.Run(fmt.Sprintf("howard/m=%d", inst.PathCount()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ws.MaxRatioHoward(sys)
+				check(b, res, err)
+			}
+		})
+	}
+}
+
+// BenchmarkSpectralBackends races the backends on the max-plus recurrence
+// matrices of the scaling families — the mpa route, where every precedence
+// edge carries a token, token contraction degenerates to the identity and
+// Karp's dynamic program pays its full Θ(V·E) with a Θ(V²) exact table.
+// This is the workload the Howard backend exists for (and what the auto
+// heuristic's token-edge count routes to Howard); the acceptance bar is a
+// >= 2x Howard advantage on the largest family, recorded in EXPERIMENTS.md.
+func BenchmarkSpectralBackends(b *testing.B) {
+	rng := rand.New(rand.NewSource(2009))
+	for _, reps := range [][]int{{2, 3}, {4, 5}, {6, 7}, {8, 9}, {11, 13}} {
+		inst := randomWithReps(rng, reps, 5, 15)
+		net, err := tpn.Build(inst, model.Strict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := mpa.FromNet(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := a.PrecedenceSystem()
+		var ws cycles.Workspace
+		want, err := ws.MaxRatioHoward(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		check := func(b *testing.B, res cycles.Result, err error) {
+			if err != nil || !res.Ratio.Equal(want.Ratio) {
+				b.Fatalf("ratio %v err %v, want %v", res.Ratio, err, want.Ratio)
+			}
+		}
+		name := fmt.Sprintf("m=%d/V=%d/E=%d", inst.PathCount(), sys.G.N, len(sys.G.Edges))
+		b.Run("karp/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ws.MaxRatio(sys)
+				check(b, res, err)
+			}
+		})
+		b.Run("howard/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ws.MaxRatioHoward(sys)
+				check(b, res, err)
+			}
+		})
+	}
 }
 
 // BenchmarkEngines ablates the three exact cycle-ratio engines on the

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	mapsearch [-stages 3] [-procs 8] [-seed 1] [-model overlap] [-restarts 20] [-workers 0]
+//	mapsearch [-stages 3] [-procs 8] [-seed 1] [-model overlap] [-restarts 20] [-workers 0] [-backend auto]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/cycles"
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/pipeline"
@@ -36,6 +37,7 @@ func main() {
 	modelName := flag.String("model", "overlap", "communication model")
 	restarts := flag.Int("restarts", 20, "hill-climbing restarts")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", "auto", "cycle-ratio backend: auto, karp or howard")
 	flag.Parse()
 
 	var cm model.CommModel
@@ -48,9 +50,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mapsearch: unknown model %q\n", *modelName)
 		os.Exit(1)
 	}
+	backend, err := cycles.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapsearch:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	eng := engine.New(engine.Options{Workers: *workers})
+	eng := engine.New(engine.Options{Workers: *workers, Backend: backend})
 
 	rng := rand.New(rand.NewSource(*seed))
 	pipe := pipeline.Random(rng, *stages, 50, 500)

@@ -9,7 +9,11 @@
 //
 // Usage:
 //
-//	scaling [-seed 2009] [-workers 1]
+//	scaling [-seed 2009] [-workers 1] [-backend auto]
+//
+// -backend selects the cycle-ratio engine (auto, karp, howard): the sweep's
+// periods are identical under every backend, but the unfolded-TPN wall-time
+// column directly exposes the Karp-vs-Howard cost gap on growing nets.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/cycles"
 	"repro/internal/engine"
 	"repro/internal/exper"
 )
@@ -26,11 +31,17 @@ import (
 func main() {
 	seed := flag.Int64("seed", 2009, "random seed for the instance times")
 	workers := flag.Int("workers", 1, "engine worker-pool size (1 = faithful per-point timings)")
+	backendName := flag.String("backend", "auto", "cycle-ratio backend: auto, karp or howard")
 	flag.Parse()
 
+	backend, err := cycles.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	eng := engine.New(engine.Options{Workers: *workers})
+	eng := engine.New(engine.Options{Workers: *workers, Backend: backend})
 
 	pts, err := exper.RuntimeSweepEngine(ctx, eng, *seed, exper.DefaultSweepPairs())
 	if err != nil {

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/examplesdata"
@@ -20,10 +22,28 @@ import (
 )
 
 func main() {
-	example := flag.String("example", "A", "built-in example: A, B or C")
-	modelName := flag.String("model", "overlap", "communication model: overlap or strict")
-	col := flag.Int("col", -1, "restrict to one TPN column (-1 = full net)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed
+		}
+		fmt.Fprintln(os.Stderr, "tpndot:", err)
+		os.Exit(1)
+	}
+}
+
+// run emits the DOT for the given arguments. The DOT itself is the only
+// stdout output (the net stats line goes to stderr), so stdout is
+// byte-deterministic for a fixed flag set — the property the golden-file
+// test pins.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tpndot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	example := fs.String("example", "A", "built-in example: A, B or C")
+	modelName := fs.String("model", "overlap", "communication model: overlap or strict")
+	col := fs.Int("col", -1, "restrict to one TPN column (-1 = full net)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var inst *model.Instance
 	switch *example {
@@ -34,8 +54,7 @@ func main() {
 	case "C", "c":
 		inst = examplesdata.ExampleC()
 	default:
-		fmt.Fprintf(os.Stderr, "tpndot: unknown example %q\n", *example)
-		os.Exit(1)
+		return fmt.Errorf("unknown example %q", *example)
 	}
 	var cm model.CommModel
 	switch *modelName {
@@ -44,13 +63,11 @@ func main() {
 	case "strict":
 		cm = model.Strict
 	default:
-		fmt.Fprintf(os.Stderr, "tpndot: unknown model %q\n", *modelName)
-		os.Exit(1)
+		return fmt.Errorf("unknown model %q", *modelName)
 	}
 	net, err := tpn.Build(inst, cm)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tpndot:", err)
-		os.Exit(1)
+		return err
 	}
 	title := fmt.Sprintf("example %s %v", *example, cm)
 	if *col >= 0 {
@@ -58,10 +75,7 @@ func main() {
 		title += fmt.Sprintf(" col %d", *col)
 	}
 	st := net.Stats()
-	fmt.Fprintf(os.Stderr, "net: %d transitions, %d places, %d tokens\n",
+	fmt.Fprintf(stderr, "net: %d transitions, %d places, %d tokens\n",
 		st.Transitions, st.Places, st.Tokens)
-	if err := net.WriteDOT(os.Stdout, title); err != nil {
-		fmt.Fprintln(os.Stderr, "tpndot:", err)
-		os.Exit(1)
-	}
+	return net.WriteDOT(stdout, title)
 }

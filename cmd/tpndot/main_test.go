@@ -1,0 +1,50 @@
+package main
+
+// Golden-file test: the DOT bytes on stdout are pinned for the four
+// figure-generating invocations of the command. Run with -update to
+// regenerate testdata after an intentional rendering change.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func TestGoldenDOT(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"exampleA-overlap", []string{"-example", "A", "-model", "overlap"}},
+		{"exampleA-strict", []string{"-example", "A", "-model", "strict"}},
+		{"exampleA-overlap-col3", []string{"-example", "A", "-model", "overlap", "-col", "3"}},
+		{"exampleB-overlap-col1", []string{"-example", "B", "-model", "overlap", "-col", "1"}},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(c.args, &stdout, &stderr); err != nil {
+				t.Fatalf("run %v: %v\nstderr: %s", c.args, err, stderr.String())
+			}
+			path := filepath.Join("testdata", c.golden+".golden")
+			if *update {
+				if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./cmd/tpndot -update` to create)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output differs from %s (rerun with -update after an intentional change)\ngot %d bytes, want %d",
+					path, stdout.Len(), len(want))
+			}
+		})
+	}
+}

@@ -1,7 +1,8 @@
 // Command validate is the repository's self-check: on random instances it
-// computes the period in up to six independent ways and verifies that they
-// agree exactly:
+// computes the period in up to seven independent ways and verifies that
+// they agree exactly:
 //
+//  0. the production core.Solver path under the -backend flag's engine;
 //  1. Theorem 1 polynomial algorithm (overlap model only);
 //  2. unfolded-TPN critical cycle via token contraction + Karp;
 //  3. unfolded-TPN critical cycle via Howard policy iteration;
@@ -17,7 +18,10 @@
 //
 // Usage:
 //
-//	validate [-runs 200] [-seed 1] [-maxrep 4] [-stages 4] [-quiet] [-workers 0]
+//	validate [-runs 200] [-seed 1] [-maxrep 4] [-stages 4] [-quiet] [-workers 0] [-backend auto]
+//
+// -backend selects the cycle-ratio engine of the production solver path
+// (check 0 below); the Karp and Howard cross-checks always run regardless.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/mpa"
@@ -46,23 +51,29 @@ func main() {
 	maxStages := flag.Int("stages", 4, "maximum number of stages")
 	quiet := flag.Bool("quiet", false, "only print failures and the summary")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", "auto", "cycle-ratio backend of the production solver path: auto, karp or howard")
 	flag.Parse()
 
+	backend, err := cycles.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
 	if *runs < 0 {
 		*runs = 0
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	eng := engine.New(engine.Options{Workers: *workers, CacheCapacity: -1})
+	eng := engine.New(engine.Options{Workers: *workers, CacheCapacity: -1, Backend: backend})
 
 	t0 := time.Now()
 	fails := make([]error, *runs) // per-run verdicts, reported in run order
 	var done atomic.Int64
-	err := eng.ForEach(ctx, *runs, func(k int) {
+	err = eng.ForEach(ctx, *runs, func(k int) {
 		rng := rand.New(rand.NewSource(*seed + int64(k)))
 		inst := randomInstance(rng, 2+rng.Intn(*maxStages-1), *maxRep)
 		for _, cm := range model.Models() {
-			if cerr := check(inst, cm); cerr != nil {
+			if cerr := check(inst, cm, backend); cerr != nil {
 				fails[k] = fmt.Errorf("(%v, reps %v): %w", cm, inst.ReplicationCounts(), cerr)
 				break
 			}
@@ -92,7 +103,7 @@ func main() {
 		*runs, eng.Workers(), time.Since(t0).Round(time.Millisecond))
 }
 
-func check(inst *model.Instance, cm model.CommModel) error {
+func check(inst *model.Instance, cm model.CommModel, backend cycles.Backend) error {
 	net, err := tpn.Build(inst, cm)
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
@@ -105,6 +116,18 @@ func check(inst *model.Instance, cm model.CommModel) error {
 		return fmt.Errorf("contract: %w", err)
 	}
 	period := crit.Ratio.DivInt(m)
+
+	// 0. the production solver path under the selected backend: what the
+	// engine's workers actually run must agree with every reference engine.
+	solver := core.NewSolver()
+	solver.Backend = backend
+	prod, err := solver.Period(inst, cm)
+	if err != nil {
+		return fmt.Errorf("solver(%v): %w", backend, err)
+	}
+	if !prod.Period.Equal(period) {
+		return fmt.Errorf("solver(%v) %v != tpn %v", backend, prod.Period, period)
+	}
 
 	// 1. polynomial algorithm (overlap only).
 	if cm == model.Overlap {

@@ -1,0 +1,103 @@
+package core_test
+
+// Native fuzz target cross-checking the exact period backends: fuzz bytes
+// decode into a small timed instance (every byte string decodes into a
+// valid one, so no corpus entry is wasted on parse failures) and Karp,
+// Howard, the production solver paths and — on the overlap model — the
+// Theorem 1 polynomial algorithm must agree exactly. A seeded corpus lives
+// in testdata/fuzz/FuzzPeriodBackends; CI runs a short -fuzz smoke on top
+// of the regression replay that plain `go test` performs.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/model"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+// fuzzReader doles out bytes, padding with zeros once the input runs dry —
+// decoding never fails, it only gets less interesting.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// decodeFuzzInstance turns arbitrary bytes into a small valid instance:
+// 2..4 stages, replication 1..3, operation times 1..16 (shape shared with
+// the differential harness via buildInstance).
+func decodeFuzzInstance(data []byte) *model.Instance {
+	r := &fuzzReader{data: data}
+	n := 2 + int(r.next())%3
+	reps := make([]int, n)
+	for i := range reps {
+		reps[i] = 1 + int(r.next())%3
+	}
+	return buildInstance(reps, func() rat.Rat { return rat.FromInt(1 + int64(r.next())%16) })
+}
+
+func FuzzPeriodBackends(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte("replicated-workflow-period"))
+	f.Add([]byte{2, 3, 3, 3, 3, 15, 1, 15, 1, 15, 1, 15, 1, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst := decodeFuzzInstance(data)
+		var karpWS, howardWS cycles.Workspace
+		for _, cm := range model.Models() {
+			net, err := tpn.Build(inst, cm)
+			if err != nil {
+				t.Fatalf("%v: build: %v", cm, err)
+			}
+			sys := net.System()
+			karp, err := karpWS.MaxRatio(sys)
+			if err != nil {
+				t.Fatalf("%v: karp: %v", cm, err)
+			}
+			how, err := howardWS.MaxRatioHoward(sys)
+			if err != nil {
+				t.Fatalf("%v: howard: %v", cm, err)
+			}
+			if !how.Ratio.Equal(karp.Ratio) {
+				t.Fatalf("%v: howard %v != karp %v (reps %v)", cm, how.Ratio, karp.Ratio, inst.ReplicationCounts())
+			}
+			for name, res := range map[string]cycles.Result{"karp": karp, "howard": how} {
+				if wr, err := sys.CycleRatio(res.Cycle); err != nil || !wr.Equal(res.Ratio) {
+					t.Fatalf("%v: %s witness ratio %v (err %v) != %v", cm, name, wr, err, res.Ratio)
+				}
+			}
+			period := karp.Ratio.DivInt(inst.PathCount())
+			for _, b := range []cycles.Backend{cycles.BackendKarp, cycles.BackendHoward} {
+				s := core.NewSolver()
+				s.Backend = b
+				res, err := s.Period(inst, cm)
+				if err != nil {
+					t.Fatalf("%v: solver(%v): %v", cm, b, err)
+				}
+				if !res.Period.Equal(period) {
+					t.Fatalf("%v: solver(%v) %v != %v", cm, b, res.Period, period)
+				}
+			}
+			if cm == model.Overlap {
+				poly, err := core.PeriodOverlapPoly(inst)
+				if err != nil {
+					t.Fatalf("poly: %v", err)
+				}
+				if !poly.Period.Equal(period) {
+					t.Fatalf("poly %v != tpn %v", poly.Period, period)
+				}
+			}
+		}
+	})
+}

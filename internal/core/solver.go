@@ -33,6 +33,17 @@ type Solver struct {
 	// solver, not once per call.
 	MaxRows int
 
+	// Backend selects the exact maximum-cycle-ratio engine for every
+	// critical-cycle computation this solver performs (the unfolded net and
+	// the Theorem 1 pattern graphs alike). The zero value is
+	// cycles.BackendAuto, which routes by token-edge share: Karp's
+	// contracted dynamic program where token edges are sparse (every
+	// unfolded TPN of this repository), Howard policy iteration where they
+	// are plentiful and contraction would degenerate. All backends are
+	// exact, so the Result never depends on the choice — only the running
+	// time does.
+	Backend cycles.Backend
+
 	builder tpn.Builder
 	ws      cycles.Workspace
 	sys     cycles.System
@@ -62,7 +73,7 @@ func (s *Solver) PeriodTPN(inst *model.Instance, m model.CommModel) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	crit, err := s.ws.MaxRatio(net.SystemInto(&s.sys))
+	crit, err := s.ws.MaxRatioBackend(net.SystemInto(&s.sys), s.Backend)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: critical cycle: %w", err)
 	}
@@ -94,7 +105,7 @@ func (s *Solver) PeriodOverlapPoly(inst *model.Instance) (Result, error) {
 	for i := 0; i < n-1; i++ {
 		pat := NewCommPattern(inst, i)
 		for g := 0; g < pat.P; g++ {
-			res, err := s.ws.MaxRatio(pat.PatternGraphInto(g, &s.sys))
+			res, err := s.ws.MaxRatioBackend(pat.PatternGraphInto(g, &s.sys), s.Backend)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: file F%d component %d: %w", i, g, err)
 			}

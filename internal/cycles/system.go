@@ -10,13 +10,19 @@
 //
 // Four engines are provided and cross-checked against each other:
 //
-//   - MaxRatio (token contraction + Karp): exact, the default. All TPNs built
-//     in this repository have an acyclic zero-token subgraph, so token edges
-//     can be contracted via longest-path DAG sweeps, after which every edge
-//     carries exactly one token and Karp's maximum mean cycle applies.
-//   - Howard policy iteration: exact, handles arbitrary token counts.
+//   - MaxRatio (token contraction + Karp): exact, the small-graph default.
+//     All TPNs built in this repository have an acyclic zero-token subgraph,
+//     so token edges can be contracted via longest-path DAG sweeps, after
+//     which every edge carries exactly one token and Karp's maximum mean
+//     cycle applies.
+//   - MaxRatioHoward (policy iteration): exact, handles arbitrary token
+//     counts, and converges in a handful of sweeps on large event graphs —
+//     the large-graph default.
 //   - Lawler binary search: float64, for scale comparisons.
 //   - BruteForce: exhaustive elementary-cycle enumeration, for tests.
+//
+// Workspace.MaxRatioBackend selects between the two exact engines (Backend
+// enum: auto, karp, howard); the auto heuristic routes by token-edge share.
 package cycles
 
 import (
@@ -111,6 +117,14 @@ func (s *System) CycleVertices(cycle []int) []int {
 		vs = append(vs, s.G.Edges[ei].From)
 	}
 	return vs
+}
+
+// CycleRatio computes cost(C)/tokens(C) for a cycle given by edge indices —
+// the ratio a witness returned in a Result achieves. The differential and
+// fuzz harnesses use it to certify that every backend's witness attains the
+// reported maximum.
+func (s *System) CycleRatio(cycle []int) (rat.Rat, error) {
+	return s.ratioOfCycle(cycle)
 }
 
 // ratioOfCycle computes cost(C)/tokens(C) for a cycle given by edge indices.

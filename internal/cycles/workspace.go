@@ -82,6 +82,13 @@ type Workspace struct {
 	kParent             []int
 	pathV, pathE        []int
 	seenPos             []int
+
+	// Howard policy-iteration scratch. The policy tables live in their own
+	// struct and every entry a run reads is re-initialized at the start of
+	// that run, so interleaving MaxRatio and MaxRatioHoward calls on one
+	// workspace can never leak one engine's state into the other (see
+	// howardScratch).
+	howard howardScratch
 }
 
 // growInts returns s with length n, reusing capacity when possible. New

@@ -1,0 +1,57 @@
+package engine_test
+
+// The acceptance gate of the Howard backend: on the full Table 2 grid —
+// every instance family of the paper's campaign, both communication models —
+// an engine forcing Howard must return Results bit-identical to an engine
+// forcing Karp and to one choosing automatically. The backends are
+// independent exact algorithms, so this is a differential test of the whole
+// production stack, not a tautology.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+func TestBackendsBitIdenticalOnTable2Grid(t *testing.T) {
+	perRow := 3
+	if testing.Short() {
+		perRow = 1
+	}
+	var tasks []engine.Task
+	for _, cm := range model.Models() {
+		tasks = append(tasks, table2Tasks(t, cm, perRow)...)
+	}
+
+	results := make(map[cycles.Backend][]engine.Outcome)
+	for _, b := range []cycles.Backend{cycles.BackendKarp, cycles.BackendHoward, cycles.BackendAuto} {
+		eng := engine.New(engine.Options{Workers: 4, Backend: b, CacheCapacity: -1})
+		outs, err := eng.EvaluateBatch(context.Background(), tasks)
+		if err != nil {
+			t.Fatalf("backend %v: %v", b, err)
+		}
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("backend %v task %d: %v", b, i, o.Err)
+			}
+		}
+		results[b] = outs
+	}
+
+	karp := results[cycles.BackendKarp]
+	for _, b := range []cycles.Backend{cycles.BackendHoward, cycles.BackendAuto} {
+		for i, o := range results[b] {
+			if !reflect.DeepEqual(o.Result, karp[i].Result) {
+				t.Fatalf("task %d: backend %v result %+v differs from karp %+v",
+					i, b, o.Result, karp[i].Result)
+			}
+			if !o.Result.Period.Equal(karp[i].Result.Period) || !o.Result.Mct.Equal(karp[i].Result.Mct) {
+				t.Fatalf("task %d: backend %v exact values drifted", i, b)
+			}
+		}
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/model"
 )
 
@@ -62,6 +63,12 @@ type Options struct {
 	// the memory may raise it — solver storage is reused across tasks, so a
 	// large net is paid for once per worker, not once per evaluation.
 	MaxRows int
+	// Backend selects the exact maximum-cycle-ratio engine of every solver
+	// in the pool (cycles.BackendAuto, the zero value, routes by token-edge
+	// share: Karp where contraction shrinks the graph, Howard where it
+	// would degenerate). All backends are exact, so batch results are
+	// bit-identical across backends — the choice only moves wall time.
+	Backend cycles.Backend
 }
 
 // DefaultCacheCapacity is the memo-cache bound used when Options leaves
@@ -89,10 +96,12 @@ func New(opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	maxRows := opts.MaxRows
+	backend := opts.Backend
 	e := &Engine{workers: w}
 	e.solvers.New = func() any {
 		s := core.NewSolver()
 		s.MaxRows = maxRows
+		s.Backend = backend
 		return s
 	}
 	switch {

@@ -1,0 +1,121 @@
+package mpa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/model"
+	"repro/internal/rat"
+	"repro/internal/tpn"
+)
+
+// randomInstanceForTest draws a random timed instance with n stages and
+// replication up to maxRep.
+func randomInstanceForTest(rng *rand.Rand, n, maxRep int) *model.Instance {
+	reps := make([]int, n)
+	for i := range reps {
+		reps[i] = 1 + rng.Intn(maxRep)
+	}
+	draw := func() rat.Rat { return rat.FromInt(1 + rng.Int63n(20)) }
+	comp := make([][]rat.Rat, n)
+	for i := range comp {
+		comp[i] = make([]rat.Rat, reps[i])
+		for a := range comp[i] {
+			comp[i][a] = draw()
+		}
+	}
+	comm := make([][][]rat.Rat, n-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, reps[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, reps[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = draw()
+			}
+		}
+	}
+	inst, err := model.FromTimes(comp, comm)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// randomMatrix draws a max-plus matrix whose precedence graph always has a
+// cycle (dense enough random fill plus a guaranteed diagonal entry).
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	m.Set(0, 0, SInt(1+rng.Int63n(9)))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				m.Set(i, j, S(rat.New(1+rng.Int63n(30), 1+rng.Int63n(4))))
+			}
+		}
+	}
+	return m
+}
+
+// TestHowardMatchesEigenvalue cross-checks mpa.Howard against the Karp
+// route on random matrices, including the witness cycle's mean.
+func TestHowardMatchesEigenvalue(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		m := randomMatrix(rng, 2+rng.Intn(10))
+		want, err := m.Eigenvalue()
+		if err != nil {
+			t.Fatalf("trial %d eigenvalue: %v", trial, err)
+		}
+		got, cyc, err := Howard(m)
+		if err != nil {
+			t.Fatalf("trial %d howard: %v", trial, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: howard %v != karp %v", trial, got, want)
+		}
+		if len(cyc) == 0 {
+			t.Fatalf("trial %d: no witness cycle", trial)
+		}
+		// The witness's mean weight must attain the eigenvalue: walk the
+		// vertex cycle summing matrix entries (edge v->u has weight m[u][v]).
+		sum := rat.Zero()
+		for k := range cyc {
+			v, u := cyc[k], cyc[(k+1)%len(cyc)]
+			w := m.At(u, v)
+			if w.IsNegInf() {
+				t.Fatalf("trial %d: witness uses absent entry (%d,%d)", trial, u, v)
+			}
+			sum = sum.Add(w.Rat())
+		}
+		if mean := sum.DivInt(int64(len(cyc))); !mean.Equal(got) {
+			t.Fatalf("trial %d: witness mean %v != eigenvalue %v", trial, mean, got)
+		}
+	}
+}
+
+// TestEigenvalueBackendAgreesOnNets runs every backend over the recurrence
+// matrices of the paper-style nets.
+func TestEigenvalueBackendAgreesOnNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstanceForTest(rng, 2+rng.Intn(3), 3)
+		net, err := tpn.BuildOverlap(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CycleTime(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range []cycles.Backend{cycles.BackendAuto, cycles.BackendKarp, cycles.BackendHoward} {
+			got, err := CycleTimeBackend(net, b)
+			if err != nil {
+				t.Fatalf("trial %d backend %v: %v", trial, b, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d backend %v: %v != %v", trial, b, got, want)
+			}
+		}
+	}
+}

@@ -216,24 +216,56 @@ func (m *Matrix) Star() (*Matrix, error) {
 	return out, nil
 }
 
-// Eigenvalue returns the max-plus spectral radius of m: the maximum cycle
-// mean of its precedence graph. Returns cycles.ErrNoCycle when the graph is
-// acyclic.
-func (m *Matrix) Eigenvalue() (rat.Rat, error) {
+// PrecedenceSystem builds the precedence graph of m as a cycle-ratio
+// system: one vertex per matrix index, and for every finite entry m[i][j] an
+// edge j -> i of cost m[i][j] carrying one token (x_i(k+1) >= m[i][j] +
+// x_j(k)). Its maximum cycle ratio is the max-plus spectral radius.
+func (m *Matrix) PrecedenceSystem() *cycles.System {
 	sys := cycles.NewSystem(m.n)
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
 			if v := m.At(i, j); !v.IsNegInf() {
-				// Edge j -> i with weight m[i][j]: x_i(k+1) >= m[i][j] + x_j(k).
 				sys.AddEdge(j, i, v.Rat(), 1)
 			}
 		}
 	}
-	res, err := sys.MaxRatio()
+	return sys
+}
+
+// Eigenvalue returns the max-plus spectral radius of m: the maximum cycle
+// mean of its precedence graph. Returns cycles.ErrNoCycle when the graph is
+// acyclic.
+func (m *Matrix) Eigenvalue() (rat.Rat, error) {
+	res, err := m.PrecedenceSystem().MaxRatio()
 	if err != nil {
 		return rat.Rat{}, err
 	}
 	return res.Ratio, nil
+}
+
+// EigenvalueBackend computes the spectral radius with the selected
+// cycle-ratio backend, returning the eigenvalue together with a critical
+// cycle of the precedence graph as a vertex sequence (matrix indices, first
+// vertex not repeated). Every backend returns the same exact eigenvalue;
+// the witness always attains it.
+func (m *Matrix) EigenvalueBackend(b cycles.Backend) (rat.Rat, []int, error) {
+	sys := m.PrecedenceSystem()
+	var ws cycles.Workspace
+	res, err := ws.MaxRatioBackend(sys, b)
+	if err != nil {
+		return rat.Rat{}, nil, err
+	}
+	return res.Ratio, sys.CycleVertices(res.Cycle), nil
+}
+
+// Howard computes the max-plus spectral radius of m by Howard's policy
+// iteration — exact rational arithmetic throughout — and returns the
+// eigenvalue with a critical-cycle witness (vertex sequence of the
+// precedence graph). It is the fast path for the large recurrence matrices
+// of big scenario grids, where Karp's Θ(nm) dynamic program dominates; the
+// two engines are cross-checked in the differential and fuzz harnesses.
+func Howard(m *Matrix) (rat.Rat, []int, error) {
+	return m.EigenvalueBackend(cycles.BackendHoward)
 }
 
 // String renders the matrix for debugging.
@@ -295,4 +327,14 @@ func CycleTime(net *petri.Net) (rat.Rat, error) {
 		return rat.Rat{}, err
 	}
 	return a.Eigenvalue()
+}
+
+// CycleTimeBackend is CycleTime with an explicit cycle-ratio backend.
+func CycleTimeBackend(net *petri.Net, b cycles.Backend) (rat.Rat, error) {
+	a, err := FromNet(net)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	lambda, _, err := a.EigenvalueBackend(b)
+	return lambda, err
 }
