@@ -1,15 +1,23 @@
 GO ?= go
 
-# Coverage gate: these packages hold the exact period engines and must stay
-# above the floor (CI enforces it via `make cover`).
-COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core
+# Coverage gate: these packages hold the exact period engines and the
+# serving layer, and must stay above the floor (CI enforces it via
+# `make cover`).
+COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service
 COVER_MIN  = 75
 
 # Fuzz smoke budget per target (CI runs `make fuzz` on top of the corpus
 # replay that plain `go test` already performs).
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race check bench cover fuzz fmt
+# Benchmarks of the perf-regression job: the period paths, the cycle-ratio
+# backends and the engine batch/memoization stack. The allocation gate
+# (ALLOC_GATE, allocs/op on the strict-model Evaluate benchmarks) guards
+# the PR-2 zero-allocation refactor; measured values sit at 6-7.
+BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization
+ALLOC_GATE = 12
+
+.PHONY: all vet build test race check bench bench-regression cover fuzz fmt lint
 
 all: vet build test
 
@@ -25,20 +33,50 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check = everything CI runs: vet, build, tests (plain and -race), the
+# check = everything CI runs: lint, build, tests (plain and -race), the
 # coverage gate, the fuzz smoke, and a short bench smoke (one iteration per
 # benchmark with -benchmem, so allocation regressions show up in the log).
-check: vet build test race cover fuzz bench
+check: lint build test race cover fuzz bench
+
+# lint fails on unformatted files, vet findings, and (when the binary is
+# installed — CI installs it) staticcheck findings.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
 
+# bench-regression runs the period/backend/engine benchmarks at a fixed
+# iteration count, converts them to BENCH_4.json (uploaded as a CI
+# artifact) and fails if the strict-model Evaluate allocs/op regress above
+# ALLOC_GATE.
+bench-regression:
+	$(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . | tee bench_regression.txt
+	awk -v gate=$(ALLOC_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_4.json
+	@echo "wrote BENCH_4.json ($$(grep -c '"name"' BENCH_4.json) benchmarks, alloc gate $(ALLOC_GATE))"
+
 # cover fails when any of COVER_PKGS drops below COVER_MIN% statement
-# coverage.
+# coverage. Uses -coverprofile + `go tool cover -func` rather than grepping
+# the `go test -cover` summary line, which broke on "[no statements]" /
+# "[no test files]" outputs.
 cover:
 	@fail=0; \
 	for p in $(COVER_PKGS); do \
-		pct=$$($(GO) test -cover $$p | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+'); \
+		tmp=$$(mktemp); \
+		if ! $(GO) test -coverprofile=$$tmp $$p > /dev/null 2>&1; then \
+			echo "$$p: tests failed"; fail=1; rm -f $$tmp; continue; \
+		fi; \
+		pct=$$($(GO) tool cover -func=$$tmp | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		rm -f $$tmp; \
 		if [ -z "$$pct" ]; then echo "$$p: no coverage reported"; fail=1; continue; fi; \
 		echo "$$p: $$pct% (floor $(COVER_MIN)%)"; \
 		if [ "$$(awk -v p="$$pct" -v m=$(COVER_MIN) 'BEGIN{print (p+0 >= m) ? 1 : 0}')" != "1" ]; then fail=1; fi; \

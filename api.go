@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/cycles"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rat"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -66,6 +68,8 @@ type (
 	// Backend* constants). All backends return identical exact results;
 	// they differ only in running time.
 	Backend = cycles.Backend
+	// ServerOptions configures the HTTP evaluation service (see Serve).
+	ServerOptions = service.Options
 )
 
 // Cycle-ratio backends. BackendAuto (the zero value, and the default of
@@ -294,6 +298,23 @@ func (e *Engine) CacheStats() (hits, misses int64) { return e.eng.CacheStats() }
 
 // Workers returns the engine's fixed pool size.
 func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// Serve runs the batched-evaluation HTTP service on addr until ctx is
+// canceled, then shuts down gracefully. The service exposes /v1/evaluate,
+// /v1/batch, /v1/search, /v1/sweep, /healthz and /metrics; every numeric
+// answer is the exact rational the library computes. logf, when non-nil,
+// receives one "listening on <addr>" line once the listener is bound (pass
+// an addr ending in ":0" to pick a free port). See cmd/serve for the
+// command-line front end and cmd/loadgen for a load driver.
+func Serve(ctx context.Context, addr string, opts ServerOptions, logf func(format string, args ...any)) error {
+	return service.Serve(ctx, addr, opts, logf)
+}
+
+// NewServerHandler returns the evaluation service's http.Handler for
+// embedding into an existing server or httptest.
+func NewServerHandler(opts ServerOptions) http.Handler {
+	return service.NewServer(opts).Handler()
+}
 
 // ExampleA returns the paper's Example A instance (Figure 2), reconstructed
 // from the published numbers: overlap period 189, strict period 1384/6.

@@ -1,10 +1,16 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -221,5 +227,71 @@ func TestBackendAPI(t *testing.T) {
 		if !outs[0].Result.Period.Equal(want.Period) {
 			t.Fatalf("backend %v engine: period %v != %v", b, outs[0].Result.Period, want.Period)
 		}
+	}
+}
+
+// TestServeAndHandler covers the public service surface: NewServerHandler
+// answers an ExampleA evaluation identically to Throughput, and Serve runs
+// a real listener with graceful shutdown.
+func TestServeAndHandler(t *testing.T) {
+	h := NewServerHandler(ServerOptions{Workers: 2})
+	inst := ExampleA()
+	want, err := Throughput(inst, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(map[string]any{"instance": inst, "model": "strict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(payload))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("evaluate: status %d body %s", rec.Code, rec.Body)
+	}
+	var got struct {
+		Period string `json:"period"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != want.Period.String() {
+		t.Fatalf("service period %s != library period %s", got.Period, want.Period)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, "127.0.0.1:0", ServerOptions{Workers: 1}, func(format string, a ...any) {
+			line := fmt.Sprintf(format, a...)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.Fields(line[i+len("listening on "):])[0]
+			}
+		})
+	}()
+	select {
+	case addr := <-addrCh:
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("healthz status %d", resp.StatusCode)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never reported its address")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after cancel", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve did not stop after cancel")
 	}
 }

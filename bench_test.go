@@ -469,7 +469,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			eng := engine.New(engine.Options{Workers: workers, CacheCapacity: -1})
+			eng := engine.New(engine.Options{Workers: workers, CacheEntries: -1})
 			for i := 0; i < b.N; i++ {
 				outs, err := eng.EvaluateBatch(context.Background(), tasks)
 				if err != nil {
@@ -496,7 +496,7 @@ func BenchmarkEngineMemoization(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			eng := engine.New(engine.Options{Workers: 1, CacheCapacity: -1})
+			eng := engine.New(engine.Options{Workers: 1, CacheEntries: -1})
 			if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
 				b.Fatal(err)
 			}

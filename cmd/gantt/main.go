@@ -37,14 +37,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gantt: unknown example %q\n", *example)
 		os.Exit(1)
 	}
-	var cm model.CommModel
-	switch *modelName {
-	case "overlap":
-		cm = model.Overlap
-	case "strict":
-		cm = model.Strict
-	default:
-		fmt.Fprintf(os.Stderr, "gantt: unknown model %q\n", *modelName)
+	cm, err := model.Parse(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gantt:", err)
 		os.Exit(1)
 	}
 

@@ -1,0 +1,307 @@
+// Command loadgen drives the evaluation service (cmd/serve) with a
+// closed-loop workload and reports the latency distribution — the
+// measurement half of the "serves heavy traffic" claim. Each worker sends a
+// request, waits for the answer, and immediately sends the next (optionally
+// throttled to a target aggregate request rate), so the offered load is
+// bounded by the service's actual capacity rather than queueing without
+// limit.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 [-endpoint evaluate] [-workers 4]
+//	        [-rps 0] [-duration 10s] [-model strict] [-backend auto]
+//	        [-reps 2,3] [-instances 64] [-batch 16] [-seed 1]
+//
+// -rps 0 runs unthrottled (pure closed loop: measured throughput is the
+// service's capacity at this concurrency). The summary is one JSON object
+// on stdout: request/error counts, achieved RPS and latency quantiles
+// (p50/p95/p99), ready for EXPERIMENTS.md or a dashboard.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/exper"
+	"repro/internal/model"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed
+		}
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// Summary is the JSON report printed on stdout.
+type Summary struct {
+	URL             string  `json:"url"`
+	Endpoint        string  `json:"endpoint"`
+	Workers         int     `json:"workers"`
+	TargetRPS       float64 `json:"targetRps"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	AchievedRPS     float64 `json:"achievedRps"`
+	Latency         LatQ    `json:"latencyMs"`
+}
+
+// LatQ holds latency quantiles in milliseconds.
+type LatQ struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseURL := fs.String("url", "", "base URL of the service (required), e.g. http://localhost:8080")
+	endpoint := fs.String("endpoint", "evaluate", "endpoint to drive: evaluate or batch")
+	workers := fs.Int("workers", 4, "concurrent closed-loop clients")
+	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
+	duration := fs.Duration("duration", 10*time.Second, "measurement window")
+	modelName := fs.String("model", "strict", "communication model of the generated tasks")
+	backendName := fs.String("backend", "auto", "cycle-ratio backend requested: auto, karp or howard")
+	repsFlag := fs.String("reps", "2,3", "replication vector of the generated instances, e.g. 2,3")
+	instances := fs.Int("instances", 64, "distinct random instances rotated through")
+	batchSize := fs.Int("batch", 16, "tasks per request for -endpoint batch")
+	seed := fs.Int64("seed", 1, "random seed for the instance population")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseURL == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *instances < 1 {
+		return fmt.Errorf("-instances must be >= 1 (got %d)", *instances)
+	}
+	cm, err := model.Parse(*modelName)
+	if err != nil {
+		return err
+	}
+	backend, err := cycles.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	reps, err := parseReps(*repsFlag)
+	if err != nil {
+		return err
+	}
+	var path string
+	switch *endpoint {
+	case "evaluate":
+		path = "/v1/evaluate"
+	case "batch":
+		path = "/v1/batch"
+	default:
+		return fmt.Errorf("unknown -endpoint %q (want evaluate or batch)", *endpoint)
+	}
+
+	payloads, err := buildPayloads(*endpoint, rand.New(rand.NewSource(*seed)), reps, *instances, *batchSize, cm, backend)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	// The pacer turns a target aggregate rate into a shared token stream;
+	// with -rps 0 the channel stays nil and workers never block on it.
+	var tokens <-chan time.Time
+	if *rps > 0 {
+		interval := time.Duration(float64(time.Second) / *rps)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		tokens = ticker.C
+	}
+
+	client := &http.Client{}
+	url := strings.TrimRight(*baseURL, "/") + path
+	type workerStats struct {
+		lats []time.Duration
+		errs int
+	}
+	stats := make([]workerStats, *workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			st := &stats[self]
+			for i := self; ; i++ {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				ok := post(ctx, client, url, payloads[i%len(payloads)])
+				if ctx.Err() != nil {
+					return // a cut-off request measures the deadline, not the service
+				}
+				if ok {
+					st.lats = append(st.lats, time.Since(t0))
+				} else {
+					st.errs++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, st := range stats {
+		all = append(all, st.lats...)
+		errs += st.errs
+	}
+	sum := Summary{
+		URL:             *baseURL,
+		Endpoint:        *endpoint,
+		Workers:         *workers,
+		TargetRPS:       *rps,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        len(all) + errs,
+		Errors:          errs,
+		AchievedRPS:     float64(len(all)) / elapsed.Seconds(),
+		Latency:         quantiles(all),
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}
+
+// post sends one request and reports success (HTTP 200). The body is
+// drained so the client can reuse the connection.
+func post(ctx context.Context, client *http.Client, url string, payload []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// parseReps parses "2,3" into a replication vector.
+func parseReps(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	reps := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -reps %q: want comma-separated positive integers", s)
+		}
+		reps = append(reps, v)
+	}
+	return reps, nil
+}
+
+// buildPayloads pre-marshals the request bodies so the measurement loop
+// does no JSON work of its own.
+func buildPayloads(endpoint string, rng *rand.Rand, reps []int, instances, batchSize int, cm model.CommModel, backend cycles.Backend) ([][]byte, error) {
+	// The instance population is the sweep's family: uniform integer times
+	// in the Table 2 computation-time range [5, 15].
+	insts := make([]*model.Instance, instances)
+	for k := range insts {
+		inst, err := exper.RandomTimedInstance(rng, reps, 5, 15)
+		if err != nil {
+			return nil, err
+		}
+		insts[k] = inst
+	}
+	var payloads [][]byte
+	if endpoint == "evaluate" {
+		for _, inst := range insts {
+			b, err := json.Marshal(service.EvaluateRequest{Instance: inst, Model: cm.String(), Backend: backend.String()})
+			if err != nil {
+				return nil, err
+			}
+			payloads = append(payloads, b)
+		}
+		return payloads, nil
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("-batch must be >= 1 (got %d)", batchSize)
+	}
+	for at := 0; at < len(insts); at += batchSize {
+		end := at + batchSize
+		if end > len(insts) {
+			end = len(insts)
+		}
+		req := service.BatchRequest{Backend: backend.String()}
+		for _, inst := range insts[at:end] {
+			req.Tasks = append(req.Tasks, service.BatchTask{Instance: inst, Model: cm.String()})
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, b)
+	}
+	return payloads, nil
+}
+
+// quantiles computes exact latency quantiles from the recorded samples.
+func quantiles(lats []time.Duration) LatQ {
+	if len(lats) == 0 {
+		return LatQ{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return LatQ{
+		P50:  at(0.50),
+		P95:  at(0.95),
+		P99:  at(0.99),
+		Mean: float64(sum.Nanoseconds()) / float64(len(lats)) / 1e6,
+		Max:  float64(lats[len(lats)-1].Nanoseconds()) / 1e6,
+	}
+}

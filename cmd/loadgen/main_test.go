@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing url", []string{}, "-url is required"},
+		{"bad endpoint", []string{"-url", "http://x", "-endpoint", "teleport"}, "unknown -endpoint"},
+		{"bad model", []string{"-url", "http://x", "-model", "psychic"}, "unknown communication model"},
+		{"bad backend", []string{"-url", "http://x", "-backend", "quantum"}, "unknown backend"},
+		{"bad reps", []string{"-url", "http://x", "-reps", "2,zero"}, "bad -reps"},
+		{"bad workers", []string{"-url", "http://x", "-workers", "0"}, "-workers must be"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), c.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %v, want containing %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// runAgainst drives loadgen at an in-process service and returns the parsed
+// summary. This doubles as the -race load smoke: `go test -race ./...`
+// exercises concurrent clients against the full server stack.
+func runAgainst(t *testing.T, extraArgs ...string) Summary {
+	t.Helper()
+	ts := httptest.NewServer(service.NewServer(service.Options{Workers: 2, CacheEntries: 256}).Handler())
+	t.Cleanup(ts.Close)
+	args := append([]string{
+		"-url", ts.URL,
+		"-duration", "300ms",
+		"-workers", "3",
+		"-reps", "2,2",
+		"-instances", "8",
+		"-seed", "7",
+	}, extraArgs...)
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, stdout.String())
+	}
+	return sum
+}
+
+func TestLoadgenClosedLoopSmoke(t *testing.T) {
+	sum := runAgainst(t, "-model", "overlap")
+	if sum.Requests == 0 {
+		t.Fatal("no requests completed in the window")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d/%d requests failed", sum.Errors, sum.Requests)
+	}
+	if sum.Latency.P50 <= 0 || sum.Latency.P99 < sum.Latency.P50 || sum.Latency.Max < sum.Latency.P99 {
+		t.Fatalf("implausible quantiles: %+v", sum.Latency)
+	}
+	if sum.AchievedRPS <= 0 {
+		t.Fatalf("achieved RPS %v", sum.AchievedRPS)
+	}
+}
+
+func TestLoadgenBatchEndpointAndPacing(t *testing.T) {
+	sum := runAgainst(t, "-endpoint", "batch", "-batch", "4", "-model", "strict", "-rps", "50")
+	if sum.Requests == 0 || sum.Errors != 0 {
+		t.Fatalf("batch run: %+v", sum)
+	}
+	// 50 rps for ~0.3 s is ~15 requests; pacing must keep us well under the
+	// unthrottled rate for this tiny workload (hundreds/s locally). Allow a
+	// generous ceiling to stay robust on slow CI.
+	if sum.AchievedRPS > 120 {
+		t.Fatalf("pacing ineffective: achieved %.1f rps with -rps 50", sum.AchievedRPS)
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	if got := quantiles(nil); got != (LatQ{}) {
+		t.Fatalf("empty quantiles = %+v", got)
+	}
+	// 1..100 ms: p50 = index 49 -> 50ms, p95 = index 94 -> 95ms,
+	// p99 = index 98 -> 99ms, max = 100ms, mean = 50.5ms.
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	got := quantiles(lats)
+	want := LatQ{P50: 50, P95: 95, P99: 99, Mean: 50.5, Max: 100}
+	if got != want {
+		t.Fatalf("quantiles = %+v, want %+v", got, want)
+	}
+}

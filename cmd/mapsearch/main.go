@@ -40,14 +40,9 @@ func main() {
 	backendName := flag.String("backend", "auto", "cycle-ratio backend: auto, karp or howard")
 	flag.Parse()
 
-	var cm model.CommModel
-	switch *modelName {
-	case "overlap":
-		cm = model.Overlap
-	case "strict":
-		cm = model.Strict
-	default:
-		fmt.Fprintf(os.Stderr, "mapsearch: unknown model %q\n", *modelName)
+	cm, err := model.Parse(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapsearch:", err)
 		os.Exit(1)
 	}
 	backend, err := cycles.ParseBackend(*backendName)

@@ -1,0 +1,92 @@
+// Command serve runs the batched-evaluation HTTP service: the full solver
+// surface — /v1/evaluate, /v1/batch, /v1/search, /v1/sweep — plus /healthz
+// and /metrics, behind a bounded memo cache and an in-flight worker budget.
+// Ctrl-C (or SIGTERM from an orchestrator) drains in-flight requests and
+// exits cleanly.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers 0] [-cache-entries 0] [-inflight 0]
+//	      [-timeout 60s] [-maxrows 0] [-backend auto]
+//
+// -workers sizes each backend's engine pool (0 = GOMAXPROCS).
+// -cache-entries bounds each engine's memo cache (0 = default 32768,
+// negative disables memoization). -inflight caps concurrent solve requests
+// (0 = 2x workers). -backend sets the cycle-ratio engine used by requests
+// that do not name one; every backend returns identical exact results.
+//
+// Example:
+//
+//	serve -addr :8080 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/evaluate -d '{
+//	  "model": "strict",
+//	  "instance": {"comp": [["4","4"], ["3"]],
+//	               "comm": [[["2"], ["2"]]]}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed
+		}
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until ctx is canceled. The "listening on"
+// line goes to stderr (stdout stays clean for tooling that wraps the
+// server), so tests can bind ":0" and discover the port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	workers := fs.Int("workers", 0, "engine worker-pool size per backend (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", 0, "memo-cache bound per backend engine (0 = default, negative disables)")
+	inflight := fs.Int("inflight", 0, "max concurrent solve requests (0 = 2x workers)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request wall-clock ceiling")
+	maxRows := fs.Int("maxrows", 0, "unfolded-TPN row cap of the pooled solvers (0 = package default)")
+	backendName := fs.String("backend", "auto", "default cycle-ratio backend for requests that omit one: auto, karp or howard")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	backend, err := cycles.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	opts := service.Options{
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		MaxRows:        *maxRows,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+		DefaultBackend: backend,
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	if err := service.Serve(ctx, *addr, opts, logf); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "shutdown complete")
+	return nil
+}

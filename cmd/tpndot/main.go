@@ -56,14 +56,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown example %q", *example)
 	}
-	var cm model.CommModel
-	switch *modelName {
-	case "overlap":
-		cm = model.Overlap
-	case "strict":
-		cm = model.Strict
-	default:
-		return fmt.Errorf("unknown model %q", *modelName)
+	cm, err := model.Parse(*modelName)
+	if err != nil {
+		return err
 	}
 	net, err := tpn.Build(inst, cm)
 	if err != nil {

@@ -64,7 +64,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	eng := engine.New(engine.Options{Workers: *workers, CacheCapacity: -1, Backend: backend})
+	eng := engine.New(engine.Options{Workers: *workers, CacheEntries: -1, Backend: backend})
 
 	t0 := time.Now()
 	fails := make([]error, *runs) // per-run verdicts, reported in run order

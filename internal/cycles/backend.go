@@ -29,6 +29,11 @@ const (
 	BackendKarp
 	// BackendHoward forces Howard policy iteration.
 	BackendHoward
+
+	// NumBackends is the number of Backend values; callers sizing per-backend
+	// tables (the service keeps one engine per backend) use it so a new
+	// backend cannot silently overflow them.
+	NumBackends = iota
 )
 
 // AutoHowardTokenShareNum/Den is the auto-heuristic crossover as an exact

@@ -86,7 +86,7 @@ type Stats struct {
 // MonteCarlo evaluates `runs` perturbed instances under the given model,
 // using a bounded worker pool (parallelism 0 = GOMAXPROCS).
 func MonteCarlo(inst *model.Instance, cm model.CommModel, pert Perturbation, runs int, seed int64, parallelism int) (Stats, error) {
-	eng := engine.New(engine.Options{Workers: parallelism, CacheCapacity: -1})
+	eng := engine.New(engine.Options{Workers: parallelism, CacheEntries: -1})
 	return MonteCarloEngine(context.Background(), eng, inst, cm, pert, runs, seed)
 }
 

@@ -29,7 +29,7 @@ func TestBackendsBitIdenticalOnTable2Grid(t *testing.T) {
 
 	results := make(map[cycles.Backend][]engine.Outcome)
 	for _, b := range []cycles.Backend{cycles.BackendKarp, cycles.BackendHoward, cycles.BackendAuto} {
-		eng := engine.New(engine.Options{Workers: 4, Backend: b, CacheCapacity: -1})
+		eng := engine.New(engine.Options{Workers: 4, Backend: b, CacheEntries: -1})
 		outs, err := eng.EvaluateBatch(context.Background(), tasks)
 		if err != nil {
 			t.Fatalf("backend %v: %v", b, err)

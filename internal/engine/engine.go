@@ -55,9 +55,12 @@ import (
 type Options struct {
 	// Workers is the fixed worker-pool size; <= 0 means GOMAXPROCS.
 	Workers int
-	// CacheCapacity bounds the number of memoized results; 0 means
-	// DefaultCacheCapacity, negative disables memoization entirely.
-	CacheCapacity int
+	// CacheEntries bounds the number of memoized results; 0 means
+	// DefaultCacheEntries, negative disables memoization entirely. The
+	// bound is exact — once reached, per-shard CLOCK eviction recycles the
+	// coldest entries — so a resident process (cmd/serve) holds at most
+	// CacheEntries results no matter how many distinct instances it sees.
+	CacheEntries int
 	// MaxRows caps the unfolded-TPN size of the engine's solvers; 0 means
 	// the package default (tpn.MaxRows = 20000). Campaigns that can afford
 	// the memory may raise it — solver storage is reused across tasks, so a
@@ -71,11 +74,11 @@ type Options struct {
 	Backend cycles.Backend
 }
 
-// DefaultCacheCapacity is the memo-cache bound used when Options leaves
-// CacheCapacity zero. At roughly a hundred bytes per entry the default
+// DefaultCacheEntries is the memo-cache bound used when Options leaves
+// CacheEntries zero. At roughly a hundred bytes per entry the default
 // stays within a few MiB while covering every candidate a mapping search
 // typically revisits.
-const DefaultCacheCapacity = 1 << 15
+const DefaultCacheEntries = 1 << 15
 
 // Engine evaluates batches of (instance, model) tasks on a fixed worker
 // pool. It is safe for concurrent use; the memo cache and the solver pool
@@ -105,12 +108,12 @@ func New(opts Options) *Engine {
 		return s
 	}
 	switch {
-	case opts.CacheCapacity < 0:
+	case opts.CacheEntries < 0:
 		// memoization disabled
-	case opts.CacheCapacity == 0:
-		e.cache = newMemoCache(DefaultCacheCapacity)
+	case opts.CacheEntries == 0:
+		e.cache = newMemoCache(DefaultCacheEntries)
 	default:
-		e.cache = newMemoCache(opts.CacheCapacity)
+		e.cache = newMemoCache(opts.CacheEntries)
 	}
 	return e
 }
@@ -122,6 +125,40 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) CacheStats() (hits, misses int64) {
 	return e.hits.Load(), e.misses.Load()
 }
+
+// CacheMetrics is a point-in-time snapshot of the memo cache, the numbers
+// the service layer exports on /metrics.
+type CacheMetrics struct {
+	// Hits and Misses count lookups since the engine was built.
+	Hits, Misses int64
+	// Evictions counts entries recycled by the CLOCK hand after the bound
+	// filled; zero until the working set outgrows CacheEntries.
+	Evictions int64
+	// Entries is the current number of cached results; never exceeds
+	// Capacity.
+	Entries int64
+	// Capacity is the configured bound (0 when memoization is disabled).
+	Capacity int
+}
+
+// CacheMetrics snapshots the cache counters. The snapshot is approximate
+// under concurrency (counters are read independently) but each number is
+// individually exact.
+func (e *Engine) CacheMetrics() CacheMetrics {
+	m := CacheMetrics{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	if e.cache != nil {
+		m.Evictions = e.cache.evictions.Load()
+		m.Entries = e.cache.count.Load()
+		m.Capacity = e.cache.cap
+	}
+	return m
+}
+
+// CanonicalKey exposes the memo key of a task — the canonical serialization
+// of everything its period depends on, plus the 64-bit hash computed along
+// the way. The service layer coalesces concurrent identical requests on this
+// key.
+func CanonicalKey(t Task) (hash uint64, key string) { return canonicalKey(t) }
 
 // Task is one period evaluation: an instance under a communication model.
 type Task struct {
@@ -146,6 +183,16 @@ func (e *Engine) Evaluate(t Task) (core.Result, error) {
 		return e.evaluateSolver(t)
 	}
 	h, k := canonicalKey(t)
+	return e.EvaluateKeyed(h, k, t)
+}
+
+// EvaluateKeyed is Evaluate for callers that already hold the task's
+// canonical key (see CanonicalKey) — the service computes it for request
+// coalescing and must not pay the multi-KB serialization twice per request.
+func (e *Engine) EvaluateKeyed(h uint64, k string, t Task) (core.Result, error) {
+	if e.cache == nil {
+		return e.evaluateSolver(t)
+	}
 	if res, ok := e.cache.get(h, k); ok {
 		e.hits.Add(1)
 		return res, nil
@@ -399,41 +446,62 @@ func canonicalKey(t Task) (uint64, string) {
 
 // memoShardCount is the number of independent cache shards. 64 shards keep
 // mutex pressure negligible for pools of up to dozens of workers while the
-// per-shard maps stay small.
+// per-shard stores stay small.
 const memoShardCount = 64
 
 // memoCache is a bounded concurrent map, sharded by key hash to keep mutex
-// pressure off the worker pool. When the global bound is reached it stops
-// inserting rather than evicting. Which entries land before the bound fills
-// depends on worker interleaving, but that only moves the hit rate: a hit
-// returns the same Result a fresh computation would, so cache state never
-// affects what a batch returns.
+// pressure off the worker pool. The global bound is split exactly across
+// the shards (shard i gets cap/64, the first cap%64 shards one more), so
+// the total entry count can never exceed cap; once a shard's quota fills, a
+// CLOCK hand recycles its coldest slot. Which entries survive depends on
+// worker interleaving, but that only moves the hit rate: a hit returns the
+// same Result a fresh computation would, so cache state never affects what
+// a batch returns.
 type memoCache struct {
-	cap    int
-	count  atomic.Int64 // total entries across shards
-	shards [memoShardCount]memoShard
+	cap       int
+	count     atomic.Int64 // total entries across shards
+	evictions atomic.Int64 // total CLOCK replacements across shards
+	shards    [memoShardCount]memoShard
 }
 
+// memoShard is one CLOCK ring: entries live in fixed slots of a quota-bound
+// slice, index maps each 64-bit key hash to the slots holding it (a tiny
+// chain, so a full-hash collision still resolves by string compare), and
+// hand is the CLOCK pointer that sweeps slots looking for an unreferenced
+// victim.
 type memoShard struct {
-	mu sync.RWMutex
-	m  map[uint64][]memoEntry
+	mu      sync.RWMutex
+	index   map[uint64][]int32
+	entries []memoEntry
+	quota   int32 // max len(entries) for this shard
+	hand    int32
 	// pad the shards apart so neighboring shard locks do not false-share a
 	// cache line.
 	_ [4]uint64
 }
 
-// memoEntry stores the full canonical key next to the result: the map is
+// memoEntry stores the full canonical key next to the result: the index is
 // keyed by hash, and the key comparison on hit is what makes collisions
-// harmless.
+// harmless. ref is the CLOCK reference bit — set on every hit (atomically,
+// so reads stay under the shard's read lock), cleared as the hand sweeps
+// past; a slot whose bit is already clear is the next victim.
 type memoEntry struct {
-	key string
-	res core.Result
+	hash uint64
+	key  string
+	res  core.Result
+	ref  atomic.Bool
 }
 
 func newMemoCache(capacity int) *memoCache {
 	c := &memoCache{cap: capacity}
+	base, extra := capacity/memoShardCount, capacity%memoShardCount
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint64][]memoEntry)
+		sh := &c.shards[i]
+		sh.index = make(map[uint64][]int32)
+		sh.quota = int32(base)
+		if i < extra {
+			sh.quota++
+		}
 	}
 	return c
 }
@@ -442,8 +510,9 @@ func (c *memoCache) get(h uint64, k string) (core.Result, bool) {
 	sh := &c.shards[h%memoShardCount]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for i := range sh.m[h] {
-		if e := &sh.m[h][i]; e.key == k {
+	for _, slot := range sh.index[h] {
+		if e := &sh.entries[slot]; e.key == k {
+			e.ref.Store(true)
 			return e.res, true
 		}
 	}
@@ -451,22 +520,62 @@ func (c *memoCache) get(h uint64, k string) (core.Result, bool) {
 }
 
 func (c *memoCache) put(h uint64, k string, res core.Result) {
-	// The capacity check is advisory across shards: concurrent puts can
-	// overshoot by at most the number of in-flight workers, which keeps the
-	// bound while avoiding a global lock.
-	if c.count.Load() >= int64(c.cap) {
-		return
-	}
 	sh := &c.shards[h%memoShardCount]
+	if sh.quota == 0 {
+		return // capacities below the shard count leave some shards empty
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for i := range sh.m[h] {
-		if sh.m[h][i].key == k {
+	for _, slot := range sh.index[h] {
+		if sh.entries[slot].key == k {
 			return // raced with another worker computing the same task
 		}
 	}
-	sh.m[h] = append(sh.m[h], memoEntry{key: k, res: res})
-	c.count.Add(1)
+	if int32(len(sh.entries)) < sh.quota {
+		sh.entries = append(sh.entries, memoEntry{})
+		slot := int32(len(sh.entries) - 1)
+		e := &sh.entries[slot]
+		e.hash, e.key, e.res = h, k, res
+		e.ref.Store(true)
+		sh.index[h] = append(sh.index[h], slot)
+		c.count.Add(1)
+		return
+	}
+	// Quota full: advance the CLOCK hand, clearing reference bits, until a
+	// cold slot turns up. After one full sweep every bit is clear, so the
+	// loop finds a victim within two revolutions.
+	for {
+		e := &sh.entries[sh.hand]
+		victim := sh.hand
+		sh.hand = (sh.hand + 1) % int32(len(sh.entries))
+		if e.ref.CompareAndSwap(true, false) {
+			continue
+		}
+		sh.dropFromIndex(e.hash, victim)
+		e.hash, e.key, e.res = h, k, res
+		e.ref.Store(true)
+		sh.index[h] = append(sh.index[h], victim)
+		c.evictions.Add(1)
+		return
+	}
+}
+
+// dropFromIndex removes one slot from the hash's chain (swap-remove; the
+// chains are almost always length 1).
+func (sh *memoShard) dropFromIndex(h uint64, slot int32) {
+	chain := sh.index[h]
+	for i, s := range chain {
+		if s == slot {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(sh.index, h)
+	} else {
+		sh.index[h] = chain
+	}
 }
 
 // size returns the total number of cached entries (tests only).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strconv"
 	"sync/atomic"
 	"testing"
 
@@ -235,7 +236,7 @@ func TestMemoCacheHitsAndIdenticalResults(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	tasks := randomTasks(t, 13, 4)
-	eng := New(Options{Workers: 1, CacheCapacity: -1})
+	eng := New(Options{Workers: 1, CacheEntries: -1})
 	if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
@@ -248,9 +249,9 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
-func TestCacheCapacityStopsInserting(t *testing.T) {
+func TestCacheEntriesBoundHolds(t *testing.T) {
 	tasks := randomTasks(t, 17, 12)
-	eng := New(Options{Workers: 1, CacheCapacity: 3})
+	eng := New(Options{Workers: 1, CacheEntries: 3})
 	if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
@@ -267,6 +268,76 @@ func TestCacheCapacityStopsInserting(t *testing.T) {
 		if !reflect.DeepEqual(out[i].Result, want[i].Result) {
 			t.Fatalf("task %d wrong beyond cache cap", i)
 		}
+	}
+	m := eng.CacheMetrics()
+	if m.Capacity != 3 || m.Entries > 3 {
+		t.Fatalf("metrics report entries=%d capacity=%d, want <=3/3", m.Entries, m.Capacity)
+	}
+}
+
+func TestMemoCacheClockEviction(t *testing.T) {
+	// A single-quota workload: capacity 1 puts every entry through the one
+	// shard with a non-zero quota only when the hashes land there, so drive
+	// the shard directly — fill a shard's quota, then insert more and watch
+	// the CLOCK hand recycle slots while the bound holds exactly.
+	c := newMemoCache(memoShardCount * 2) // quota 2 per shard
+	shard := uint64(5)
+	key := func(i int) (uint64, string) {
+		// Same shard (h % 64 == 5), distinct hashes.
+		return shard + uint64(i)*memoShardCount, "k" + strconv.Itoa(i)
+	}
+	for i := 0; i < 10; i++ {
+		h, k := key(i)
+		c.put(h, k, core.Result{PathCount: int64(i)})
+	}
+	sh := &c.shards[shard]
+	if got := len(sh.entries); got != 2 {
+		t.Fatalf("shard holds %d entries, quota 2", got)
+	}
+	if ev := c.evictions.Load(); ev != 8 {
+		t.Fatalf("evictions = %d, want 8", ev)
+	}
+	// The last insert is resident and correct.
+	h, k := key(9)
+	if res, ok := c.get(h, k); !ok || res.PathCount != 9 {
+		t.Fatalf("latest entry: got %+v ok=%v", res, ok)
+	}
+	// The index never points at stale slots: every indexed slot's hash
+	// round-trips.
+	for hh, chain := range sh.index {
+		for _, slot := range chain {
+			if sh.entries[slot].hash != hh {
+				t.Fatalf("index hash %d points at slot %d holding hash %d", hh, slot, sh.entries[slot].hash)
+			}
+		}
+	}
+}
+
+func TestMemoCacheClockSecondChance(t *testing.T) {
+	// Second chance, step by step on one quota-2 shard. Inserting A then B
+	// leaves both referenced. The first over-capacity put (C) sweeps the
+	// hand across both — clearing their bits — and evicts A on the second
+	// revolution, leaving the hand just past A's slot. The next put (D)
+	// sweeps from B: whatever reference bits the interleaved gets re-armed,
+	// the hand reaches B's slot again before C's, so B is the victim and C
+	// survives — the entry most recently granted its second chance wins.
+	c := newMemoCache(memoShardCount * 2)
+	h := func(i int) uint64 { return uint64(i) * memoShardCount } // all shard 0
+	c.put(h(0), "A", core.Result{PathCount: 100})
+	c.put(h(1), "B", core.Result{PathCount: 101})
+	c.put(h(2), "C", core.Result{PathCount: 102})
+	if _, ok := c.get(h(0), "A"); ok {
+		t.Fatal("A should be the first CLOCK victim")
+	}
+	if _, ok := c.get(h(1), "B"); !ok {
+		t.Fatal("B must survive the first eviction")
+	}
+	c.put(h(3), "D", core.Result{PathCount: 103})
+	if res, ok := c.get(h(2), "C"); !ok || res.PathCount != 102 {
+		t.Fatalf("referenced entry C evicted before unreferenced B: got %+v ok=%v", res, ok)
+	}
+	if _, ok := c.get(h(3), "D"); !ok {
+		t.Fatal("D must be resident after its insert")
 	}
 }
 
@@ -321,7 +392,7 @@ func TestEngineMaxRowsOption(t *testing.T) {
 func TestMemoCacheCollisionSafety(t *testing.T) {
 	// Two distinct canonical strings forced onto the same hash must coexist:
 	// the stored-key comparison, not the hash, decides a hit.
-	c := newMemoCache(DefaultCacheCapacity)
+	c := newMemoCache(DefaultCacheEntries)
 	const h = uint64(42)
 	resA := core.Result{PathCount: 1}
 	resB := core.Result{PathCount: 2}

@@ -143,6 +143,14 @@ func WriteSweep(w io.Writer, pts []SweepPoint) error {
 // randomTimedInstance draws an instance with the given replication counts
 // and uniform integer operation times in [lo, hi].
 func randomTimedInstance(rng *rand.Rand, reps []int, lo, hi int64) (*model.Instance, error) {
+	return RandomTimedInstance(rng, reps, lo, hi)
+}
+
+// RandomTimedInstance draws an instance with the given replication counts
+// and uniform integer operation times in [lo, hi] — the sweep's instance
+// population, exported so other drivers (cmd/loadgen) generate the same
+// family instead of re-implementing it.
+func RandomTimedInstance(rng *rand.Rand, reps []int, lo, hi int64) (*model.Instance, error) {
 	draw := func() rat.Rat { return rat.FromInt(lo + rng.Int63n(hi-lo+1)) }
 	n := len(reps)
 	comp := make([][]rat.Rat, n)

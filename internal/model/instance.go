@@ -46,6 +46,19 @@ func (m CommModel) String() string {
 // Models lists both communication models, for experiment sweeps.
 func Models() []CommModel { return []CommModel{Overlap, Strict} }
 
+// Parse parses "overlap" or "strict" — the values the commands' -model
+// flags and the service's JSON "model" fields accept.
+func Parse(s string) (CommModel, error) {
+	switch s {
+	case "overlap":
+		return Overlap, nil
+	case "strict":
+		return Strict, nil
+	default:
+		return Overlap, fmt.Errorf("model: unknown communication model %q (want overlap or strict)", s)
+	}
+}
+
 // Instance is a fully-timed replicated-workflow instance.
 type Instance struct {
 	n    int           // number of stages

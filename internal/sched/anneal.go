@@ -68,6 +68,11 @@ func AnnealEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeli
 
 	for step := 0; step < opts.Steps; step++ {
 		if err := ctx.Err(); err != nil {
+			// Deadline mid-anneal: the walk so far already produced a valid
+			// mapping (greedy at worst); hand it back instead of failing.
+			if best.Mapping != nil {
+				return best, nil
+			}
 			return Result{}, err
 		}
 		cand := neighbor(rng, current, n, p)
@@ -105,12 +110,17 @@ func BestOf(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 
 // BestOfEngine runs every heuristic through one shared engine, so a
 // partition proposed by hill climbing after greedy already visited it costs
-// a cache lookup instead of a period computation.
+// a cache lookup instead of a period computation. When the context expires
+// mid-search (a wall-clock budget), the best mapping found before the
+// deadline is returned rather than an error — an anytime search.
 func BestOfEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand) (Result, error) {
 	var best Result
 	consider := func(r Result, err error) error {
 		if err != nil {
 			if ctx.Err() != nil {
+				if best.Mapping != nil {
+					return nil
+				}
 				return ctx.Err()
 			}
 			return nil

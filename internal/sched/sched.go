@@ -155,10 +155,16 @@ func ExhaustiveOneToOneEngine(ctx context.Context, eng *engine.Engine, pipe *pip
 		}
 		return nil
 	}
-	if err := rec(0); err != nil {
-		return Result{}, err
+	err := rec(0)
+	if err == nil {
+		err = flush()
 	}
-	if err := flush(); err != nil {
+	if err != nil {
+		// A deadline mid-enumeration keeps the best assignment the flushed
+		// chunks already found (anytime, like the other heuristics).
+		if ctx.Err() != nil && best.Mapping != nil {
+			return best, nil
+		}
 		return Result{}, err
 	}
 	if best.Mapping == nil {
@@ -180,6 +186,9 @@ func Greedy(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 // independent, so each round parallelizes across the pool while the winner
 // is still chosen by the serial rule (smallest period, first stage on ties).
 func GreedyEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err // canceled before any work: nothing to salvage
+	}
 	n := pipe.NumStages()
 	p := plat.NumProcs()
 	if n > p {
@@ -228,6 +237,14 @@ func GreedyEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeli
 		}
 		outs, err := eng.EvaluateBatch(ctx, tasks)
 		if err != nil {
+			// The partial greedy assignment is itself a feasible mapping
+			// (every stage got a processor in the seeding round); a
+			// deadline mid-enlargement returns it instead of failing.
+			if ctx.Err() != nil {
+				if mapp, merr := mapping.New(cloneReplicas(replicas), p); merr == nil {
+					return Result{Mapping: mapp, Period: current}, nil
+				}
+			}
 			return Result{}, err
 		}
 		bestStage := -1
@@ -278,6 +295,9 @@ func RandomSearchEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.
 	var best Result
 	for r := 0; r < restarts; r++ {
 		if err := ctx.Err(); err != nil {
+			if best.Mapping != nil {
+				return best, nil // anytime: keep what earlier restarts found
+			}
 			return Result{}, err
 		}
 		replicas := randomPartition(rng, n, p)
@@ -286,6 +306,21 @@ func RandomSearchEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.
 			continue
 		}
 		for mv := 0; mv < movesPerRestart; mv++ {
+			if err := ctx.Err(); err != nil {
+				// A deadline mid-walk (the service's wall-clock budget)
+				// must not discard work: fold the walk's current state —
+				// already evaluated and feasible — into best before
+				// deciding what to hand back.
+				if mapp, merr := mapping.New(cloneReplicas(replicas), p); merr == nil {
+					if best.Mapping == nil || period.Less(best.Period) {
+						best = Result{Mapping: mapp, Period: period}
+					}
+				}
+				if best.Mapping != nil {
+					return best, nil
+				}
+				return Result{}, err
+			}
 			cand := neighbor(rng, replicas, n, p)
 			if cand == nil {
 				continue

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// flightGroup coalesces concurrent identical computations: the first caller
+// of a key becomes the leader and computes; followers arriving while the
+// leader is in flight wait for its result instead of recomputing. The
+// engine's memo cache already deduplicates *completed* work — the flight
+// group closes the remaining window where N concurrent requests for the
+// same instance would all miss the still-empty cache and solve N times.
+//
+// A leader that fails with a context error (its request was canceled or
+// timed out) must not poison its followers, whose own contexts may be
+// perfectly alive: they retry, and one of them becomes the next leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// do returns fn's result for key, computing it at most once across
+// concurrent callers. shared reports that the result was produced by
+// another caller's computation.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (core.Result, error)) (res core.Result, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return core.Result{}, false, ctx.Err()
+			}
+			if c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				continue // the leader died of its own deadline; try again
+			}
+			return c.res, true, c.err
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		// Deregister and release followers even if fn panics (net/http
+		// recovers handler panics, so the process would keep serving with
+		// this key permanently wedged otherwise).
+		func() {
+			defer func() {
+				g.mu.Lock()
+				delete(g.m, key)
+				g.mu.Unlock()
+				close(c.done)
+			}()
+			c.err = errFlightPanicked
+			c.res, c.err = fn()
+		}()
+		return c.res, false, c.err
+	}
+}
+
+// errFlightPanicked is what followers observe when the leader's fn panicked
+// before assigning a result; the panic itself propagates up the leader's
+// stack (and out of do) untouched.
+var errFlightPanicked = errors.New("service: computation panicked")

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cycles"
+)
+
+// metrics is the server's observability state, exposed on /metrics as one
+// JSON object. The counters use expvar types for their atomic semantics and
+// JSON rendering, but are deliberately NOT published to expvar's global
+// registry: a process may host several Servers (tests do), and global
+// publication panics on the second.
+type metrics struct {
+	start     time.Time
+	requests  *expvar.Map // per-endpoint request counts
+	errors    *expvar.Map // per-endpoint error counts
+	inFlight  expvar.Int  // solve requests currently admitted
+	coalesced expvar.Int  // /v1/evaluate answers shared from another caller's in-flight computation
+
+	mu    sync.Mutex
+	hists map[string]*latencyHist // "endpoint/backend" -> histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: new(expvar.Map).Init(),
+		errors:   new(expvar.Map).Init(),
+		hists:    make(map[string]*latencyHist),
+	}
+}
+
+// observe records one successful solve's latency in the per-endpoint,
+// per-backend histogram.
+func (m *metrics) observe(endpoint, backend string, d time.Duration) {
+	key := endpoint + "/" + backend
+	m.mu.Lock()
+	h, ok := m.hists[key]
+	if !ok {
+		h = newLatencyHist()
+		m.hists[key] = h
+	}
+	m.mu.Unlock()
+	h.record(d)
+}
+
+// latencyHist is a fixed-bucket log-scale latency histogram (bounds in
+// histBounds, last bucket unbounded). Lock-free recording; rendered as
+// cumulative-free per-bucket counts plus count/sum so dashboards can derive
+// rates and means.
+type latencyHist struct {
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// histBounds are the bucket upper bounds. Solves range from microseconds
+// (memo hits) to many seconds (strict-model searches), so the bounds spread
+// log-uniformly across that range.
+var histBounds = []time.Duration{
+	100 * time.Microsecond,
+	400 * time.Microsecond,
+	1600 * time.Microsecond,
+	6400 * time.Microsecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	400 * time.Millisecond,
+	1600 * time.Millisecond,
+	6400 * time.Millisecond,
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{counts: make([]atomic.Int64, len(histBounds)+1)}
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	for {
+		old := h.maxNs.Load()
+		if d.Nanoseconds() <= old || h.maxNs.CompareAndSwap(old, d.Nanoseconds()) {
+			return
+		}
+	}
+}
+
+// String renders the histogram as JSON (expvar.Var contract).
+func (h *latencyHist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sumMs":%.3f,"maxMs":%.3f,"buckets":{`,
+		h.count.Load(), float64(h.sumNs.Load())/1e6, float64(h.maxNs.Load())/1e6)
+	for i := range h.counts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		label := "+Inf"
+		if i < len(histBounds) {
+			label = fmt.Sprintf("<=%s", histBounds[i])
+		}
+		fmt.Fprintf(&b, "%q:%d", label, h.counts[i].Load())
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+// handleMetrics serves the full metrics object: request/error counters,
+// in-flight gauge, the memo-cache counters of every backend engine (hits,
+// misses, evictions, residency vs. capacity — the numbers that prove the
+// bounded cache holds), and the per-endpoint/backend latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "metrics requires GET"})
+		return
+	}
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "\"uptimeSeconds\": %.1f,\n", time.Since(s.met.start).Seconds())
+	fmt.Fprintf(&b, "\"inFlight\": %s,\n", s.met.inFlight.String())
+	fmt.Fprintf(&b, "\"coalesced\": %s,\n", s.met.coalesced.String())
+	fmt.Fprintf(&b, "\"requests\": %s,\n", s.met.requests.String())
+	fmt.Fprintf(&b, "\"errors\": %s,\n", s.met.errors.String())
+	b.WriteString("\"cache\": {")
+	for i, eng := range s.engines {
+		cm := eng.CacheMetrics()
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q: {\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"capacity\":%d}",
+			cycles.Backend(i).String(), cm.Hits, cm.Misses, cm.Evictions, cm.Entries, cm.Capacity)
+	}
+	b.WriteString("},\n\"latency\": {")
+	s.met.mu.Lock()
+	keys := make([]string, 0, len(s.met.hists))
+	for k := range s.met.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q: %s", k, s.met.hists[k].String())
+	}
+	s.met.mu.Unlock()
+	b.WriteString("}\n}\n")
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleHealthz reports liveness plus the load numbers a balancer wants.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "healthz requires GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.met.start).Seconds(),
+		"inFlight":      s.met.inFlight.Value(),
+		"workers":       s.opts.Workers,
+		"maxInFlight":   s.opts.MaxInFlight,
+	})
+}

@@ -1,0 +1,730 @@
+// Package service is the resident front end of the reproduction: an
+// HTTP/JSON server exposing the full solver surface — single evaluations,
+// coalesced batches, mapping search under a wall-clock budget and the
+// runtime sweep — on top of the batch-evaluation engine.
+//
+// The design carries the engine's guarantees across the wire:
+//
+//   - Determinism. Every response is computed by the same exact-arithmetic
+//     paths the CLI commands use; /v1/batch answers are bit-identical to a
+//     serial engine.EvaluateBatch over the same tasks, at any worker count.
+//
+//   - Bounded residency. The memo cache behind the server is the engine's
+//     CLOCK-evicting bounded cache (engine.Options.CacheEntries), so a
+//     long-lived process cannot grow without bound no matter how many
+//     distinct instances it is asked about; /metrics exports the hit, miss
+//     and eviction counters that prove it.
+//
+//   - Back-pressure. A server-wide in-flight budget (MaxInFlight) caps
+//     concurrent solves; request bodies are fully parsed before a slot is
+//     taken (a slow-sending client cannot occupy solve capacity), and
+//     excess requests queue on their own context, so a client deadline is
+//     honored while waiting. Concurrent identical /v1/evaluate requests
+//     coalesce into one computation (singleflight on the engine's
+//     canonical task key).
+//
+//   - Cancellation. Every handler derives its context from the request and
+//     the server's RequestTimeout; /v1/search additionally accepts a
+//     per-request wall-clock budget and returns the best mapping found
+//     when the budget expires (an anytime search, never a wasted
+//     deadline). Deadlines take effect while queued and between the tasks
+//     of a batch/search; an individual period computation is a tight exact
+//     numeric kernel and always runs to completion — bound its size with
+//     MaxRows, not the clock.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/engine"
+	"repro/internal/exper"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Options configures a Server. The zero value serves with a GOMAXPROCS
+// worker pool, the default bounded memo cache, a 60 s request ceiling and
+// an in-flight budget of twice the pool size.
+type Options struct {
+	// Workers is the engine worker-pool size (<= 0 means GOMAXPROCS). Each
+	// selectable backend gets its own engine of this size, built eagerly at
+	// NewServer (an idle engine is a few empty maps; its solver pools and
+	// cache fill only with use).
+	Workers int
+	// CacheEntries bounds each engine's memo cache (0 = the engine default,
+	// negative disables memoization). See engine.Options.CacheEntries.
+	CacheEntries int
+	// MaxRows caps the unfolded-TPN size of the pooled solvers (0 = package
+	// default).
+	MaxRows int
+	// MaxInFlight is the worker budget: the number of solve requests
+	// admitted concurrently across all endpoints. Further requests wait —
+	// honoring their own context — for a slot. <= 0 means 2x the resolved
+	// worker count.
+	MaxInFlight int
+	// RequestTimeout bounds every request's context (0 = 60 s). /v1/search
+	// budgets shorter than this still apply.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// DefaultBackend serves requests whose "backend" field is empty
+	// (cmd/serve's -backend flag; zero value is BackendAuto).
+	DefaultBackend cycles.Backend
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2 * o.Workers
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+}
+
+// backendCount sizes the per-backend engine table from the enum itself, so
+// a backend added to internal/cycles cannot overflow it.
+const backendCount = cycles.NumBackends
+
+// Server is the HTTP front end. Create it with NewServer and mount
+// Handler() (tests use httptest around it; Serve runs it with graceful
+// shutdown).
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	engines [backendCount]*engine.Engine // built eagerly; index is cycles.Backend
+	sem     chan struct{}                // in-flight solve budget
+	met     *metrics
+	flights flightGroup
+}
+
+// NewServer builds a server and its routes.
+func NewServer(opts Options) *Server {
+	opts.defaults()
+	s := &Server{
+		opts: opts,
+		mux:  http.NewServeMux(),
+		sem:  make(chan struct{}, opts.MaxInFlight),
+		met:  newMetrics(),
+	}
+	for b := range s.engines {
+		s.engines[b] = engine.New(engine.Options{
+			Workers:      opts.Workers,
+			CacheEntries: opts.CacheEntries,
+			MaxRows:      opts.MaxRows,
+			Backend:      cycles.Backend(b),
+		})
+	}
+	s.mux.HandleFunc("/v1/evaluate", s.solveEndpoint("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("/v1/batch", s.solveEndpoint("batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/search", s.solveEndpoint("search", s.handleSearch))
+	s.mux.HandleFunc("/v1/sweep", s.solveEndpoint("sweep", s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler (all routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the per-engine pool size actually in use.
+func (s *Server) Workers() int { return s.opts.Workers }
+
+// engine returns the engine serving the given backend.
+func (s *Server) engine(b cycles.Backend) *engine.Engine { return s.engines[b] }
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// solveFunc is the compute half of a solve request, produced by a handler
+// after it has fully parsed and validated the body.
+type solveFunc func(ctx context.Context) (any, error)
+
+// solveEndpoint wraps a solve handler with everything every solve route
+// shares: POST-only, body limit, request timeout, the in-flight budget,
+// request/error counters and the latency histogram. The handler runs in
+// two phases — parse (h, before any budget is taken, so a slow-sending
+// client cannot occupy solve capacity with body reads) and solve (the
+// returned solveFunc, under the in-flight semaphore).
+func (s *Server) solveEndpoint(name string, h func(r *http.Request) (solveFunc, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(name, 1)
+		if r.Method != http.MethodPost {
+			s.fail(w, name, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires POST", r.URL.Path))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		solve, err := h(r)
+		if err != nil {
+			s.failErr(w, name, err)
+			return
+		}
+		// The worker budget: wait for a slot on the request's own clock.
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.fail(w, name, http.StatusServiceUnavailable, "server at capacity and request deadline expired while queued")
+			return
+		}
+		s.met.inFlight.Add(1)
+		start := time.Now()
+		resp, err := solve(ctx)
+		elapsed := time.Since(start)
+		s.met.inFlight.Add(-1)
+		<-s.sem
+		if err != nil {
+			s.failErr(w, name, err)
+			return
+		}
+		s.met.observe(name, backendLabelOf(resp), elapsed)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// failErr maps an error to its HTTP status: httpError carries its own,
+// context errors become 503, everything else 500.
+func (s *Server) failErr(w http.ResponseWriter, name string, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		s.fail(w, name, he.status, he.msg)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.fail(w, name, http.StatusServiceUnavailable, "request deadline exceeded")
+	default:
+		s.fail(w, name, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, name string, status int, msg string) {
+	s.met.errors.Add(name, 1)
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing useful left on error
+}
+
+// backendLabeled lets responses report which backend served them so the
+// latency histogram can be split per backend.
+type backendLabeled interface{ backendLabel() string }
+
+func backendLabelOf(resp any) string {
+	if bl, ok := resp.(backendLabeled); ok {
+		return bl.backendLabel()
+	}
+	return "auto"
+}
+
+// decode parses a JSON body, rejecting trailing garbage.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// parseSelectors parses the shared "model"/"backend" request fields; an
+// empty backend falls back to the server's DefaultBackend.
+func (s *Server) parseSelectors(modelName, backendName string) (model.CommModel, cycles.Backend, error) {
+	cm, err := model.Parse(modelName)
+	if err != nil {
+		return 0, 0, badRequest("%v", err)
+	}
+	if backendName == "" {
+		return cm, s.opts.DefaultBackend, nil
+	}
+	b, err := cycles.ParseBackend(backendName)
+	if err != nil {
+		return 0, 0, badRequest("%v", err)
+	}
+	return cm, b, nil
+}
+
+// ---- /v1/evaluate ----
+
+// EvaluateRequest asks for the period (and optionally the steady-state
+// latency distribution) of one instance under one model and backend.
+type EvaluateRequest struct {
+	Instance *model.Instance `json:"instance"`
+	Model    string          `json:"model"`
+	Backend  string          `json:"backend,omitempty"`
+	// LatencyPeriods > 0 additionally simulates that many macro-periods and
+	// reports per-data-set latency statistics (>= 2 required by the
+	// simulator; LatencyPeriods × PathCount is capped at
+	// maxLatencyDataSets — the simulation is not interruptible, so its
+	// size must be bounded up front).
+	LatencyPeriods int `json:"latencyPeriods,omitempty"`
+}
+
+// maxLatencyDataSets caps the latency simulation horizon per request,
+// counted in data sets (periods × PathCount — the quantity the simulator
+// actually materializes). The operational simulator cannot be canceled
+// mid-run; without a cap one small request could pin an in-flight slot for
+// hours, immune to RequestTimeout. Steady-state statistics converge within
+// a handful of macro-periods.
+const maxLatencyDataSets = 1 << 17
+
+// ResultJSON is the wire form of a core.Result: exact rationals as "n/d"
+// strings plus a float convenience rendering.
+type ResultJSON struct {
+	Model       string  `json:"model"`
+	Period      string  `json:"period"`
+	PeriodFloat float64 `json:"periodFloat"`
+	Mct         string  `json:"mct"`
+	Throughput  string  `json:"throughput"`
+	PathCount   int64   `json:"pathCount"`
+	Method      string  `json:"method"`
+	HasCritical bool    `json:"hasCriticalResource"`
+}
+
+func resultJSON(res core.Result) ResultJSON {
+	return ResultJSON{
+		Model:       res.Model.String(),
+		Period:      res.Period.String(),
+		PeriodFloat: res.Period.Float64(),
+		Mct:         res.Mct.String(),
+		Throughput:  res.Throughput().String(),
+		PathCount:   res.PathCount,
+		Method:      string(res.Method),
+		HasCritical: res.HasCriticalResource(),
+	}
+}
+
+// LatencyJSON summarizes a sim.LatencyStats.
+type LatencyJSON struct {
+	Min      string  `json:"min"`
+	Max      string  `json:"max"`
+	Mean     string  `json:"mean"`
+	MeanF    float64 `json:"meanFloat"`
+	DataSets int     `json:"dataSets"`
+}
+
+// EvaluateResponse is the /v1/evaluate answer.
+type EvaluateResponse struct {
+	ResultJSON
+	Backend string `json:"backend"`
+	// Coalesced reports that this answer was produced by another concurrent
+	// request's computation (singleflight), not a fresh solve.
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Latency   *LatencyJSON `json:"latency,omitempty"`
+}
+
+func (r EvaluateResponse) backendLabel() string { return r.Backend }
+
+func (s *Server) handleEvaluate(r *http.Request) (solveFunc, error) {
+	var req EvaluateRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Instance == nil {
+		return nil, badRequest("missing \"instance\"")
+	}
+	if req.LatencyPeriods > 0 {
+		if ds := int64(req.LatencyPeriods) * req.Instance.PathCount(); ds > maxLatencyDataSets || ds < 0 {
+			return nil, badRequest("latencyPeriods %d × %d paths = %d data sets exceeds the simulation limit of %d",
+				req.LatencyPeriods, req.Instance.PathCount(), ds, int64(maxLatencyDataSets))
+		}
+	}
+	cm, b, err := s.parseSelectors(req.Model, req.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (any, error) {
+		task := engine.Task{Inst: req.Instance, Model: cm}
+		eng := s.engine(b)
+		// Coalesce concurrent identical requests: one computation, every
+		// caller gets its result. The flight key includes the backend
+		// because each backend solves on its own engine (results are
+		// identical; cost is not), and the hash+key pair is handed back to
+		// the engine so the multi-KB canonical serialization happens once
+		// per request, not twice.
+		h, key := engine.CanonicalKey(task)
+		res, shared, err := s.flights.do(ctx, b.String()+"\x00"+key, func() (core.Result, error) {
+			return eng.EvaluateKeyed(h, key, task)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if shared {
+			s.met.coalesced.Add(1)
+		}
+		resp := EvaluateResponse{ResultJSON: resultJSON(res), Backend: b.String(), Coalesced: shared}
+		if req.LatencyPeriods > 0 {
+			stats, err := sim.Latency(req.Instance, cm, req.LatencyPeriods)
+			if err != nil {
+				return nil, badRequest("latency simulation: %v", err)
+			}
+			resp.Latency = &LatencyJSON{
+				Min:      stats.Min.String(),
+				Max:      stats.Max.String(),
+				Mean:     stats.Mean.String(),
+				MeanF:    stats.Mean.Float64(),
+				DataSets: len(stats.PerDataSet),
+			}
+		}
+		return resp, nil
+	}, nil
+}
+
+// ---- /v1/batch ----
+
+// BatchTask is one entry of a /v1/batch request.
+type BatchTask struct {
+	Instance *model.Instance `json:"instance"`
+	Model    string          `json:"model"`
+}
+
+// BatchRequest evaluates many tasks as one engine batch.
+type BatchRequest struct {
+	Tasks   []BatchTask `json:"tasks"`
+	Backend string      `json:"backend,omitempty"`
+}
+
+// BatchOutcome mirrors engine.Outcome: a result or a per-task error.
+type BatchOutcome struct {
+	*ResultJSON
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/batch answer; Outcomes[i] corresponds to
+// Tasks[i] and is bit-identical to a serial engine.EvaluateBatch.
+type BatchResponse struct {
+	Backend  string         `json:"backend"`
+	Outcomes []BatchOutcome `json:"outcomes"`
+}
+
+func (r BatchResponse) backendLabel() string { return r.Backend }
+
+func (s *Server) handleBatch(r *http.Request) (solveFunc, error) {
+	var req BatchRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Tasks) == 0 {
+		return nil, badRequest("empty \"tasks\"")
+	}
+	_, b, err := s.parseSelectors("overlap", req.Backend) // model is per task
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]engine.Task, len(req.Tasks))
+	for i, bt := range req.Tasks {
+		if bt.Instance == nil {
+			return nil, badRequest("task %d: missing \"instance\"", i)
+		}
+		cm, err := model.Parse(bt.Model)
+		if err != nil {
+			return nil, badRequest("task %d: %v", i, err)
+		}
+		tasks[i] = engine.Task{Inst: bt.Instance, Model: cm}
+	}
+	return func(ctx context.Context) (any, error) {
+		outs, err := s.engine(b).EvaluateBatch(ctx, tasks)
+		if err != nil {
+			return nil, err
+		}
+		resp := BatchResponse{Backend: b.String(), Outcomes: make([]BatchOutcome, len(outs))}
+		for i, o := range outs {
+			if o.Err != nil {
+				resp.Outcomes[i] = BatchOutcome{Error: o.Err.Error()}
+				continue
+			}
+			rj := resultJSON(o.Result)
+			resp.Outcomes[i] = BatchOutcome{ResultJSON: &rj}
+		}
+		return resp, nil
+	}, nil
+}
+
+// ---- /v1/search ----
+
+// SearchRequest runs a mapping search for a pipeline on a platform under a
+// wall-clock budget.
+type SearchRequest struct {
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	Platform *platform.Platform `json:"platform"`
+	Model    string             `json:"model"`
+	// Algo selects the heuristic: "best" (default; greedy + random restarts
+	// + annealing), "greedy", "random", "anneal" or "exhaustive" (one-to-one
+	// mappings, small platforms only).
+	Algo    string `json:"algo,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	// BudgetMs bounds the search wall clock; expiry returns the best
+	// mapping found so far (0 = the server's request timeout only).
+	BudgetMs int64 `json:"budgetMs,omitempty"`
+	// Restarts and Moves tune "random" (defaults 10 and 50); AnnealSteps
+	// tunes "anneal" (default 1500).
+	Restarts    int `json:"restarts,omitempty"`
+	Moves       int `json:"moves,omitempty"`
+	AnnealSteps int `json:"annealSteps,omitempty"`
+}
+
+// SearchResponse is the best mapping found.
+type SearchResponse struct {
+	Algo        string  `json:"algo"`
+	Backend     string  `json:"backend"`
+	Model       string  `json:"model"`
+	Replicas    [][]int `json:"replicas"`
+	Period      string  `json:"period"`
+	PeriodFloat float64 `json:"periodFloat"`
+	Throughput  string  `json:"throughput"`
+}
+
+func (r SearchResponse) backendLabel() string { return r.Backend }
+
+func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Pipeline == nil || req.Platform == nil {
+		return nil, badRequest("missing \"pipeline\" or \"platform\"")
+	}
+	cm, b, err := s.parseSelectors(req.Model, req.Backend)
+	if err != nil {
+		return nil, err
+	}
+	restarts, moves, steps := req.Restarts, req.Moves, req.AnnealSteps
+	if restarts <= 0 {
+		restarts = 10
+	}
+	if moves <= 0 {
+		moves = 50
+	}
+	if steps <= 0 {
+		steps = 1500
+	}
+	algo := req.Algo
+	if algo == "" {
+		algo = "best"
+	}
+	switch algo {
+	case "best", "greedy", "random", "anneal", "exhaustive":
+	default:
+		return nil, badRequest("unknown algo %q (want best, greedy, random, anneal or exhaustive)", algo)
+	}
+	return func(outer context.Context) (any, error) {
+		ctx := outer
+		if req.BudgetMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(outer, time.Duration(req.BudgetMs)*time.Millisecond)
+			defer cancel()
+		}
+		eng := s.engine(b)
+		rng := rand.New(rand.NewSource(req.Seed))
+		var res sched.Result
+		var err error
+		switch algo {
+		case "best":
+			res, err = sched.BestOfEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng)
+		case "greedy":
+			res, err = sched.GreedyEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+		case "random":
+			res, err = sched.RandomSearchEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng, restarts, moves)
+		case "anneal":
+			res, err = sched.AnnealEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng, sched.AnnealOptions{Steps: steps})
+		case "exhaustive":
+			res, err = sched.ExhaustiveOneToOneEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+		}
+		if err != nil {
+			// A context error is blamed on the client's budget only when the
+			// client set one and it is the *budget* context that expired —
+			// the pre-budget context (server RequestTimeout, connection)
+			// still being alive is what distinguishes them. Everything else
+			// flows to solveEndpoint's status mapping (503 for deadlines,
+			// 500 otherwise).
+			if req.BudgetMs > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) &&
+				outer.Err() == nil {
+				return nil, badRequest("search budget of %d ms expired before a feasible mapping was found", req.BudgetMs)
+			}
+			return nil, err
+		}
+		return SearchResponse{
+			Algo:        algo,
+			Backend:     b.String(),
+			Model:       cm.String(),
+			Replicas:    res.Mapping.Replicas,
+			Period:      res.Period.String(),
+			PeriodFloat: res.Period.Float64(),
+			Throughput:  res.Throughput().String(),
+		}, nil
+	}, nil
+}
+
+// ---- /v1/sweep ----
+
+// SweepRequest runs the runtime-vs-duplication sweep.
+type SweepRequest struct {
+	Seed    int64   `json:"seed,omitempty"`
+	Pairs   [][]int `json:"pairs,omitempty"` // empty = exper.DefaultSweepPairs
+	Backend string  `json:"backend,omitempty"`
+}
+
+// SweepPointJSON is one sweep point on the wire.
+type SweepPointJSON struct {
+	Reps       []int   `json:"reps"`
+	PathCount  int64   `json:"pathCount"`
+	PolyNs     int64   `json:"polyNs"`
+	TPNNs      int64   `json:"tpnNs"`
+	TPNSkipped bool    `json:"tpnSkipped"`
+	Period     string  `json:"period"`
+	PeriodF    float64 `json:"periodFloat"`
+}
+
+// maxSweepCells bounds the operation-table size a sweep vector may demand
+// (the largest default pair implies ~2,000 cells; the cap leaves three
+// orders of magnitude of headroom while keeping a hostile vector from
+// allocating gigabytes).
+const maxSweepCells = 1 << 21
+
+// SweepResponse is the /v1/sweep answer.
+type SweepResponse struct {
+	Backend string           `json:"backend"`
+	Points  []SweepPointJSON `json:"points"`
+}
+
+func (r SweepResponse) backendLabel() string { return r.Backend }
+
+func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	_, b, err := s.parseSelectors("overlap", req.Backend)
+	if err != nil {
+		return nil, err
+	}
+	pairs := req.Pairs
+	if len(pairs) == 0 {
+		pairs = exper.DefaultSweepPairs()
+	}
+	for i, reps := range pairs {
+		if len(reps) == 0 {
+			return nil, badRequest("pairs[%d] is empty", i)
+		}
+		// The sweep materializes the instance server-side (comp vectors
+		// plus one reps[j] x reps[j+1] matrix per file), so a few small
+		// integers in the request could demand gigabytes; bound the cells
+		// the vector implies before building anything.
+		cells := int64(0)
+		for j, m := range reps {
+			if m < 1 {
+				return nil, badRequest("pairs[%d] holds non-positive replication %d", i, m)
+			}
+			cells += int64(m)
+			if j+1 < len(reps) {
+				cells += int64(m) * int64(reps[j+1])
+			}
+			if cells > maxSweepCells {
+				return nil, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
+			}
+		}
+	}
+	return func(ctx context.Context) (any, error) {
+		pts, err := exper.RuntimeSweepEngine(ctx, s.engine(b), req.Seed, pairs)
+		if err != nil {
+			return nil, err
+		}
+		resp := SweepResponse{Backend: b.String(), Points: make([]SweepPointJSON, len(pts))}
+		for i, p := range pts {
+			resp.Points[i] = SweepPointJSON{
+				Reps:       p.Reps,
+				PathCount:  p.PathCount,
+				PolyNs:     p.PolyTime.Nanoseconds(),
+				TPNNs:      p.TPNTime.Nanoseconds(),
+				TPNSkipped: p.TPNSkipped,
+				Period:     p.Period.String(),
+				PeriodF:    p.Period.Float64(),
+			}
+		}
+		return resp, nil
+	}, nil
+}
+
+// ---- serving ----
+
+// Serve binds addr, serves s until ctx is canceled, then shuts down
+// gracefully (in-flight requests get drainTimeout to finish). logf, when
+// non-nil, receives one "listening on <addr>" line — the way cmd/serve
+// reports the bound address for :0 listeners.
+func Serve(ctx context.Context, addr string, opts Options, logf func(format string, args ...any)) error {
+	s := NewServer(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if logf != nil {
+		logf("listening on %s (workers=%d, inflight budget=%d)", ln.Addr(), s.opts.Workers, s.opts.MaxInFlight)
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// The handler's RequestTimeout context cannot interrupt network
+		// reads, so a client trickling its body would otherwise hold a
+		// goroutine (and its buffers) forever; the server-level deadlines
+		// bound the whole exchange instead.
+		ReadTimeout:  s.opts.RequestTimeout,
+		WriteTimeout: s.opts.RequestTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		done <- srv.Shutdown(shutCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() != nil {
+		return <-done // surface a failed drain; nil on clean shutdown
+	}
+	return nil
+}
+
+// drainTimeout bounds graceful shutdown: requests still running this long
+// after the stop signal are abandoned.
+const drainTimeout = 15 * time.Second

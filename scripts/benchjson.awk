@@ -1,0 +1,56 @@
+# benchjson.awk — convert `go test -bench -benchmem` output into a JSON
+# array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
+# (BENCH_4.json in CI) and enforce the allocation gate: the strict-model
+# Evaluate benchmarks must stay at or below `gate` allocs/op (the PR-2
+# zero-allocation refactor brought them to single digits; see
+# EXPERIMENTS.md). Exits non-zero after the report if the gate is broken.
+#
+# Usage: awk -v gate=12 -f scripts/benchjson.awk bench.txt > BENCH_4.json
+
+BEGIN {
+    n = 0
+    fail = 0
+    if (gate == "") gate = 12
+}
+
+/^Benchmark/ && / allocs\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    n++
+    names[n] = name
+    iters[n] = $2
+    nsop[n] = ns
+    bop[n] = bytes
+    aop[n] = allocs
+
+    # The gate: strict-model Evaluate paths (pooled free function and
+    # reused solver; the fresh-solver case intentionally measures the
+    # unpooled cost and is exempt).
+    if (name == "BenchmarkPeriodStrict/free-function" || name == "BenchmarkPeriodStrict/reused-solver") {
+        gated[n] = 1
+        if (allocs + 0 > gate + 0) {
+            printf "GATE FAIL: %s at %s allocs/op exceeds the gate of %s\n", name, allocs, gate > "/dev/stderr"
+            fail = 1
+        }
+    }
+}
+
+END {
+    if (n == 0) {
+        print "benchjson.awk: no benchmark lines found" > "/dev/stderr"
+        exit 1
+    }
+    print "["
+    for (i = 1; i <= n; i++) {
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"nsPerOp\": %s, \"bytesPerOp\": %s, \"allocsPerOp\": %s, \"gated\": %s}%s\n", \
+            names[i], iters[i], nsop[i], bop[i], aop[i], (gated[i] ? "true" : "false"), (i < n ? "," : "")
+    }
+    print "]"
+    if (fail) exit 1
+}
