@@ -1,9 +1,9 @@
 GO ?= go
 
-# Coverage gate: these packages hold the exact period engines and the
-# serving layer, and must stay above the floor (CI enforces it via
-# `make cover`).
-COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service
+# Coverage gate: these packages hold the exact period engines, the serving
+# layer and the exact search, and must stay above the floor (CI enforces it
+# via `make cover`).
+COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb
 COVER_MIN  = 75
 
 # Fuzz smoke budget per target (CI runs `make fuzz` on top of the corpus
@@ -11,10 +11,12 @@ COVER_MIN  = 75
 FUZZTIME ?= 10s
 
 # Benchmarks of the perf-regression job: the period paths, the cycle-ratio
-# backends and the engine batch/memoization stack. The allocation gate
+# backends, the engine batch/memoization stack and the branch-and-bound
+# search (whose nodes/op + prunedPct metrics expose bounding/symmetry
+# regressions as deterministic count jumps). The allocation gate
 # (ALLOC_GATE, allocs/op on the strict-model Evaluate benchmarks) guards
 # the PR-2 zero-allocation refactor; measured values sit at 6-7.
-BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization
+BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch
 ALLOC_GATE = 12
 
 .PHONY: all vet build test race check bench bench-regression cover fuzz fmt lint
@@ -38,8 +40,8 @@ race:
 # benchmark with -benchmem, so allocation regressions show up in the log).
 check: lint build test race cover fuzz bench
 
-# lint fails on unformatted files, vet findings, and (when the binary is
-# installed — CI installs it) staticcheck findings.
+# lint fails on unformatted files, vet findings, and (when the binaries are
+# installed — CI installs them) staticcheck and govulncheck findings.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -51,18 +53,25 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
 
-# bench-regression runs the period/backend/engine benchmarks at a fixed
-# iteration count, converts them to BENCH_4.json (uploaded as a CI
+# bench-regression runs the period/backend/engine/bnb benchmarks at a fixed
+# iteration count, converts them to BENCH_5.json (uploaded as a CI
 # artifact) and fails if the strict-model Evaluate allocs/op regress above
 # ALLOC_GATE.
 bench-regression:
-	$(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . | tee bench_regression.txt
-	awk -v gate=$(ALLOC_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_4.json
-	@echo "wrote BENCH_4.json ($$(grep -c '"name"' BENCH_4.json) benchmarks, alloc gate $(ALLOC_GATE))"
+	@status=0; $(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . ./internal/bnb > bench_regression.txt || status=$$?; \
+	cat bench_regression.txt; \
+	if [ "$$status" != "0" ]; then echo "bench-regression: go test failed ($$status)"; exit $$status; fi
+	awk -v gate=$(ALLOC_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_5.json
+	@echo "wrote BENCH_5.json ($$(grep -c '"name"' BENCH_5.json) benchmarks, alloc gate $(ALLOC_GATE))"
 
 # cover fails when any of COVER_PKGS drops below COVER_MIN% statement
 # coverage. Uses -coverprofile + `go tool cover -func` rather than grepping

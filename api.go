@@ -48,6 +48,10 @@ type (
 	GanttOptions = gantt.Options
 	// MappingResult is a mapping found by the search heuristics.
 	MappingResult = sched.Result
+	// ExactMappingResult is the outcome of the exact branch-and-bound
+	// search: a mapping, its period, the Proven certificate and the tree
+	// statistics (nodes, leaves, pruned, infeasible, frontier).
+	ExactMappingResult = sched.ExactResult
 	// Report is the full per-resource analysis produced by Analyze.
 	Report = core.Report
 	// ResourceReport is one row of a Report.
@@ -230,6 +234,16 @@ func FindMappingBest(pipe *Pipeline, plat *Platform, cm CommModel, rng *rand.Ran
 	return sched.BestOf(pipe, plat, cm, rng)
 }
 
+// FindMappingExact runs the exact branch-and-bound search over all
+// replicated mappings (greedy warm start, admissible bounding, symmetry
+// breaking within interchangeable processors). When the result's Proven
+// flag is set, no replicated mapping has a smaller period — the ground
+// truth the heuristics are judged against. The search is anytime: under a
+// context deadline use Engine.SearchMappingsExact instead.
+func FindMappingExact(pipe *Pipeline, plat *Platform, cm CommModel) (ExactMappingResult, error) {
+	return sched.BranchAndBound(pipe, plat, cm)
+}
+
 // LatencyStats summarizes steady-state end-to-end data-set latency with
 // arrivals throttled to the period (the latency/throughput trade-off of the
 // replication literature).
@@ -278,6 +292,15 @@ func (e *Engine) EvaluateBatch(ctx context.Context, tasks []EvalTask) ([]EvalOut
 // computed once.
 func (e *Engine) SearchMappings(ctx context.Context, pipe *Pipeline, plat *Platform, cm CommModel, rng *rand.Rand) (MappingResult, error) {
 	return sched.BestOfEngine(ctx, e.eng, pipe, plat, cm, rng)
+}
+
+// SearchMappingsExact runs the exact branch-and-bound search on the
+// engine's pool with deterministic work partitioning: the result (mapping,
+// period, proven flag, node counts) is bit-identical at any worker count.
+// Under a context deadline the search turns anytime — the best incumbent
+// found so far is returned with Proven false.
+func (e *Engine) SearchMappingsExact(ctx context.Context, pipe *Pipeline, plat *Platform, cm CommModel) (ExactMappingResult, error) {
+	return sched.BranchAndBoundEngine(ctx, e.eng, pipe, plat, cm)
 }
 
 // Sweep runs the runtime-vs-duplication sweep (cf. cmd/scaling) on the

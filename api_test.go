@@ -137,6 +137,34 @@ func TestMappingSearchAPI(t *testing.T) {
 	}
 }
 
+func TestFindMappingExactAPI(t *testing.T) {
+	pipe, _ := NewPipeline([]int64{10, 400, 10}, []int64{10, 10})
+	plat := UniformPlatform(6, 10, 100)
+	exact, err := FindMappingExact(pipe, plat, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Proven {
+		t.Fatal("undeadlined exact search must prove its answer")
+	}
+	gr, err := FindMappingGreedy(pipe, plat, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Period.Less(exact.Period) {
+		t.Fatalf("greedy %v beat the proven optimum %v", gr.Period, exact.Period)
+	}
+	// The engine-routed form proves the same optimum.
+	eng := NewEngine(EngineOptions{Workers: 2})
+	viaEngine, err := eng.SearchMappingsExact(context.Background(), pipe, plat, Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaEngine.Period.Equal(exact.Period) || !viaEngine.Proven {
+		t.Fatalf("engine-routed exact search diverged: %v vs %v", viaEngine.Period, exact.Period)
+	}
+}
+
 func TestMonteCarloDynamicAPI(t *testing.T) {
 	st, err := MonteCarloDynamic(ExampleB(), Overlap, Perturbation{JitterPct: 5}, 10, 1, 2)
 	if err != nil {

@@ -10,7 +10,12 @@
 //
 //	loadgen -url http://localhost:8080 [-endpoint evaluate] [-workers 4]
 //	        [-rps 0] [-duration 10s] [-model strict] [-backend auto]
-//	        [-reps 2,3] [-instances 64] [-batch 16] [-seed 1]
+//	        [-reps 2,3] [-instances 64] [-batch 16] [-algo bnb] [-seed 1]
+//
+// -endpoint search drives /v1/search with randomly generated (pipeline,
+// platform) problems; -algo picks the search algorithm (default bnb, the
+// exact branch and bound — the heaviest per-request workload the service
+// offers).
 //
 // -rps 0 runs unthrottled (pure closed loop: measured throughput is the
 // service's capacity at this concurrency). The summary is one JSON object
@@ -39,6 +44,8 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/exper"
 	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
 	"repro/internal/service"
 )
 
@@ -80,7 +87,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	baseURL := fs.String("url", "", "base URL of the service (required), e.g. http://localhost:8080")
-	endpoint := fs.String("endpoint", "evaluate", "endpoint to drive: evaluate or batch")
+	endpoint := fs.String("endpoint", "evaluate", "endpoint to drive: evaluate, batch or search")
 	workers := fs.Int("workers", 4, "concurrent closed-loop clients")
 	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
 	duration := fs.Duration("duration", 10*time.Second, "measurement window")
@@ -89,6 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	repsFlag := fs.String("reps", "2,3", "replication vector of the generated instances, e.g. 2,3")
 	instances := fs.Int("instances", 64, "distinct random instances rotated through")
 	batchSize := fs.Int("batch", 16, "tasks per request for -endpoint batch")
+	algo := fs.String("algo", "bnb", "search algorithm for -endpoint search: best, greedy, random, anneal, exhaustive or bnb")
 	seed := fs.Int64("seed", 1, "random seed for the instance population")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,11 +128,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		path = "/v1/evaluate"
 	case "batch":
 		path = "/v1/batch"
+	case "search":
+		path = "/v1/search"
 	default:
-		return fmt.Errorf("unknown -endpoint %q (want evaluate or batch)", *endpoint)
+		return fmt.Errorf("unknown -endpoint %q (want evaluate, batch or search)", *endpoint)
+	}
+	switch *algo {
+	case "best", "greedy", "random", "anneal", "exhaustive", "bnb":
+	default:
+		return fmt.Errorf("unknown -algo %q (want best, greedy, random, anneal, exhaustive or bnb)", *algo)
 	}
 
-	payloads, err := buildPayloads(*endpoint, rand.New(rand.NewSource(*seed)), reps, *instances, *batchSize, cm, backend)
+	payloads, err := buildPayloads(*endpoint, rand.New(rand.NewSource(*seed)), reps, *instances, *batchSize, *algo, cm, backend)
 	if err != nil {
 		return err
 	}
@@ -240,7 +255,30 @@ func parseReps(s string) ([]int, error) {
 
 // buildPayloads pre-marshals the request bodies so the measurement loop
 // does no JSON work of its own.
-func buildPayloads(endpoint string, rng *rand.Rand, reps []int, instances, batchSize int, cm model.CommModel, backend cycles.Backend) ([][]byte, error) {
+func buildPayloads(endpoint string, rng *rand.Rand, reps []int, instances, batchSize int, algo string, cm model.CommModel, backend cycles.Backend) ([][]byte, error) {
+	if endpoint == "search" {
+		// The search population: small heterogeneous problems whose exact
+		// tree (a few thousand leaves) makes every request a real solve, not
+		// a cache hit.
+		var payloads [][]byte
+		for k := 0; k < instances; k++ {
+			pipe := pipeline.Random(rng, 3, 50, 500)
+			plat := platform.Random(rng, 5, 5, 25, 20, 200)
+			b, err := json.Marshal(service.SearchRequest{
+				Pipeline: pipe,
+				Platform: plat,
+				Model:    cm.String(),
+				Algo:     algo,
+				Backend:  backend.String(),
+				Seed:     int64(k),
+			})
+			if err != nil {
+				return nil, err
+			}
+			payloads = append(payloads, b)
+		}
+		return payloads, nil
+	}
 	// The instance population is the sweep's family: uniform integer times
 	// in the Table 2 computation-time range [5, 15].
 	insts := make([]*model.Instance, instances)

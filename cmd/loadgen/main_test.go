@@ -107,3 +107,24 @@ func TestQuantilesExact(t *testing.T) {
 		t.Fatalf("quantiles = %+v, want %+v", got, want)
 	}
 }
+
+func TestLoadgenSearchEndpoint(t *testing.T) {
+	sum := runAgainst(t, "-endpoint", "search", "-algo", "bnb", "-model", "overlap", "-instances", "4", "-workers", "2")
+	if sum.Requests == 0 {
+		t.Fatal("no search requests completed in the window")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d/%d search requests failed", sum.Errors, sum.Requests)
+	}
+	if sum.Endpoint != "search" {
+		t.Fatalf("summary endpoint %q", sum.Endpoint)
+	}
+}
+
+func TestLoadgenBadAlgo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-url", "http://x", "-endpoint", "search", "-algo", "oracle"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown -algo") {
+		t.Fatalf("bad -algo error = %v", err)
+	}
+}

@@ -1,17 +1,22 @@
-// Command mapsearch demonstrates the mapping heuristics built on the period
+// Command mapsearch demonstrates the mapping searches built on the period
 // evaluator: for a random heterogeneous platform, it compares the best
 // one-to-one mapping (exhaustive when feasible), the greedy replicated
-// mapping and randomized hill climbing — the NP-hard optimization problem
-// the paper cites as motivation [3].
+// mapping, randomized hill climbing, and the exact branch-and-bound — the
+// NP-hard optimization problem the paper cites as motivation [3], now with
+// a proven optimum to judge the heuristics against.
 //
 // All candidate evaluations route through the batch-evaluation engine: a
-// work-stealing worker pool with a memo cache shared across the heuristics,
-// so a partition revisited by a later heuristic costs a lookup. Ctrl-C
-// cancels the search cleanly.
+// work-stealing worker pool with a memo cache shared across the searches,
+// so a partition revisited by a later search costs a lookup. Ctrl-C cancels
+// the search cleanly; the branch and bound then reports its best incumbent
+// instead of the certificate.
 //
 // Usage:
 //
-//	mapsearch [-stages 3] [-procs 8] [-seed 1] [-model overlap] [-restarts 20] [-workers 0] [-backend auto]
+//	mapsearch [-stages 3] [-procs 8] [-seed 1] [-model overlap] [-method all]
+//	          [-restarts 20] [-workers 0] [-backend auto]
+//
+// -method selects one search (exhaustive, greedy, random, bnb) or "all".
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 	procs := flag.Int("procs", 8, "number of processors")
 	seed := flag.Int64("seed", 1, "random seed")
 	modelName := flag.String("model", "overlap", "communication model")
+	method := flag.String("method", "all", "search to run: all, exhaustive, greedy, random or bnb")
 	restarts := flag.Int("restarts", 20, "hill-climbing restarts")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	backendName := flag.String("backend", "auto", "cycle-ratio backend: auto, karp or howard")
@@ -50,6 +56,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mapsearch:", err)
 		os.Exit(1)
 	}
+	switch *method {
+	case "all", "exhaustive", "greedy", "random", "bnb":
+	default:
+		fmt.Fprintf(os.Stderr, "mapsearch: unknown -method %q (want all, exhaustive, greedy, random or bnb)\n", *method)
+		os.Exit(1)
+	}
+	selected := func(name string) bool { return *method == "all" || *method == name }
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	eng := engine.New(engine.Options{Workers: *workers, Backend: backend})
@@ -60,7 +73,10 @@ func main() {
 	fmt.Println("pipeline:", pipe)
 	fmt.Println("speeds:  ", plat.Speeds)
 
-	if *procs <= 10 {
+	// With -method all the exhaustive walk is skipped quietly on platforms
+	// it refuses (> 10 processors); explicitly requested, it runs and
+	// reports its own refusal instead of silently doing nothing.
+	if selected("exhaustive") && (*method == "exhaustive" || *procs <= 10) {
 		if res, err := sched.ExhaustiveOneToOneEngine(ctx, eng, pipe, plat, cm); err == nil {
 			fmt.Printf("\nbest one-to-one (exhaustive): period %v (%.3f)\n  %v\n",
 				res.Period, res.Period.Float64(), res.Mapping)
@@ -68,17 +84,35 @@ func main() {
 			fmt.Println("\nexhaustive:", err)
 		}
 	}
-	if res, err := sched.GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
-		fmt.Printf("\ngreedy replicated: period %v (%.3f)\n  %v\n",
-			res.Period, res.Period.Float64(), res.Mapping)
-	} else {
-		fmt.Println("\ngreedy:", err)
+	if selected("greedy") {
+		if res, err := sched.GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
+			fmt.Printf("\ngreedy replicated: period %v (%.3f)\n  %v\n",
+				res.Period, res.Period.Float64(), res.Mapping)
+		} else {
+			fmt.Println("\ngreedy:", err)
+		}
 	}
-	if res, err := sched.RandomSearchEngine(ctx, eng, pipe, plat, cm, rng, *restarts, 60); err == nil {
-		fmt.Printf("\nrandom hill climbing (%d restarts): period %v (%.3f)\n  %v\n",
-			*restarts, res.Period, res.Period.Float64(), res.Mapping)
-	} else {
-		fmt.Println("\nrandom search:", err)
+	if selected("random") {
+		if res, err := sched.RandomSearchEngine(ctx, eng, pipe, plat, cm, rng, *restarts, 60); err == nil {
+			fmt.Printf("\nrandom hill climbing (%d restarts): period %v (%.3f)\n  %v\n",
+				*restarts, res.Period, res.Period.Float64(), res.Mapping)
+		} else {
+			fmt.Println("\nrandom search:", err)
+		}
+	}
+	if selected("bnb") {
+		if res, err := sched.BranchAndBoundEngine(ctx, eng, pipe, plat, cm); err == nil {
+			status := "proven optimal"
+			if !res.Proven {
+				status = "best incumbent, search interrupted"
+			}
+			fmt.Printf("\nbranch and bound (%s): period %v (%.3f)\n  %v\n", status,
+				res.Period, res.Period.Float64(), res.Mapping)
+			fmt.Printf("  tree: %d nodes, %d leaves evaluated, %d branches pruned, %d infeasible, %d subtree roots\n",
+				res.Stats.Nodes, res.Stats.Leaves, res.Stats.Pruned, res.Stats.Infeasible, res.Stats.Frontier)
+		} else {
+			fmt.Println("\nbranch and bound:", err)
+		}
 	}
 
 	hits, misses := eng.CacheStats()

@@ -43,6 +43,12 @@
 //	outs, _ := eng.EvaluateBatch(ctx, []repro.EvalTask{{Inst: inst, Model: repro.Overlap}})
 //	best, _ := eng.SearchMappings(ctx, pipe, plat, repro.Overlap, rng)
 //
+// SearchMappings is heuristic; SearchMappingsExact runs the parallel
+// branch-and-bound search instead and, when its result carries Proven,
+// certifies that no replicated mapping has a smaller period:
+//
+//	exact, _ := eng.SearchMappingsExact(ctx, pipe, plat, repro.Overlap)
+//
 // See the examples/ directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 package repro

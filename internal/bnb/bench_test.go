@@ -1,0 +1,60 @@
+package bnb
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// BenchmarkBnBSearch measures the exact search end to end: tree walk,
+// bounding and batched leaf evaluation through a shared (memoizing) engine —
+// the resident-service shape, where repeated searches over a stable
+// population hit the cache. nodes/op and prunedPct track the tree the bound
+// actually leaves; they are deterministic for a fixed case, so regressions
+// in the bound or the symmetry breaking show up as count jumps, not noise.
+func BenchmarkBnBSearch(b *testing.B) {
+	cases := []struct {
+		name string
+		pipe *pipeline.Pipeline
+		plat *platform.Platform
+	}{
+		{
+			name: "uniform-10x4",
+			pipe: pipeline.Random(rand.New(rand.NewSource(1)), 4, 50, 500),
+			plat: platform.Uniform(10, 12, 100),
+		},
+		{
+			name: "het-7x3",
+			pipe: pipeline.Random(rand.New(rand.NewSource(2)), 3, 50, 500),
+			plat: platform.Random(rand.New(rand.NewSource(2)), 7, 5, 25, 20, 200),
+		},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			eng := engine.New(engine.Options{})
+			var last Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Search(context.Background(), eng, c.pipe, c.plat, model.Overlap, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			if !last.Proven {
+				b.Fatal("benchmark search did not prove its answer")
+			}
+			b.ReportMetric(float64(last.Stats.Nodes), "nodes/op")
+			b.ReportMetric(float64(last.Stats.Leaves), "leaves/op")
+			if total := last.Stats.Leaves + last.Stats.Pruned; total > 0 {
+				b.ReportMetric(100*float64(last.Stats.Pruned)/float64(total), "prunedPct")
+			}
+		})
+	}
+}

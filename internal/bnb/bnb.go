@@ -1,0 +1,558 @@
+// Package bnb is the exact optimizer for the paper's Section 6 search
+// problem: among all replicated interval-free mappings of a pipeline onto a
+// heterogeneous platform, find one whose steady-state period is minimal —
+// and prove it. The heuristics in package sched (greedy, hill climbing,
+// annealing) are fast but certify nothing; this package runs a parallel
+// branch-and-bound whose answer is the optimum over the whole space
+// whenever it completes, and the best incumbent found so far when a
+// deadline cuts it short.
+//
+// The search space is the one every heuristic in this repository inhabits:
+// each stage is assigned a non-empty set of processors, sets are disjoint
+// across stages (a processor executes at most one stage), and replicas
+// within a stage serve data sets round-robin in ascending processor-id
+// order. Stages are assigned in pipeline order; a tree node is a prefix of
+// stage assignments.
+//
+// Three mechanisms keep the exponential tree tractable:
+//
+//   - Admissible bounding. Round-robin replication means every replica u of
+//     stage i handles one data set in m_i, so any completion of a node
+//     satisfies P >= w_i/(m_i·Π_u) for each assigned stage, and
+//     P >= max_{j remaining} w_j / (m_max·Π_fastest-free) for the stages
+//     still open, where m_max is the largest replica set a remaining stage
+//     could still receive (free processors minus one per other open stage).
+//     A node whose bound already meets the incumbent period is cut.
+//
+//   - Symmetry breaking. Processors that are provably interchangeable — equal
+//     speed, and swapping them leaves the bandwidth matrix invariant — are
+//     grouped into classes (restricted to consecutive-id runs, which makes
+//     the argument exact under ascending-id replica order: class members of
+//     a stage always occupy a contiguous block of round-robin positions, so
+//     exchanging members never re-pairs anyone else). Within a class only
+//     the canonical choice "first free members, in stage order" is
+//     enumerated; on a uniform platform this collapses the per-stage choice
+//     from subsets to replica counts.
+//
+//   - Deterministic work partitioning (the Bobpp recipe). The first tree
+//     levels are expanded into a frontier of subtree roots; workers pull
+//     root indices from a shared counter and explore each subtree
+//     independently, batching complete mappings through the shared
+//     engine.EvaluateBatch. Pruning inside a subtree uses only the greedy
+//     warm start and that subtree's own discoveries, and subtree results
+//     merge in frontier order — so the returned mapping, period, proven
+//     flag and node counts are bit-identical at any worker count.
+package bnb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// Options configures a Search. The zero value searches with the engine's
+// worker count, the default frontier and chunk sizes, and no warm start.
+type Options struct {
+	// Workers is the number of concurrent subtree explorers (<= 0 means the
+	// engine's pool size). The result never depends on it.
+	Workers int
+	// FrontierTarget is the minimum number of subtree roots the deterministic
+	// partitioning expands before workers start (default 64). It shifts load
+	// balance and node counts, never the result; it must not be derived from
+	// the worker count or the bit-identity guarantee degrades to
+	// value-identity.
+	FrontierTarget int
+	// ChunkSize is the number of complete mappings batched per
+	// engine.EvaluateBatch call during subtree exploration (default 128).
+	ChunkSize int
+	// Incumbent, when non-nil, warm-starts the search with a known-feasible
+	// mapping whose exact period is IncumbentPeriod (sched passes the greedy
+	// solution). The bound prunes against it from the first node, and it is
+	// returned when nothing better exists.
+	Incumbent       *mapping.Mapping
+	IncumbentPeriod rat.Rat
+}
+
+const (
+	defaultFrontierTarget = 64
+	defaultChunkSize      = 128
+)
+
+// Stats counts the work the search performed. With a fixed Options
+// configuration the counts are deterministic: they do not depend on the
+// worker count (asserted by tests).
+type Stats struct {
+	// Nodes is the number of stage assignments constructed (interior tree
+	// nodes, frontier expansion included).
+	Nodes int64
+	// Leaves is the number of complete mappings handed to the engine.
+	Leaves int64
+	// Pruned is the number of nodes cut by the lower bound.
+	Pruned int64
+	// Infeasible is the number of complete mappings rejected because the
+	// platform lacks a link the mapping requires.
+	Infeasible int64
+	// Frontier is the number of subtree roots the partitioning produced.
+	Frontier int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Leaves += o.Leaves
+	s.Pruned += o.Pruned
+	s.Infeasible += o.Infeasible
+}
+
+// Result is the outcome of a Search.
+type Result struct {
+	// Mapping achieves Period; when Proven is true no replicated mapping of
+	// the search space has a smaller period.
+	Mapping *mapping.Mapping
+	Period  rat.Rat
+	// Proven reports that the tree was exhausted. False means the deadline
+	// expired first: Mapping is the best incumbent (at worst the warm
+	// start), not a certificate.
+	Proven bool
+	Stats  Stats
+}
+
+// Throughput returns 1/Period.
+func (r Result) Throughput() rat.Rat { return rat.One().Div(r.Period) }
+
+// incumbent is a feasible mapping with its exact period.
+type incumbent struct {
+	mapp   *mapping.Mapping
+	period rat.Rat
+}
+
+// class is a maximal run of consecutive-id, mutually interchangeable
+// processors.
+type class struct {
+	speed   int64
+	members []int // ascending, consecutive ids
+}
+
+// problem is the read-only search context shared by all walkers.
+type problem struct {
+	pipe      *pipeline.Pipeline
+	plat      *platform.Platform
+	cm        model.CommModel
+	n         int
+	classes   []class // enumeration order: decreasing speed, then lowest id
+	maxWork   []int64 // maxWork[i] = max work of stages i..n-1; maxWork[n] = 0
+	chunkSize int
+	warm      *incumbent
+}
+
+func (p *problem) work(stage int) int64 { return p.pipe.Stages[stage].Work }
+
+// Search runs the branch and bound. It is exact: when the returned Result
+// has Proven set, its period is minimal over every replicated mapping with
+// ascending-id round-robin order. Under a context deadline the search is
+// anytime — the best incumbent found before the deadline is returned with
+// Proven false; the error cases are a context canceled before any feasible
+// mapping was known and a space with no feasible mapping at all.
+func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, opts Options) (Result, error) {
+	n := pipe.NumStages()
+	p := plat.NumProcs()
+	if n > p {
+		return Result{}, fmt.Errorf("bnb: %d stages need at least as many processors (got %d)", n, p)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = eng.Workers()
+	}
+	if opts.FrontierTarget <= 0 {
+		opts.FrontierTarget = defaultFrontierTarget
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = defaultChunkSize
+	}
+	pr := &problem{
+		pipe:      pipe,
+		plat:      plat,
+		cm:        cm,
+		n:         n,
+		classes:   classesOf(plat),
+		maxWork:   make([]int64, n+1),
+		chunkSize: opts.ChunkSize,
+	}
+	for i := n - 1; i >= 0; i-- {
+		pr.maxWork[i] = pr.maxWork[i+1]
+		if w := pr.work(i); w > pr.maxWork[i] {
+			pr.maxWork[i] = w
+		}
+	}
+	if opts.Incumbent != nil {
+		pr.warm = &incumbent{mapp: opts.Incumbent, period: opts.IncumbentPeriod}
+	}
+	if err := ctx.Err(); err != nil {
+		if pr.warm != nil {
+			return Result{Mapping: pr.warm.mapp, Period: pr.warm.period}, nil
+		}
+		return Result{}, err
+	}
+
+	// Phase 1: expand the first levels into the frontier of subtree roots.
+	// The expansion prunes against the warm start only, so the frontier is a
+	// pure function of the problem and FrontierTarget.
+	var stats Stats
+	frontier := []*node{{used: make([]int, len(pr.classes)), free: p}}
+	depth := 0
+	interrupted := false
+	for depth < n-1 && len(frontier) < opts.FrontierTarget && len(frontier) > 0 {
+		var next []*node
+		for _, nd := range frontier {
+			w := newWalker(pr, ctx, eng, nd, depth, depth+1, &next)
+			if err := w.dfs(depth, nd.lb); err != nil {
+				interrupted = true
+			}
+			stats.add(w.st)
+			if interrupted {
+				break
+			}
+		}
+		if interrupted {
+			break
+		}
+		frontier = next
+		depth++
+	}
+	stats.Frontier = len(frontier)
+
+	// Phase 2: workers pull subtree roots from a shared index. Each subtree
+	// is explored depth-first with its own incumbent (warm start + local
+	// discoveries), so its result and counts are deterministic.
+	type subResult struct {
+		best     *incumbent
+		st       Stats
+		complete bool
+	}
+	results := make([]subResult, len(frontier))
+	if !interrupted && len(frontier) > 0 {
+		workers := opts.Workers
+		if workers > len(frontier) {
+			workers = len(frontier)
+		}
+		var nextIdx atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(nextIdx.Add(1) - 1)
+					if i >= len(frontier) {
+						return
+					}
+					w := newWalker(pr, ctx, eng, frontier[i], depth, n, nil)
+					err := w.dfs(depth, frontier[i].lb)
+					if err == nil {
+						err = w.flush()
+					}
+					results[i] = subResult{best: w.best, st: w.st, complete: err == nil}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge in frontier order: the warm start wins ties, then the earliest
+	// subtree — the same winner a single worker finds.
+	best := pr.warm
+	proven := !interrupted
+	for i := range results {
+		stats.add(results[i].st)
+		if !results[i].complete {
+			proven = false
+		}
+		if b := results[i].best; b != nil && (best == nil || b.period.Less(best.period)) {
+			best = b
+		}
+	}
+	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("bnb: no feasible replicated mapping (platform links cannot carry the pipeline)")
+	}
+	return Result{Mapping: best.mapp, Period: best.period, Proven: proven, Stats: stats}, nil
+}
+
+// node is a subtree root: assignments for stages 0..depth-1.
+type node struct {
+	replicas [][]int // per assigned stage, in class-enumeration order
+	used     []int   // per class, members consumed (always a prefix)
+	free     int     // processors not yet assigned
+	lb       rat.Rat // computation lower bound contributed by assigned stages
+}
+
+// walker explores one subtree depth-first. It is single-goroutine state; the
+// only shared object it touches is the engine.
+type walker struct {
+	pr         *problem
+	ctx        context.Context
+	eng        *engine.Engine
+	depthLimit int      // stage at which assignments are snapshotted instead of recursed (n = explore fully)
+	out        *[]*node // frontier accumulator for expansion walkers
+
+	replicas [][]int
+	used     []int
+	free     int
+
+	ref    rat.Rat // current pruning reference: min(warm start, local best)
+	hasRef bool
+	best   *incumbent // strictly better than the warm start, else nil
+
+	chunk []*mapping.Mapping
+	st    Stats
+}
+
+func newWalker(pr *problem, ctx context.Context, eng *engine.Engine, nd *node, depth, depthLimit int, out *[]*node) *walker {
+	w := &walker{
+		pr:         pr,
+		ctx:        ctx,
+		eng:        eng,
+		depthLimit: depthLimit,
+		out:        out,
+		replicas:   make([][]int, pr.n),
+		used:       append([]int(nil), nd.used...),
+		free:       nd.free,
+	}
+	copy(w.replicas, nd.replicas)
+	if pr.warm != nil {
+		w.ref = pr.warm.period
+		w.hasRef = true
+	}
+	return w
+}
+
+// dfs handles the subtree below a node whose stages < stage are assigned and
+// whose assigned-stage bound is lb.
+func (w *walker) dfs(stage int, lb rat.Rat) error {
+	if err := w.ctx.Err(); err != nil {
+		return err
+	}
+	if stage == w.pr.n {
+		return w.leaf()
+	}
+	if stage == w.depthLimit {
+		nd := &node{
+			replicas: cloneReplicas(w.replicas[:stage]),
+			used:     append([]int(nil), w.used...),
+			free:     w.free,
+			lb:       lb,
+		}
+		*w.out = append(*w.out, nd)
+		return nil
+	}
+	return w.choose(stage, 0, 0, 0, lb)
+}
+
+// choose enumerates the replica-set choices of one stage class by class:
+// taken members of classes < c are already appended to replicas[stage]. The
+// canonical form takes the first free members of each chosen class, so a
+// choice is fully described by per-class counts.
+func (w *walker) choose(stage, c, taken int, slowest int64, parentLB rat.Rat) error {
+	if c == len(w.pr.classes) {
+		if taken == 0 {
+			return nil
+		}
+		w.st.Nodes++
+		stageLB := rat.New(w.pr.work(stage), int64(taken)).DivInt(slowest)
+		lb := rat.Max(parentLB, stageLB)
+		bound := lb
+		if remaining := w.pr.n - stage - 1; remaining > 0 {
+			bound = rat.Max(bound, w.remainingBound(stage+1, remaining))
+		}
+		if w.hasRef && !bound.Less(w.ref) {
+			w.st.Pruned++
+			return nil
+		}
+		return w.dfs(stage+1, lb)
+	}
+	cl := &w.pr.classes[c]
+	freeC := len(cl.members) - w.used[c]
+	// Every later stage still needs a processor; w.free already excludes the
+	// members taken for this stage so far.
+	maxT := w.free - (w.pr.n - stage - 1)
+	if maxT > freeC {
+		maxT = freeC
+	}
+	if maxT < 0 {
+		maxT = 0
+	}
+	// Largest counts first: the fastest classes are enumerated first and
+	// replication only helps, so good incumbents appear early in DFS order.
+	for t := maxT; t >= 0; t-- {
+		sl := slowest
+		if t > 0 {
+			start := w.used[c]
+			w.replicas[stage] = append(w.replicas[stage], cl.members[start:start+t]...)
+			w.used[c] += t
+			w.free -= t
+			if sl == 0 || cl.speed < sl {
+				sl = cl.speed
+			}
+		}
+		err := w.choose(stage, c+1, taken+t, sl, parentLB)
+		if t > 0 {
+			w.used[c] -= t
+			w.free += t
+			w.replicas[stage] = w.replicas[stage][:len(w.replicas[stage])-t]
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remainingBound is the optimistic completion bound for the open stages
+// firstOpen..n-1: the heaviest of them runs on the largest replica set it
+// could still receive, every member as fast as the fastest free processor.
+func (w *walker) remainingBound(firstOpen, remaining int) rat.Rat {
+	var fastest int64
+	for c := range w.pr.classes {
+		if len(w.pr.classes[c].members)-w.used[c] > 0 {
+			fastest = w.pr.classes[c].speed
+			break // classes are sorted by decreasing speed
+		}
+	}
+	mMax := w.free - (remaining - 1)
+	return rat.New(w.pr.maxWork[firstOpen], int64(mMax)).DivInt(fastest)
+}
+
+// leaf queues the complete assignment for evaluation.
+func (w *walker) leaf() error {
+	reps := make([][]int, w.pr.n)
+	for i, r := range w.replicas {
+		reps[i] = append([]int(nil), r...)
+		sort.Ints(reps[i]) // round-robin order is ascending processor id
+	}
+	m, err := mapping.New(reps, w.pr.plat.NumProcs())
+	if err != nil {
+		// Unreachable by construction (sets are non-empty and disjoint);
+		// counted rather than trusted.
+		w.st.Infeasible++
+		return nil
+	}
+	w.chunk = append(w.chunk, m)
+	if len(w.chunk) >= w.pr.chunkSize {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush evaluates the queued mappings as one engine batch and folds the
+// outcomes into the subtree incumbent.
+func (w *walker) flush() error {
+	if len(w.chunk) == 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(w.chunk))
+	tasks := make([]engine.Task, 0, len(w.chunk))
+	for k, m := range w.chunk {
+		inst, err := model.FromMapped(w.pr.pipe, w.pr.plat, m)
+		if err != nil {
+			w.st.Infeasible++ // a required link is missing; skip, never abort
+			continue
+		}
+		idx = append(idx, k)
+		tasks = append(tasks, engine.Task{Inst: inst, Model: w.pr.cm})
+		w.st.Leaves++ // counted here so Leaves and Infeasible never overlap
+	}
+	outs, err := w.eng.EvaluateBatch(w.ctx, tasks)
+	if err != nil {
+		w.chunk = w.chunk[:0]
+		return err
+	}
+	for j, o := range outs {
+		if o.Err != nil {
+			w.st.Infeasible++
+			continue
+		}
+		if !w.hasRef || o.Result.Period.Less(w.ref) {
+			w.best = &incumbent{mapp: w.chunk[idx[j]], period: o.Result.Period}
+			w.ref = o.Result.Period
+			w.hasRef = true
+		}
+	}
+	w.chunk = w.chunk[:0]
+	return nil
+}
+
+// classesOf groups processors into maximal consecutive-id runs of mutually
+// interchangeable members, ordered by decreasing speed (ties: lowest id).
+// Restricting classes to consecutive ids is what makes prefix selection
+// exact under ascending-id round-robin order: no outside processor id can
+// fall between two members, so a within-class relabeling never changes any
+// replica's round-robin position.
+func classesOf(plat *platform.Platform) []class {
+	p := plat.NumProcs()
+	var runs []class
+	for u := 0; u < p; {
+		run := class{speed: plat.Speeds[u], members: []int{u}}
+		v := u + 1
+		for ; v < p; v++ {
+			ok := true
+			for _, m := range run.members {
+				if !interchangeable(plat, m, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			run.members = append(run.members, v)
+		}
+		runs = append(runs, run)
+		u = v
+	}
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].speed != runs[j].speed {
+			return runs[i].speed > runs[j].speed
+		}
+		return runs[i].members[0] < runs[j].members[0]
+	})
+	return runs
+}
+
+// interchangeable reports whether swapping u and v leaves the platform
+// invariant: equal speeds, equal mutual bandwidths, and identical bandwidth
+// rows and columns towards every other processor. Mappings that differ only
+// by such a swap have entrywise-identical timed instances.
+func interchangeable(plat *platform.Platform, u, v int) bool {
+	if plat.Speeds[u] != plat.Speeds[v] {
+		return false
+	}
+	if plat.Bandwidths[u][v] != plat.Bandwidths[v][u] {
+		return false
+	}
+	for x := 0; x < plat.NumProcs(); x++ {
+		if x == u || x == v {
+			continue
+		}
+		if plat.Bandwidths[u][x] != plat.Bandwidths[v][x] || plat.Bandwidths[x][u] != plat.Bandwidths[x][v] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneReplicas(replicas [][]int) [][]int {
+	out := make([][]int, len(replicas))
+	for i, r := range replicas {
+		out[i] = append([]int(nil), r...)
+	}
+	return out
+}

@@ -49,14 +49,17 @@ func Render(w io.Writer, tr *sim.Trace, opts Options) error {
 			nameWidth = len(r)
 		}
 	}
-	// cell(t) maps a time to a column in [0, Width].
+	// cell(t) maps a time to a column in [0, Width]. Floor saturates at the
+	// int64 bounds, so times far outside the window (including values on the
+	// big-rational representation, which Num/Den would refuse) land on the
+	// clamped edges below instead of panicking.
 	cell := func(t rat.Rat) int {
-		c := t.Sub(opts.From).MulInt(int64(opts.Width)).Div(span)
-		// floor
-		num, den := c.Num(), c.Den()
-		f := num / den
-		if num < 0 && num%den != 0 {
-			f--
+		f := t.Sub(opts.From).MulInt(int64(opts.Width)).Div(span).Floor()
+		if f > int64(opts.Width) {
+			return opts.Width
+		}
+		if f < 0 {
+			return -1 // any negative value clamps to column 0 at the call sites
 		}
 		return int(f)
 	}

@@ -1,6 +1,7 @@
 package gantt
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -106,5 +107,53 @@ func TestRenderWindowClipping(t *testing.T) {
 		if len(line) > 0 && len(line) > 6+2+60+2 {
 			t.Errorf("line too long (%d): %q", len(line), line)
 		}
+	}
+}
+
+// TestRenderBigTimes draws a chart for an instance whose operation times
+// overflow int64 (the exact values ride the big-rational representation):
+// the renderer used Rat.Num/Den, which panic on such values.
+func TestRenderBigTimes(t *testing.T) {
+	huge := rat.New(math.MaxInt64, 3).Mul(rat.New(math.MaxInt64, 5))
+	if !huge.IsBig() {
+		t.Fatal("test time did not promote to the big representation")
+	}
+	// The small 1/7 and 1/11 offsets keep the cell ratios (Δt·Width/span)
+	// from cancelling: their reduced fractions carry big numerators AND
+	// denominators even though their values are small.
+	comp := [][]rat.Rat{{huge.Add(rat.New(1, 7))}, {huge.MulInt(2)}}
+	comm := [][][]rat.Rat{{{huge.Add(rat.New(1, 11))}}}
+	inst, err := model.FromTimes(comp, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(inst, model.Strict, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Render(&b, tr, Options{
+		From:        rat.Zero(),
+		To:          huge.MulInt(12),
+		Width:       80,
+		PeriodMarks: huge.MulInt(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Fatalf("missing resource rows:\n%s", out)
+	}
+	if !strings.ContainsAny(out, "0123456789") {
+		t.Fatalf("no busy cells rendered:\n%s", out)
+	}
+	// The steady-state wrapper multiplies the (big) period further; it must
+	// clip rather than panic too.
+	b.Reset()
+	if err := RenderSteadyState(&b, tr, huge.MulInt(4), 1, 2, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsAny(b.String(), "0123456789") {
+		t.Fatalf("steady-state window rendered no busy cells:\n%s", b.String())
 	}
 }

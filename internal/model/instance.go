@@ -76,13 +76,21 @@ type Instance struct {
 }
 
 // finish precomputes the derived quantities; both constructors call it
-// exactly once on the fully-assembled instance.
-func (in *Instance) finish() {
-	in.pc = rat.LCMAll(in.ReplicationCounts())
+// exactly once on the fully-assembled instance. It fails (rather than
+// panicking) when the path count lcm(m_i) overflows int64 — instances
+// arrive over the wire, and a hostile replication vector must surface as a
+// 400, not a stack trace.
+func (in *Instance) finish() error {
+	pc, ok := rat.LCMAllChecked(in.ReplicationCounts())
+	if !ok {
+		return fmt.Errorf("model: path count lcm(m_0..m_%d) overflows int64", in.n-1)
+	}
+	in.pc = pc
 	for _, r := range in.Resources() {
 		in.mct[0] = rat.Max(in.mct[0], r.CexecOverlap)
 		in.mct[1] = rat.Max(in.mct[1], r.CexecStrict)
 	}
+	return nil
 }
 
 // FromMapped derives the instance of a (pipeline, platform, mapping) triple.
@@ -134,7 +142,9 @@ func FromMapped(pipe *pipeline.Pipeline, plat *platform.Platform, mapp *mapping.
 			}
 		}
 	}
-	inst.finish()
+	if err := inst.finish(); err != nil {
+		return nil, err
+	}
 	return inst, nil
 }
 
@@ -193,7 +203,9 @@ func FromTimes(comp [][]rat.Rat, comm [][][]rat.Rat) (*Instance, error) {
 			}
 		}
 	}
-	inst.finish()
+	if err := inst.finish(); err != nil {
+		return nil, err
+	}
 	return inst, nil
 }
 

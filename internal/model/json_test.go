@@ -2,6 +2,7 @@ package model
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/rat"
@@ -74,4 +75,60 @@ func TestParseRat(t *testing.T) {
 			t.Errorf("ParseRat(%q) accepted", bad)
 		}
 	}
+}
+
+// TestPathCountOverflowIsError: replica-count vectors whose lcm exceeds
+// int64 must fail construction (and therefore JSON decode) with an error —
+// instances arrive over the wire, and rat.LCMAll's panic would otherwise
+// escape through json.Unmarshal into the serving goroutine.
+func TestPathCountOverflowIsError(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53}
+	comp := make([][]rat.Rat, len(primes))
+	for i, p := range primes {
+		comp[i] = make([]rat.Rat, p)
+		for a := range comp[i] {
+			comp[i][a] = rat.One()
+		}
+	}
+	comm := make([][][]rat.Rat, len(primes)-1)
+	for i := range comm {
+		comm[i] = make([][]rat.Rat, primes[i])
+		for a := range comm[i] {
+			comm[i][a] = make([]rat.Rat, primes[i+1])
+			for b := range comm[i][a] {
+				comm[i][a][b] = rat.One()
+			}
+		}
+	}
+	if _, err := FromTimes(comp, comm); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("FromTimes with lcm > int64 returned err %v, want overflow error", err)
+	}
+	// The same instance through the wire format: decode must error, not panic.
+	blob, err := json.Marshal(map[string]any{"comp": ratStrings(comp), "comm": commStrings(comm)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst Instance
+	if err := json.Unmarshal(blob, &inst); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("UnmarshalJSON with lcm > int64 returned err %v, want overflow error", err)
+	}
+}
+
+func ratStrings(comp [][]rat.Rat) [][]string {
+	out := make([][]string, len(comp))
+	for i, row := range comp {
+		out[i] = make([]string, len(row))
+		for a, v := range row {
+			out[i][a] = v.String()
+		}
+	}
+	return out
+}
+
+func commStrings(comm [][][]rat.Rat) [][][]string {
+	out := make([][][]string, len(comm))
+	for i, mat := range comm {
+		out[i] = ratStrings(mat)
+	}
+	return out
 }

@@ -105,3 +105,33 @@ func TestBigString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestFloor covers the exact floor across both representations, including
+// saturation when the floor does not fit int64.
+func TestFloor(t *testing.T) {
+	big := New(math.MaxInt64, 3).Mul(New(math.MaxInt64, 5)) // promotes
+	if !big.IsBig() {
+		t.Fatal("test value did not promote to big")
+	}
+	cases := []struct {
+		r    Rat
+		want int64
+	}{
+		{Zero(), 0},
+		{New(7, 2), 3},
+		{New(-7, 2), -4},
+		{New(6, 3), 2},
+		{New(-6, 3), -2},
+		{FromInt(math.MaxInt64), math.MaxInt64},
+		{big, math.MaxInt64},
+		{big.Neg(), math.MinInt64},
+		{One().Div(big), 0},        // tiny big-represented positive value
+		{One().Div(big).Neg(), -1}, // tiny negative: floor is -1, not 0
+		{big.Sub(big).Add(New(-9, 4)), -3},
+	}
+	for i, c := range cases {
+		if got := c.r.Floor(); got != c.want {
+			t.Errorf("case %d: Floor(%v) = %d, want %d", i, c.r, got, c.want)
+		}
+	}
+}

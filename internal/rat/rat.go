@@ -253,6 +253,32 @@ func MaxOf(rs []Rat) Rat {
 	return m
 }
 
+// Floor returns ⌊r⌋ as an int64, saturating at math.MinInt64/MaxInt64 when
+// the floor lies outside the int64 range. Unlike Num/Den it is safe on
+// values carried by the big-rational representation — renderers that map
+// exact times to screen cells (package gantt) clamp afterwards anyway, so
+// saturation is the right behavior for out-of-range values.
+func (r Rat) Floor() int64 {
+	if r.b == nil {
+		d := r.den()
+		f := r.n / d
+		if r.n < 0 && r.n%d != 0 {
+			f--
+		}
+		return f
+	}
+	// big.Int.Div is Euclidean division; with the always-positive
+	// denominator that is exactly the floor.
+	q := new(big.Int).Div(r.b.Num(), r.b.Denom())
+	if !q.IsInt64() {
+		if q.Sign() < 0 {
+			return math.MinInt64
+		}
+		return math.MaxInt64
+	}
+	return q.Int64()
+}
+
 // Float64 returns the nearest float64 to r.
 func (r Rat) Float64() float64 {
 	if r.b != nil {
@@ -350,4 +376,25 @@ func LCMAll(xs []int64) int64 {
 		l = LCMInt(l, x)
 	}
 	return l
+}
+
+// LCMAllChecked is LCMAll for untrusted input: instead of panicking it
+// reports ok=false when the list is empty, holds a non-positive value, or
+// the least common multiple overflows int64.
+func LCMAllChecked(xs []int64) (int64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	l := int64(1)
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, false
+		}
+		v, ok := mul64(l/gcd64(l, x), x)
+		if !ok {
+			return 0, false
+		}
+		l = v
+	}
+	return l, true
 }

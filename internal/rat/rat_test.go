@@ -251,3 +251,24 @@ func absForTest(x int64) int64 {
 	}
 	return x
 }
+
+func TestLCMAllChecked(t *testing.T) {
+	if v, ok := LCMAllChecked([]int64{2, 3, 4}); !ok || v != 12 {
+		t.Fatalf("LCMAllChecked(2,3,4) = %d, %v", v, ok)
+	}
+	if _, ok := LCMAllChecked(nil); ok {
+		t.Fatal("empty slice reported ok")
+	}
+	if _, ok := LCMAllChecked([]int64{2, 0}); ok {
+		t.Fatal("non-positive value reported ok")
+	}
+	// 16 distinct primes multiply past int64: must report overflow, and the
+	// panicking LCMAll must still agree on anything that fits.
+	primes := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53}
+	if _, ok := LCMAllChecked(primes); ok {
+		t.Fatal("overflowing lcm reported ok")
+	}
+	if v, ok := LCMAllChecked(primes[:8]); !ok || v != LCMAll(primes[:8]) {
+		t.Fatalf("checked/panicking lcm disagree: %d, %v", v, ok)
+	}
+}

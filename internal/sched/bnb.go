@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"context"
+
+	"repro/internal/bnb"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// ExactResult is a heuristic-compatible Result carrying the certificate of
+// the exact branch-and-bound search (package bnb).
+type ExactResult struct {
+	Result
+	// Proven reports that the search exhausted the replicated-mapping space:
+	// Period is THE optimum, not just the best seen. False only under a
+	// context deadline, in which case Result is the best incumbent found
+	// before it expired (at worst the greedy warm start).
+	Proven bool
+	// Stats counts the tree the search actually walked (nodes, leaves,
+	// pruned branches, infeasible mappings, frontier size).
+	Stats bnb.Stats
+}
+
+// BranchAndBound runs the exact branch-and-bound mapping search with a
+// greedy warm start on a private engine.
+func BranchAndBound(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (ExactResult, error) {
+	return BranchAndBoundEngine(context.Background(), defaultEngine(), pipe, plat, cm)
+}
+
+// BranchAndBoundEngine is the exact search on a shared engine: Greedy
+// supplies the incumbent the bound prunes against (its candidate
+// evaluations stay memoized for the tree walk), then bnb.Search enumerates
+// the replicated-mapping space with deterministic work partitioning —
+// results are bit-identical at any worker count. A greedy failure (e.g. a
+// sparse platform where the fastest-first seed needs a missing link) is not
+// fatal: the search simply starts without a warm start.
+func BranchAndBoundEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (ExactResult, error) {
+	opts := bnb.Options{}
+	if warm, err := GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
+		opts.Incumbent, opts.IncumbentPeriod = warm.Mapping, warm.Period
+	}
+	res, err := bnb.Search(ctx, eng, pipe, plat, cm, opts)
+	if err != nil {
+		return ExactResult{}, err
+	}
+	return ExactResult{
+		Result: Result{Mapping: res.Mapping, Period: res.Period},
+		Proven: res.Proven,
+		Stats:  res.Stats,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// TestBranchAndBoundProvesOptimumBelowHeuristics: the exact search must
+// never be beaten by any heuristic, must prove its answer, and must be
+// reproducible across engine pool sizes.
+func TestBranchAndBoundProvesOptimumBelowHeuristics(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		pipe, plat := testProblem(seed)
+		eng := engine.New(engine.Options{Workers: 4})
+		exact, err := BranchAndBoundEngine(context.Background(), eng, pipe, plat, model.Overlap)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !exact.Proven {
+			t.Fatalf("seed %d: exact search not proven", seed)
+		}
+		greedy, err := GreedyEngine(context.Background(), eng, pipe, plat, model.Overlap)
+		if err != nil {
+			t.Fatalf("seed %d greedy: %v", seed, err)
+		}
+		if greedy.Period.Less(exact.Period) {
+			t.Fatalf("seed %d: greedy %v beat the proven optimum %v", seed, greedy.Period, exact.Period)
+		}
+		oneToOne, err := ExhaustiveOneToOneEngine(context.Background(), eng, pipe, plat, model.Overlap)
+		if err != nil {
+			t.Fatalf("seed %d exhaustive: %v", seed, err)
+		}
+		if oneToOne.Period.Less(exact.Period) {
+			t.Fatalf("seed %d: one-to-one %v beat the proven optimum %v", seed, oneToOne.Period, exact.Period)
+		}
+		rs, err := RandomSearchEngine(context.Background(), eng, pipe, plat, model.Overlap,
+			rand.New(rand.NewSource(seed)), 10, 40)
+		if err != nil {
+			t.Fatalf("seed %d random: %v", seed, err)
+		}
+		if rs.Period.Less(exact.Period) {
+			t.Fatalf("seed %d: random search %v beat the proven optimum %v", seed, rs.Period, exact.Period)
+		}
+		// Same problem on a different pool size: identical certificate.
+		again, err := BranchAndBoundEngine(context.Background(), engine.New(engine.Options{Workers: 1}), pipe, plat, model.Overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Period.Equal(exact.Period) || again.Mapping.String() != exact.Mapping.String() || again.Stats != exact.Stats {
+			t.Fatalf("seed %d: engine pool size changed the exact result: %+v vs %+v", seed, again, exact)
+		}
+	}
+}

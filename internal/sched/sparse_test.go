@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// anyFeasibleMapping brute-forces whether the sparse platform can carry the
+// pipeline at all: some assignment of disjoint non-empty processor sets to
+// stages whose required links all exist.
+func anyFeasibleMapping(pipe *pipeline.Pipeline, plat *platform.Platform) bool {
+	n := pipe.NumStages()
+	p := plat.NumProcs()
+	assign := make([]uint, n)
+	var rec func(stage int, free uint) bool
+	rec = func(stage int, free uint) bool {
+		if stage == n {
+			reps := make([][]int, n)
+			for i, mask := range assign {
+				for u := 0; u < p; u++ {
+					if mask&(1<<u) != 0 {
+						reps[i] = append(reps[i], u)
+					}
+				}
+			}
+			mapp, err := mapping.New(reps, p)
+			if err != nil {
+				return false
+			}
+			_, err = model.FromMapped(pipe, plat, mapp)
+			return err == nil
+		}
+		for s := free; s != 0; s = (s - 1) & free {
+			assign[stage] = s
+			if rec(stage+1, free&^s) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, (1<<p)-1)
+}
+
+// structuredSearchError asserts a search failure is one of the package's
+// typed messages — never a recovered panic, never something opaque.
+func structuredSearchError(t *testing.T, name string, err error) {
+	t.Helper()
+	msg := err.Error()
+	for _, prefix := range []string{"sched:", "model:", "bnb:"} {
+		if strings.Contains(msg, prefix) {
+			return
+		}
+	}
+	t.Fatalf("%s returned an unstructured error: %v", name, err)
+}
+
+// TestHeuristicsNeverPanicOnSparsePlatforms is the sparse-platform property
+// test: on platforms where missing links (Bandwidths[u][v] == 0) make many
+// candidate mappings infeasible, every search — greedy, random, annealing,
+// exhaustive one-to-one, best-of, branch and bound — must either return a
+// verifiably feasible mapping or a structured error. A panic fails the test
+// by itself. And because the branch and bound enumerates the whole space,
+// it must succeed whenever any feasible replicated mapping exists.
+func TestHeuristicsNeverPanicOnSparsePlatforms(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2)
+		p := n + 1 + rng.Intn(3)
+		pipe := pipeline.Random(rng, n, 50, 500)
+		plat := platform.Random(rng, p, 5, 25, 20, 200)
+		for u := range plat.Bandwidths {
+			for v := range plat.Bandwidths[u] {
+				if u != v && rng.Intn(2) == 0 {
+					plat.Bandwidths[u][v] = 0 // drop the link
+				}
+			}
+		}
+		feasible := anyFeasibleMapping(pipe, plat)
+		eng := engine.New(engine.Options{Workers: 2})
+		ctx := context.Background()
+		hrng := rand.New(rand.NewSource(seed))
+
+		type attempt struct {
+			name string
+			res  Result
+			err  error
+		}
+		var runs []attempt
+		record := func(name string, res Result, err error) {
+			runs = append(runs, attempt{name, res, err})
+		}
+		g, err := GreedyEngine(ctx, eng, pipe, plat, model.Overlap)
+		record("greedy", g, err)
+		r, err := RandomSearchEngine(ctx, eng, pipe, plat, model.Overlap, hrng, 10, 30)
+		record("random", r, err)
+		a, err := AnnealEngine(ctx, eng, pipe, plat, model.Overlap, hrng, AnnealOptions{Steps: 200})
+		record("anneal", a, err)
+		e, err := ExhaustiveOneToOneEngine(ctx, eng, pipe, plat, model.Overlap)
+		record("exhaustive", e, err)
+		b, err := BestOfEngine(ctx, eng, pipe, plat, model.Overlap, hrng)
+		record("best", b, err)
+		x, err := BranchAndBoundEngine(ctx, eng, pipe, plat, model.Overlap)
+		record("bnb", x.Result, err)
+
+		for _, run := range runs {
+			if run.err != nil {
+				structuredSearchError(t, run.name, run.err)
+				continue
+			}
+			// A returned mapping must be real: buildable on this platform
+			// and achieving exactly the reported period.
+			inst, err := model.FromMapped(pipe, plat, run.res.Mapping)
+			if err != nil {
+				t.Fatalf("seed %d %s: reported mapping needs a missing link: %v", seed, run.name, err)
+			}
+			res, err := core.Period(inst, model.Overlap)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, run.name, err)
+			}
+			if !res.Period.Equal(run.res.Period) {
+				t.Fatalf("seed %d %s: reported period %v, recomputed %v", seed, run.name, run.res.Period, res.Period)
+			}
+		}
+		// The exhaustive searches must agree with ground-truth feasibility.
+		bnbErr := runs[len(runs)-1].err
+		if feasible && bnbErr != nil {
+			t.Fatalf("seed %d: a feasible mapping exists but bnb failed: %v", seed, bnbErr)
+		}
+		if !feasible {
+			for _, run := range runs {
+				if run.err == nil {
+					t.Fatalf("seed %d: no feasible mapping exists but %s returned %v", seed, run.name, run.res.Mapping)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchSkipsInfeasibleCandidates pins the skip-don't-abort behavior on
+// a crafted platform: the fastest processor has no links at all, so every
+// candidate touching it is infeasible. Greedy's fastest-first seed dies with
+// a structured error, but the enumerating searches must step over the
+// poisoned candidates and return the optimum of the connected remainder.
+func TestSearchSkipsInfeasibleCandidates(t *testing.T) {
+	speeds := []int64{100, 10, 10, 10} // processor 0: fast and useless
+	bw := [][]int64{
+		{0, 0, 0, 0},
+		{0, 0, 50, 50},
+		{0, 50, 0, 50},
+		{0, 50, 50, 0},
+	}
+	plat, err := platform.New(speeds, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := pipeline.MustNew([]int64{100, 200}, []int64{50})
+	eng := engine.New(engine.Options{Workers: 2})
+	ctx := context.Background()
+
+	if _, err := GreedyEngine(ctx, eng, pipe, plat, model.Overlap); err == nil {
+		t.Fatal("greedy seeded on the linkless processor should fail")
+	} else {
+		structuredSearchError(t, "greedy", err)
+	}
+	if _, err := AnnealEngine(ctx, eng, pipe, plat, model.Overlap, rand.New(rand.NewSource(1)), AnnealOptions{Steps: 50}); err == nil {
+		t.Fatal("anneal (greedy-seeded) should fail")
+	} else {
+		structuredSearchError(t, "anneal", err)
+	}
+
+	oneToOne, err := ExhaustiveOneToOneEngine(ctx, eng, pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatalf("exhaustive did not skip the infeasible candidates: %v", err)
+	}
+	for _, procs := range oneToOne.Mapping.Replicas {
+		for _, u := range procs {
+			if u == 0 {
+				t.Fatalf("exhaustive used the linkless processor: %v", oneToOne.Mapping)
+			}
+		}
+	}
+	exact, err := BranchAndBoundEngine(ctx, eng, pipe, plat, model.Overlap)
+	if err != nil {
+		t.Fatalf("bnb (with greedy warm start unavailable) did not recover: %v", err)
+	}
+	if !exact.Proven {
+		t.Fatal("bnb on a 4-processor platform should prove its answer")
+	}
+	if oneToOne.Period.Less(exact.Period) {
+		t.Fatalf("exact period %v worse than one-to-one %v", exact.Period, oneToOne.Period)
+	}
+	rs, err := RandomSearchEngine(ctx, eng, pipe, plat, model.Overlap, rand.New(rand.NewSource(1)), 30, 30)
+	if err != nil {
+		t.Fatalf("random search never found the feasible region: %v", err)
+	}
+	if rs.Period.Less(exact.Period) {
+		t.Fatalf("random search %v beat the proven optimum %v", rs.Period, exact.Period)
+	}
+}

@@ -196,11 +196,28 @@ func (s *Server) solveEndpoint(name string, h func(r *http.Request) (solveFunc, 
 			return
 		}
 		s.met.inFlight.Add(1)
+		// The slot MUST come back on every path. Releasing it inline after
+		// the solve leaked the slot (and pinned the gauge) whenever the solve
+		// panicked: net/http recovers handler panics per connection, so the
+		// process lived on with one less unit of capacity — MaxInFlight
+		// panics away from a wedged server. The deferred release is the
+		// panic backstop; the explicit release below returns the slot before
+		// the response write, so a slow-reading client cannot hold solve
+		// capacity through its own network drain.
+		released := false
+		release := func() {
+			if released {
+				return
+			}
+			released = true
+			s.met.inFlight.Add(-1)
+			<-s.sem
+		}
+		defer release()
 		start := time.Now()
-		resp, err := solve(ctx)
+		resp, err := runSolve(solve, ctx)
 		elapsed := time.Since(start)
-		s.met.inFlight.Add(-1)
-		<-s.sem
+		release()
 		if err != nil {
 			s.failErr(w, name, err)
 			return
@@ -208,6 +225,20 @@ func (s *Server) solveEndpoint(name string, h func(r *http.Request) (solveFunc, 
 		s.met.observe(name, backendLabelOf(resp), elapsed)
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// runSolve executes the solve phase, converting a panic into a plain error
+// (mapped to HTTP 500 and counted in the error metrics by the caller). The
+// numeric kernels are panic-free by contract, but a serving process must
+// degrade one request at a time, not crash or leak capacity, when that
+// contract breaks.
+func runSolve(solve solveFunc, ctx context.Context) (resp any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("internal error: solve panicked: %v", p)
+		}
+	}()
+	return solve(ctx)
 }
 
 // failErr maps an error to its HTTP status: httpError carries its own,
@@ -485,9 +516,12 @@ type SearchRequest struct {
 	Pipeline *pipeline.Pipeline `json:"pipeline"`
 	Platform *platform.Platform `json:"platform"`
 	Model    string             `json:"model"`
-	// Algo selects the heuristic: "best" (default; greedy + random restarts
-	// + annealing), "greedy", "random", "anneal" or "exhaustive" (one-to-one
-	// mappings, small platforms only).
+	// Algo selects the search: "best" (default; greedy + random restarts
+	// + annealing), "greedy", "random", "anneal", "exhaustive" (one-to-one
+	// mappings, small platforms only) or "bnb" — the exact branch-and-bound
+	// over all replicated mappings, whose response carries a "proven" flag
+	// (true = the period is the optimum, false = the budget expired and
+	// this is the best incumbent).
 	Algo    string `json:"algo,omitempty"`
 	Backend string `json:"backend,omitempty"`
 	Seed    int64  `json:"seed,omitempty"`
@@ -501,7 +535,8 @@ type SearchRequest struct {
 	AnnealSteps int `json:"annealSteps,omitempty"`
 }
 
-// SearchResponse is the best mapping found.
+// SearchResponse is the best mapping found. The Proven/Nodes/Pruned block
+// is present only for algo "bnb".
 type SearchResponse struct {
 	Algo        string  `json:"algo"`
 	Backend     string  `json:"backend"`
@@ -510,6 +545,15 @@ type SearchResponse struct {
 	Period      string  `json:"period"`
 	PeriodFloat float64 `json:"periodFloat"`
 	Throughput  string  `json:"throughput"`
+	// Proven (bnb only): true means Period is the exact optimum over every
+	// replicated mapping; false means the budget expired first and this is
+	// the best incumbent found.
+	Proven *bool `json:"proven,omitempty"`
+	// Nodes and Pruned (bnb only) count the search tree: stage assignments
+	// constructed and branches cut by the bound. Pointers so the keys are
+	// present on every bnb response — zero included — and absent otherwise.
+	Nodes  *int64 `json:"nodes,omitempty"`
+	Pruned *int64 `json:"pruned,omitempty"`
 }
 
 func (r SearchResponse) backendLabel() string { return r.Backend }
@@ -541,9 +585,9 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 		algo = "best"
 	}
 	switch algo {
-	case "best", "greedy", "random", "anneal", "exhaustive":
+	case "best", "greedy", "random", "anneal", "exhaustive", "bnb":
 	default:
-		return nil, badRequest("unknown algo %q (want best, greedy, random, anneal or exhaustive)", algo)
+		return nil, badRequest("unknown algo %q (want best, greedy, random, anneal, exhaustive or bnb)", algo)
 	}
 	return func(outer context.Context) (any, error) {
 		ctx := outer
@@ -555,6 +599,7 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 		eng := s.engine(b)
 		rng := rand.New(rand.NewSource(req.Seed))
 		var res sched.Result
+		var exact *sched.ExactResult
 		var err error
 		switch algo {
 		case "best":
@@ -567,6 +612,12 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 			res, err = sched.AnnealEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng, sched.AnnealOptions{Steps: steps})
 		case "exhaustive":
 			res, err = sched.ExhaustiveOneToOneEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+		case "bnb":
+			var x sched.ExactResult
+			x, err = sched.BranchAndBoundEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+			if err == nil {
+				res, exact = x.Result, &x
+			}
 		}
 		if err != nil {
 			// A context error is blamed on the client's budget only when the
@@ -581,7 +632,7 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 			}
 			return nil, err
 		}
-		return SearchResponse{
+		resp := SearchResponse{
 			Algo:        algo,
 			Backend:     b.String(),
 			Model:       cm.String(),
@@ -589,7 +640,12 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 			Period:      res.Period.String(),
 			PeriodFloat: res.Period.Float64(),
 			Throughput:  res.Throughput().String(),
-		}, nil
+		}
+		if exact != nil {
+			proven, nodes, pruned := exact.Proven, exact.Stats.Nodes, exact.Stats.Pruned
+			resp.Proven, resp.Nodes, resp.Pruned = &proven, &nodes, &pruned
+		}
+		return resp, nil
 	}, nil
 }
 
@@ -648,11 +704,21 @@ func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
 		// plus one reps[j] x reps[j+1] matrix per file), so a few small
 		// integers in the request could demand gigabytes; bound the cells
 		// the vector implies before building anything.
-		cells := int64(0)
-		for j, m := range reps {
+		// Bound every factor before any multiplication: two factors <= 2^21
+		// keep each product <= 2^42 and the checked running sum well inside
+		// int64, so the guard cannot be bypassed by overflow (a
+		// wrapped-negative sum would sail past the cells check and let a
+		// 60-byte request demand gigabytes).
+		for _, m := range reps {
 			if m < 1 {
 				return nil, badRequest("pairs[%d] holds non-positive replication %d", i, m)
 			}
+			if int64(m) > maxSweepCells {
+				return nil, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
+			}
+		}
+		cells := int64(0)
+		for j, m := range reps {
 			cells += int64(m)
 			if j+1 < len(reps) {
 				cells += int64(m) * int64(reps[j+1])

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -270,7 +271,7 @@ func TestEvaluateLatencyStats(t *testing.T) {
 func TestSearchEndpointFindsSolverVerifiedMapping(t *testing.T) {
 	pipe := mustPipeline(t, []int64{100, 200, 100}, []int64{50, 50})
 	plat := mustPlatform(t)
-	for _, algo := range []string{"best", "greedy", "random", "anneal", "exhaustive"} {
+	for _, algo := range []string{"best", "greedy", "random", "anneal", "exhaustive", "bnb"} {
 		var got SearchResponse
 		_, ts := newTestServer(t, Options{Workers: 2})
 		postJSON(t, ts.URL+"/v1/search", SearchRequest{
@@ -284,8 +285,57 @@ func TestSearchEndpointFindsSolverVerifiedMapping(t *testing.T) {
 		if got.Algo != algo || len(got.Replicas) != 3 {
 			t.Fatalf("algo %s: response %+v", algo, got)
 		}
+		if algo == "bnb" {
+			if got.Proven == nil || !*got.Proven {
+				t.Fatalf("bnb on a 5-processor platform must prove its answer: %+v", got)
+			}
+			if got.Nodes == nil || *got.Nodes == 0 || got.Pruned == nil {
+				t.Fatalf("bnb tree counts missing: %+v", got)
+			}
+		} else if got.Proven != nil {
+			t.Fatalf("algo %s leaked a proven flag: %+v", algo, got)
+		}
 		// The reported period must be the period of the reported mapping.
 		verifySearchResult(t, pipe, plat, got)
+	}
+}
+
+// TestSearchBnbIsOptimalAndObservable: the bnb answer can only improve on
+// the heuristics' (it is the proven optimum of a superset of their space),
+// and the /metrics pipeline counts and times the searches like any other
+// solve.
+func TestSearchBnbIsOptimalAndObservable(t *testing.T) {
+	pipe := mustPipeline(t, []int64{100, 200, 100}, []int64{50, 50})
+	plat := mustPlatform(t)
+	_, ts := newTestServer(t, Options{Workers: 2})
+	var exact, best SearchResponse
+	postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pipeline: pipe, Platform: plat, Model: "overlap", Algo: "bnb",
+	}, &exact)
+	postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pipeline: pipe, Platform: plat, Model: "overlap", Algo: "best", Seed: 7,
+	}, &best)
+	if exact.PeriodFloat > best.PeriodFloat {
+		t.Fatalf("bnb period %s worse than heuristic best %s", exact.Period, best.Period)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Requests map[string]int64           `json:"requests"`
+		Errors   map[string]int64           `json:"errors"`
+		Latency  map[string]json.RawMessage `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if m.Requests["search"] != 2 || m.Errors["search"] != 0 {
+		t.Fatalf("search request/error counters = %d/%d, want 2/0", m.Requests["search"], m.Errors["search"])
+	}
+	if _, ok := m.Latency["search/auto"]; !ok {
+		t.Fatalf("no search latency histogram: %v", m.Latency)
 	}
 }
 
@@ -406,6 +456,10 @@ func TestRequestValidationErrors(t *testing.T) {
 			"model":    "overlap", "algo": "oracle"}, 400},
 		{"sweep empty pair", "/v1/sweep", SweepRequest{Pairs: [][]int{{}}}, 400},
 		{"sweep bad replication", "/v1/sweep", SweepRequest{Pairs: [][]int{{0, 2}}}, 400},
+		// 3037000500² wraps int64; the cell guard must reject the factors
+		// before multiplying, not trust the wrapped sum.
+		{"sweep overflowing pair", "/v1/sweep", SweepRequest{Pairs: [][]int{{3037000500, 3037000500}}}, 400},
+		{"evaluate lcm overflow", "/v1/evaluate", map[string]any{"model": "overlap", "instance": overflowInstanceJSON()}, 400},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -604,6 +658,33 @@ func TestConcurrentEvaluateCoalesced(t *testing.T) {
 	}
 }
 
+// overflowInstanceJSON builds the wire form of an instance whose replica
+// counts are 16 distinct primes: lcm(m_i) exceeds int64, which used to
+// panic inside JSON decode (rat.LCMAll) — in the parse phase, outside the
+// solve recover — and kill the connection instead of returning 400.
+func overflowInstanceJSON() map[string]any {
+	primes := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53}
+	ones := func(n int) []string {
+		row := make([]string, n)
+		for i := range row {
+			row[i] = "1"
+		}
+		return row
+	}
+	comp := make([][]string, len(primes))
+	for i, p := range primes {
+		comp[i] = ones(p)
+	}
+	comm := make([][][]string, len(primes)-1)
+	for i := range comm {
+		comm[i] = make([][]string, primes[i])
+		for a := range comm[i] {
+			comm[i][a] = ones(primes[i+1])
+		}
+	}
+	return map[string]any{"comp": comp, "comm": comm}
+}
+
 func mustPipeline(t *testing.T, work, files []int64) *pipeline.Pipeline {
 	t.Helper()
 	p, err := pipeline.New(work, files)
@@ -616,4 +697,46 @@ func mustPipeline(t *testing.T, work, files []int64) *pipeline.Pipeline {
 func mustPlatform(t *testing.T) *platform.Platform {
 	t.Helper()
 	return platform.Uniform(5, 100, 100)
+}
+
+// TestPanickingSolveDoesNotLeakCapacity is the panic-resilience regression
+// test: a solve that panics must produce HTTP 500 (counted in the error
+// metrics), release its in-flight slot, and leave the server serving. Before
+// the fix each panic leaked one semaphore slot, so MaxInFlight panics wedged
+// every solve endpoint forever.
+func TestPanickingSolveDoesNotLeakCapacity(t *testing.T) {
+	s := NewServer(Options{Workers: 1, MaxInFlight: 2, RequestTimeout: 2 * time.Second})
+	boom := s.solveEndpoint("boom", func(r *http.Request) (solveFunc, error) {
+		return func(ctx context.Context) (any, error) { panic("solver blew up") }, nil
+	})
+	n := 3*s.opts.MaxInFlight + 1 // well past the in-flight budget
+	for i := 0; i < n; i++ {
+		rec := httptest.NewRecorder()
+		boom(rec, httptest.NewRequest(http.MethodPost, "/boom", strings.NewReader("{}")))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want 500 (body %s)", i, rec.Code, rec.Body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "panicked") {
+			t.Fatalf("request %d: error body %s (decode err %v)", i, rec.Body, err)
+		}
+	}
+	if got := s.met.inFlight.Value(); got != 0 {
+		t.Fatalf("inFlight gauge %d after %d panics, want 0", got, n)
+	}
+	if v := s.met.errors.Get("boom"); v == nil || v.String() != fmt.Sprint(n) {
+		t.Fatalf("errors counter for the panicking endpoint = %v, want %d", v, n)
+	}
+	// The full stack must still answer: every slot came back.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(5))
+	inst := randomTimedInstance(t, rng, []int{2, 2})
+	var got EvaluateResponse
+	postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{Instance: inst, Model: "overlap"}, &got)
+	if got.Period == "" {
+		t.Fatalf("post-panic evaluate returned no period: %+v", got)
+	}
 }

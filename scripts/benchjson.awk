@@ -1,11 +1,11 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into a JSON
 # array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
-# (BENCH_4.json in CI) and enforce the allocation gate: the strict-model
+# (BENCH_5.json in CI) and enforce the allocation gate: the strict-model
 # Evaluate benchmarks must stay at or below `gate` allocs/op (the PR-2
 # zero-allocation refactor brought them to single digits; see
 # EXPERIMENTS.md). Exits non-zero after the report if the gate is broken.
 #
-# Usage: awk -v gate=12 -f scripts/benchjson.awk bench.txt > BENCH_4.json
+# Usage: awk -v gate=12 -f scripts/benchjson.awk bench.txt > BENCH_5.json
 
 BEGIN {
     n = 0
