@@ -3,7 +3,7 @@ GO ?= go
 # Coverage gate: these packages hold the exact period engines, the serving
 # layer and the exact search, and must stay above the floor (CI enforces it
 # via `make cover`).
-COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb
+COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb ./internal/sched
 COVER_MIN  = 75
 
 # Fuzz smoke budget per target (CI runs `make fuzz` on top of the corpus
@@ -15,9 +15,13 @@ FUZZTIME ?= 10s
 # search (whose nodes/op + prunedPct metrics expose bounding/symmetry
 # regressions as deterministic count jumps). The allocation gate
 # (ALLOC_GATE, allocs/op on the strict-model Evaluate benchmarks) guards
-# the PR-2 zero-allocation refactor; measured values sit at 6-7.
-BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch
+# the PR-2 zero-allocation refactor; measured values sit at 6-7. The
+# leaf-rate gate (LEAF_GATE) requires the float-screened branch and bound
+# to rule out leaves at >= LEAF_GATE x the exact rate on the warm-started
+# BenchmarkBnBLeafRate family; measured ratio sits around 9x.
+BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch|BenchmarkBnBLeafRate
 ALLOC_GATE = 12
+LEAF_GATE = 5
 
 .PHONY: all vet build test race check bench bench-regression cover fuzz fmt lint
 
@@ -63,15 +67,15 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
 
 # bench-regression runs the period/backend/engine/bnb benchmarks at a fixed
-# iteration count, converts them to BENCH_5.json (uploaded as a CI
+# iteration count, converts them to BENCH_6.json (uploaded as a CI
 # artifact) and fails if the strict-model Evaluate allocs/op regress above
-# ALLOC_GATE.
+# ALLOC_GATE or the screened leaf rate drops below LEAF_GATE x exact.
 bench-regression:
 	@status=0; $(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . ./internal/bnb > bench_regression.txt || status=$$?; \
 	cat bench_regression.txt; \
 	if [ "$$status" != "0" ]; then echo "bench-regression: go test failed ($$status)"; exit $$status; fi
-	awk -v gate=$(ALLOC_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_5.json
-	@echo "wrote BENCH_5.json ($$(grep -c '"name"' BENCH_5.json) benchmarks, alloc gate $(ALLOC_GATE))"
+	awk -v gate=$(ALLOC_GATE) -v leafgate=$(LEAF_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_6.json
+	@echo "wrote BENCH_6.json ($$(grep -c '"name"' BENCH_6.json) benchmarks, alloc gate $(ALLOC_GATE), leaf-rate gate $(LEAF_GATE)x)"
 
 # cover fails when any of COVER_PKGS drops below COVER_MIN% statement
 # coverage. Uses -coverprofile + `go tool cover -func` rather than grepping

@@ -81,15 +81,20 @@ type (
 // program where token edges are sparse and contraction shrinks the graph,
 // Howard policy iteration where they are plentiful and contraction would
 // degenerate — deterministically, so batch results stay bit-identical at
-// any choice.
+// any choice. BackendFloatScreen adds the float-screening tier on top of
+// auto routing: batch searches (branch and bound, greedy, exhaustive) rank
+// candidates with a rigorously error-bounded float64 sweep and pay exact
+// arithmetic only for the ambiguous band — every returned period, mapping
+// and proven flag stays bit-identical to the exact backends.
 const (
-	BackendAuto   = cycles.BackendAuto
-	BackendKarp   = cycles.BackendKarp
-	BackendHoward = cycles.BackendHoward
+	BackendAuto        = cycles.BackendAuto
+	BackendKarp        = cycles.BackendKarp
+	BackendHoward      = cycles.BackendHoward
+	BackendFloatScreen = cycles.BackendFloatScreen
 )
 
-// ParseBackend parses "auto", "karp" or "howard" — the values the
-// commands' -backend flags accept.
+// ParseBackend parses "auto", "karp", "howard" or "float-screen" — the
+// values the commands' -backend flags accept.
 func ParseBackend(s string) (Backend, error) { return cycles.ParseBackend(s) }
 
 // Communication models.
@@ -171,9 +176,10 @@ func NewSolver(maxRows int) *Solver {
 	return &Solver{s: s}
 }
 
-// SetBackend selects the solver's exact cycle-ratio backend (BackendAuto,
-// BackendKarp or BackendHoward) and returns the solver for chaining.
-// Results are identical across backends; only the running time changes.
+// SetBackend selects the solver's cycle-ratio backend (BackendAuto,
+// BackendKarp, BackendHoward or BackendFloatScreen) and returns the solver
+// for chaining. Results are identical across backends; only the running
+// time changes.
 func (s *Solver) SetBackend(b Backend) *Solver {
 	s.s.Backend = b
 	return s

@@ -64,7 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	inflight := fs.Int("inflight", 0, "max concurrent solve requests (0 = 2x workers)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request wall-clock ceiling")
 	maxRows := fs.Int("maxrows", 0, "unfolded-TPN row cap of the pooled solvers (0 = package default)")
-	backendName := fs.String("backend", "auto", "default cycle-ratio backend for requests that omit one: auto, karp or howard")
+	backendName := fs.String("backend", "auto", "default cycle-ratio backend for requests that omit one: auto, karp, howard or float-screen")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,5 +1,5 @@
 // Command validate is the repository's self-check: on random instances it
-// computes the period in up to seven independent ways and verifies that
+// computes the period in up to eight independent ways and verifies that
 // they agree exactly:
 //
 //  0. the production core.Solver path under the -backend flag's engine;
@@ -8,7 +8,10 @@
 //  3. unfolded-TPN critical cycle via Howard policy iteration;
 //  4. max-plus spectral radius of the net's recurrence matrix;
 //  5. exact unrolling of the net (steady-state firing rate);
-//  6. the from-first-principles operational simulator.
+//  6. the from-first-principles operational simulator;
+//  7. the float-screening sweep, whose error-bounded enclosure must
+//     contain the exact period (containment, not equality: the sweep is
+//     float64 by design).
 //
 // Any disagreement prints the offending instance and exits non-zero.
 //
@@ -51,7 +54,7 @@ func main() {
 	maxStages := flag.Int("stages", 4, "maximum number of stages")
 	quiet := flag.Bool("quiet", false, "only print failures and the summary")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-	backendName := flag.String("backend", "auto", "cycle-ratio backend of the production solver path: auto, karp or howard")
+	backendName := flag.String("backend", "auto", "cycle-ratio backend of the production solver path: auto, karp, howard or float-screen")
 	flag.Parse()
 
 	backend, err := cycles.ParseBackend(*backendName)
@@ -189,6 +192,16 @@ func check(inst *model.Instance, cm model.CommModel, backend cycles.Backend) err
 					ds, op.CompEnd[lastStage][ds], want)
 			}
 		}
+	}
+
+	// 7. float-screening sweep: the rigorous enclosure must contain the
+	// exact period (the soundness property every screened search relies on).
+	approx, err := solver.PeriodApprox(inst, cm)
+	if err != nil {
+		return fmt.Errorf("approx: %w", err)
+	}
+	if !approx.Contains(prod.Period) {
+		return fmt.Errorf("float enclosure [%g ± %g] misses exact period %v", approx.Ratio, approx.Err, prod.Period)
 	}
 
 	// Invariant: P >= Mct always.

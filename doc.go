@@ -23,7 +23,13 @@
 // All arithmetic is exact (int64 rationals), so the headline comparison of
 // the paper — whether P strictly exceeds the largest resource cycle-time
 // Mct, i.e. whether the schedule has no critical resource — is decided
-// exactly rather than within floating-point noise.
+// exactly rather than within floating-point noise. Three cycle-ratio
+// backends share that exact contract (BackendAuto, BackendKarp,
+// BackendHoward); a fourth, BackendFloatScreen, lets the batch searches
+// pre-rank candidate mappings with a rigorously error-bounded float64
+// sweep and fall back to exact arithmetic inside the error band, so
+// results — including proven-optimality certificates — stay bit-identical
+// while warm exact searches evaluate leaves several times faster.
 //
 // # Quick start
 //

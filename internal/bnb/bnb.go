@@ -51,6 +51,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cycles"
 	"repro/internal/engine"
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -101,6 +102,14 @@ type Stats struct {
 	// Infeasible is the number of complete mappings rejected because the
 	// platform lacks a link the mapping requires.
 	Infeasible int64
+	// Screened is the number of leaves the float-screening tier discarded
+	// without an exact evaluation: their enclosure's lower endpoint already
+	// met the incumbent, so they provably could not improve it. Zero unless
+	// the engine runs cycles.BackendFloatScreen. Screened leaves still count
+	// in Leaves — screening changes how a leaf is ruled out, not whether it
+	// was visited — so Nodes, Leaves, Pruned and the returned optimum are
+	// bit-identical to an exact-backend run of the same Options.
+	Screened int64
 	// Frontier is the number of subtree roots the partitioning produced.
 	Frontier int
 }
@@ -110,6 +119,7 @@ func (s *Stats) add(o Stats) {
 	s.Leaves += o.Leaves
 	s.Pruned += o.Pruned
 	s.Infeasible += o.Infeasible
+	s.Screened += o.Screened
 }
 
 // Result is the outcome of a Search.
@@ -311,6 +321,7 @@ type walker struct {
 	ref    rat.Rat // current pruning reference: min(warm start, local best)
 	hasRef bool
 	best   *incumbent // strictly better than the warm start, else nil
+	screen bool       // engine backend is float-screen: pre-rank leaves in float
 
 	chunk []*mapping.Mapping
 	st    Stats
@@ -326,6 +337,7 @@ func newWalker(pr *problem, ctx context.Context, eng *engine.Engine, nd *node, d
 		replicas:   make([][]int, pr.n),
 		used:       append([]int(nil), nd.used...),
 		free:       nd.free,
+		screen:     eng.Backend() == cycles.BackendFloatScreen,
 	}
 	copy(w.replicas, nd.replicas)
 	if pr.warm != nil {
@@ -469,6 +481,34 @@ func (w *walker) flush() error {
 		idx = append(idx, k)
 		tasks = append(tasks, engine.Task{Inst: inst, Model: w.pr.cm})
 		w.st.Leaves++ // counted here so Leaves and Infeasible never overlap
+	}
+	// Float screening: rank the chunk in float64 first and discard every
+	// leaf whose enclosure proves it cannot beat the incumbent — exact ≥
+	// lower endpoint ≥ ref means it can never replace w.best, whose update
+	// below requires a strict improvement. The reference is the one at chunk
+	// start for the whole chunk; a leaf earlier in the chunk can only LOWER
+	// the reference, so screening against the stale (higher) value is sound.
+	// Screening errors are impossible by error parity (the float sweep fails
+	// exactly when the exact path fails), but an errored enclosure falls
+	// through to the exact evaluation anyway so Infeasible stays exact-owned.
+	if w.screen && w.hasRef && len(tasks) > 0 {
+		aouts, err := w.eng.ApproxBatch(w.ctx, tasks)
+		if err != nil {
+			w.chunk = w.chunk[:0]
+			return err
+		}
+		kept := 0
+		for j := range tasks {
+			if aouts[j].Err == nil && aouts[j].Period.AtLeast(w.ref) {
+				w.st.Screened++
+				continue
+			}
+			tasks[kept] = tasks[j]
+			idx[kept] = idx[j]
+			kept++
+		}
+		tasks = tasks[:kept]
+		idx = idx[:kept]
 	}
 	outs, err := w.eng.EvaluateBatch(w.ctx, tasks)
 	if err != nil {

@@ -1,0 +1,115 @@
+package core_test
+
+// Property tests of the float-screening tier at the period level: the
+// enclosure returned by Solver.PeriodApprox must contain the exact period,
+// and — the property every screened search relies on — a candidate whose
+// exact period is better than (or tied with) a reference must NEVER satisfy
+// the screening predicate AtLeast(reference). Near-tie instances, whose
+// periods differ by less than 1e-12 relatively, are the adversarial case:
+// a plain float comparison misranks them routinely, so they all must land
+// inside the ambiguity band and fall back to exact evaluation.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rat"
+)
+
+// nearTiePair builds two instances whose exact periods differ by delta
+// absolute on a base of roughly `scale` — a relative gap of delta/scale.
+// Shape: 2 stages, no replication, one heavy first stage; under both models
+// the heavy stage dominates the period, so the gap between the pair's
+// periods is exactly delta/pathcount.
+func nearTiePair(scale, delta int64) (a, b *model.Instance) {
+	build := func(heavy int64) *model.Instance {
+		return buildInstance([]int{1, 1}, func() func() rat.Rat {
+			times := []rat.Rat{rat.FromInt(heavy), rat.FromInt(7), rat.FromInt(3)}
+			k := 0
+			return func() rat.Rat {
+				t := times[k%len(times)]
+				k++
+				return t
+			}
+		}())
+	}
+	return build(scale), build(scale + delta)
+}
+
+// TestNearTieScreeningFallsBackToExact adversarially generates pairs whose
+// exact periods differ by < 1e-12 relative (including exact ties) and
+// asserts the two screening guarantees on both communication models:
+//
+//  1. no silent misranking — if the screen would discard A against B's
+//     period (AtLeast true), then A's exact period really is >= B's;
+//  2. the ambiguity band catches every near tie — a candidate whose exact
+//     period is better than or equal to the reference always survives the
+//     screen, so the exact fallback fires and decides the winner.
+func TestNearTieScreeningFallsBackToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	solver := core.NewSolver()
+	for trial := 0; trial < 200; trial++ {
+		// Bases up to ~3e15 with deltas 0 or 1: relative gaps of 0 or
+		// ~3e-16..1e-13, all far below 1e-12 — indistinguishable to a naive
+		// float comparison, inside the rigorous bound's ambiguity band.
+		scale := (1 + rng.Int63n(300)) * 1_000_000_000_0 * (1 + rng.Int63n(30))
+		delta := rng.Int63n(2)
+		instA, instB := nearTiePair(scale, delta)
+		for _, cm := range model.Models() {
+			pa, err := solver.Period(instA, cm)
+			if err != nil {
+				t.Fatalf("trial %d %v: exact A: %v", trial, cm, err)
+			}
+			pb, err := solver.Period(instB, cm)
+			if err != nil {
+				t.Fatalf("trial %d %v: exact B: %v", trial, cm, err)
+			}
+			fa, err := solver.PeriodApprox(instA, cm)
+			if err != nil {
+				t.Fatalf("trial %d %v: approx A: %v", trial, cm, err)
+			}
+			if !fa.Contains(pa.Period) {
+				t.Fatalf("trial %d %v: enclosure [%g ± %g] misses exact %v",
+					trial, cm, fa.Ratio, fa.Err, pa.Period)
+			}
+			// Guarantee 1: a positive screen is always exactly justified.
+			if fa.AtLeast(pb.Period) && pa.Period.Less(pb.Period) {
+				t.Fatalf("trial %d %v: silent misranking — screen discarded A (exact %v) against B (exact %v)",
+					trial, cm, pa.Period, pb.Period)
+			}
+			// Guarantee 2: better-or-tied candidates always survive to the
+			// exact fallback. With gaps this small that means every A here.
+			if !pb.Period.Less(pa.Period) && fa.AtLeast(pb.Period) {
+				t.Fatalf("trial %d %v: near tie escaped the ambiguity band (delta %d on scale %d)",
+					trial, cm, delta, scale)
+			}
+		}
+	}
+}
+
+// TestApproxAgreesWithExactOnRandomFamilies: PeriodApprox's error behaviour
+// and containment on the same generator the differential harness uses, as a
+// quick standalone property (the full backend matrix runs in
+// TestPeriodBackendsDifferential).
+func TestApproxAgreesWithExactOnRandomFamilies(t *testing.T) {
+	solver := core.NewSolver()
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		inst := genInstance(rng, 4, 4)
+		for _, cm := range model.Models() {
+			exact, exactErr := solver.Period(inst, cm)
+			fr, approxErr := solver.PeriodApprox(inst, cm)
+			if (exactErr == nil) != (approxErr == nil) {
+				t.Fatalf("seed %d %v: error parity broken: exact %v, approx %v", seed, cm, exactErr, approxErr)
+			}
+			if exactErr != nil {
+				continue
+			}
+			if !fr.Contains(exact.Period) {
+				t.Fatalf("seed %d %v: enclosure [%g ± %g] misses %v", seed, cm, fr.Ratio, fr.Err, exact.Period)
+			}
+		}
+	}
+}

@@ -102,8 +102,10 @@ func TestPeriodBackendsDifferential(t *testing.T) {
 
 			period := karp.Ratio.DivInt(m)
 
-			// The production solver path under every explicit backend.
-			for _, b := range []cycles.Backend{cycles.BackendAuto, cycles.BackendKarp, cycles.BackendHoward} {
+			// The production solver path under every explicit backend —
+			// float-screen included: its exact results must be bit-identical
+			// (screening is a caller protocol, never a different answer).
+			for _, b := range []cycles.Backend{cycles.BackendAuto, cycles.BackendKarp, cycles.BackendHoward, cycles.BackendFloatScreen} {
 				s := core.NewSolver()
 				s.Backend = b
 				res, err := s.Period(inst, cm)
@@ -112,6 +114,23 @@ func TestPeriodBackendsDifferential(t *testing.T) {
 				}
 				if !res.Period.Equal(period) {
 					t.Fatalf("seed %d %v: solver(%v) period %v != %v", seed, cm, b, res.Period, period)
+				}
+			}
+
+			// The float-screening sweep: its rigorous enclosure must contain
+			// the exact period on every family the exact engines agree on.
+			{
+				s := core.NewSolver()
+				fr, err := s.PeriodApprox(inst, cm)
+				if err != nil {
+					t.Fatalf("seed %d %v: approx: %v", seed, cm, err)
+				}
+				if !fr.Contains(period) {
+					t.Fatalf("seed %d %v: float enclosure [%g ± %g] misses exact period %v",
+						seed, cm, fr.Ratio, fr.Err, period)
+				}
+				if !fr.Finite() {
+					t.Fatalf("seed %d %v: poisoned enclosure on a well-scaled family", seed, cm)
 				}
 			}
 

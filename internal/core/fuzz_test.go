@@ -4,9 +4,11 @@ package core_test
 // decode into a small timed instance (every byte string decodes into a
 // valid one, so no corpus entry is wasted on parse failures) and Karp,
 // Howard, the production solver paths and — on the overlap model — the
-// Theorem 1 polynomial algorithm must agree exactly. A seeded corpus lives
-// in testdata/fuzz/FuzzPeriodBackends; CI runs a short -fuzz smoke on top
-// of the regression replay that plain `go test` performs.
+// Theorem 1 polynomial algorithm must agree exactly; the float-screening
+// sweep's enclosure must contain the shared answer, with a scale-mode byte
+// steering weights into float64 overflow and denormal territory. A seeded
+// corpus lives in testdata/fuzz/FuzzPeriodBackends; CI runs a short -fuzz
+// smoke on top of the regression replay that plain `go test` performs.
 
 import (
 	"testing"
@@ -34,9 +36,23 @@ func (r *fuzzReader) next() byte {
 	return b
 }
 
+// powRat10 returns 10^exp as an exact rational (exp >= 0).
+func powRat10(exp int) rat.Rat {
+	x := rat.One()
+	ten := rat.FromInt(10)
+	for i := 0; i < exp; i++ {
+		x = x.Mul(ten)
+	}
+	return x
+}
+
 // decodeFuzzInstance turns arbitrary bytes into a small valid instance:
 // 2..4 stages, replication 1..3, operation times 1..16 (shape shared with
-// the differential harness via buildInstance).
+// the differential harness via buildInstance). A scale-mode byte then
+// multiplies every operation time by 1, 10^340 or 10^-315: the extreme
+// scales are invisible to the exact engines (big rationals) but push the
+// float-screening sweep into overflow and denormal territory, where it must
+// poison or widen its enclosure — never exclude the exact period.
 func decodeFuzzInstance(data []byte) *model.Instance {
 	r := &fuzzReader{data: data}
 	n := 2 + int(r.next())%3
@@ -44,7 +60,14 @@ func decodeFuzzInstance(data []byte) *model.Instance {
 	for i := range reps {
 		reps[i] = 1 + int(r.next())%3
 	}
-	return buildInstance(reps, func() rat.Rat { return rat.FromInt(1 + int64(r.next())%16) })
+	scale := rat.One()
+	switch int(r.next()) % 3 {
+	case 1:
+		scale = powRat10(340) // sums overflow float64: the sweep must poison
+	case 2:
+		scale = rat.One().Div(powRat10(315)) // denormal range: eta term territory
+	}
+	return buildInstance(reps, func() rat.Rat { return rat.FromInt(1 + int64(r.next())%16).Mul(scale) })
 }
 
 func FuzzPeriodBackends(f *testing.F) {
@@ -52,6 +75,11 @@ func FuzzPeriodBackends(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte("replicated-workflow-period"))
 	f.Add([]byte{2, 3, 3, 3, 3, 15, 1, 15, 1, 15, 1, 15, 1, 15})
+	// Extreme-scale seeds for the float-screening tier: overflow-scale
+	// weights (scale mode 1) must poison the float sweep, denormal-scale
+	// weights (mode 2) exercise the additive eta term of its error bound.
+	f.Add([]byte{0, 0, 0, 1, 5, 12, 3, 7, 9})
+	f.Add([]byte{1, 2, 0, 1, 2, 15, 4, 8, 2, 6, 11})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		inst := decodeFuzzInstance(data)
 		var karpWS, howardWS cycles.Workspace
@@ -78,7 +106,7 @@ func FuzzPeriodBackends(f *testing.F) {
 				}
 			}
 			period := karp.Ratio.DivInt(inst.PathCount())
-			for _, b := range []cycles.Backend{cycles.BackendKarp, cycles.BackendHoward} {
+			for _, b := range []cycles.Backend{cycles.BackendKarp, cycles.BackendHoward, cycles.BackendFloatScreen} {
 				s := core.NewSolver()
 				s.Backend = b
 				res, err := s.Period(inst, cm)
@@ -88,6 +116,18 @@ func FuzzPeriodBackends(f *testing.F) {
 				if !res.Period.Equal(period) {
 					t.Fatalf("%v: solver(%v) %v != %v", cm, b, res.Period, period)
 				}
+			}
+			// Float-screening sweep: on any scale — unit, overflow, denormal
+			// — the enclosure must contain the exact period (poisoned
+			// enclosures contain vacuously, which is exactly the semantics
+			// screening relies on).
+			fr, err := core.NewSolver().PeriodApprox(inst, cm)
+			if err != nil {
+				t.Fatalf("%v: approx errored where exact engines succeeded: %v", cm, err)
+			}
+			if !fr.Contains(period) {
+				t.Fatalf("%v: float enclosure [%g ± %g] excludes exact period %v (reps %v)",
+					cm, fr.Ratio, fr.Err, period, inst.ReplicationCounts())
 			}
 			if cm == model.Overlap {
 				poly, err := core.PeriodOverlapPoly(inst)

@@ -29,6 +29,15 @@ const (
 	BackendKarp
 	// BackendHoward forces Howard policy iteration.
 	BackendHoward
+	// BackendFloatScreen is the float-screening tier: exact computations
+	// resolve exactly like BackendAuto (MaxRatioBackend routes it by
+	// token-edge share, so results stay bit-identical to the exact
+	// backends), but callers that understand screening — the engine's
+	// ApproxBatch, the bnb leaf loop, the greedy/exhaustive heuristics —
+	// additionally run the float64 sweep with its rigorous error bound
+	// (Workspace.ApproxMaxRatio) to rank candidates in floating point and
+	// pay exact arithmetic only for the ambiguous band.
+	BackendFloatScreen
 
 	// NumBackends is the number of Backend values; callers sizing per-backend
 	// tables (the service keeps one engine per backend) use it so a new
@@ -59,13 +68,15 @@ func (b Backend) String() string {
 		return "karp"
 	case BackendHoward:
 		return "howard"
+	case BackendFloatScreen:
+		return "float-screen"
 	default:
 		return fmt.Sprintf("Backend(%d)", uint8(b))
 	}
 }
 
-// ParseBackend parses "auto", "karp" or "howard" (the -backend flag values
-// of the commands).
+// ParseBackend parses "auto", "karp", "howard" or "float-screen" (the
+// -backend flag values of the commands).
 func ParseBackend(s string) (Backend, error) {
 	switch s {
 	case "auto", "":
@@ -74,8 +85,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendKarp, nil
 	case "howard":
 		return BackendHoward, nil
+	case "float-screen":
+		return BackendFloatScreen, nil
 	default:
-		return BackendAuto, fmt.Errorf("cycles: unknown backend %q (want auto, karp or howard)", s)
+		return BackendAuto, fmt.Errorf("cycles: unknown backend %q (want auto, karp, howard or float-screen)", s)
 	}
 }
 
@@ -98,9 +111,12 @@ func autoBackend(s *System) Backend {
 
 // MaxRatioBackend computes the maximum cycle ratio of s with the selected
 // backend on the workspace's reused scratch. BackendAuto routes by
-// token-edge share (see AutoHowardTokenShareNum/Den).
+// token-edge share (see AutoHowardTokenShareNum/Den); BackendFloatScreen
+// resolves the same way — its exact computations ARE the auto engines, which
+// is what keeps screened results bit-identical. Screening itself is a caller
+// protocol built on ApproxMaxRatio, not a different exact engine.
 func (ws *Workspace) MaxRatioBackend(s *System, b Backend) (Result, error) {
-	if b == BackendAuto {
+	if b == BackendAuto || b == BackendFloatScreen {
 		b = autoBackend(s)
 	}
 	if b == BackendHoward {

@@ -81,89 +81,15 @@ type contractedEdge struct {
 
 // maxRatioSCC contracts one strongly connected component and runs Karp on it.
 func (ws *Workspace) maxRatioSCC(s *System, comp []int, c int) (Result, bool, error) {
-	// Intra-component edges, split into token edges and zero-token edges.
-	ws.tokenEdges = ws.tokenEdges[:0]
-	ws.zeroEdges = ws.zeroEdges[:0]
-	for i, e := range s.G.Edges {
-		if comp[e.From] != c || comp[e.To] != c {
-			continue
-		}
-		if s.Tokens[e.ID] > 0 {
-			ws.tokenEdges = append(ws.tokenEdges, i)
-		} else {
-			ws.zeroEdges = append(ws.zeroEdges, i)
-		}
+	n, ok, err := ws.contractScaffold(s, comp, c)
+	if !ok || err != nil {
+		return Result{}, false, err
 	}
-	if len(ws.tokenEdges) == 0 {
-		// Component with no token edge: acyclic by liveness (validated), so
-		// it contributes no cycle.
-		return Result{}, false, nil
-	}
-
-	// Map component vertices to local ids (first-seen order: token edge
-	// endpoints, then zero edge endpoints — matching the historical order).
-	ws.epoch++
-	ws.localID = growInts(ws.localID, s.G.N)
-	ws.localStamp = growInts(ws.localStamp, s.G.N)
-	ws.verts = ws.verts[:0]
-	local := func(v int) int {
-		if ws.localStamp[v] == ws.epoch {
-			return ws.localID[v]
-		}
-		id := len(ws.verts)
-		ws.localStamp[v] = ws.epoch
-		ws.localID[v] = id
-		ws.verts = append(ws.verts, v)
-		return id
-	}
-	for _, ei := range ws.tokenEdges {
-		local(s.G.Edges[ei].From)
-		local(s.G.Edges[ei].To)
-	}
-	for _, ei := range ws.zeroEdges {
-		local(s.G.Edges[ei].From)
-		local(s.G.Edges[ei].To)
-	}
-	n := len(ws.verts)
-
-	// Zero-token DAG adjacency over local vertices and its topological order.
-	nz := len(ws.zeroEdges)
-	ws.zeroStart = growInts(ws.zeroStart, n+1)
-	ws.zeroItems = growInts(ws.zeroItems, nz)
-	ws.keyTmp = growInts(ws.keyTmp, nz)
-	ws.valTmp = growInts(ws.valTmp, nz)
-	for j, ei := range ws.zeroEdges {
-		ws.keyTmp[j] = ws.localID[s.G.Edges[ei].From]
-		ws.valTmp[j] = j
-	}
-	ws.fillCSR(ws.zeroStart, ws.zeroItems, n, ws.keyTmp[:nz], ws.valTmp[:nz])
-	// Successor view of the same CSR (parallel to zeroItems), so the one
-	// Kahn implementation serves both the acyclicity checks and this
-	// topological order — the ordering discipline witness tie-breaking
-	// depends on lives in exactly one place.
-	ws.zeroSucc = growInts(ws.zeroSucc, nz)
-	for t := 0; t < nz; t++ {
-		ws.zeroSucc[t] = ws.localID[s.G.Edges[ws.zeroEdges[ws.zeroItems[t]]].To]
-	}
-	if ws.kahn(n, ws.zeroStart, ws.zeroSucc) != n {
-		return Result{}, false, ErrDeadlock
-	}
-
-	// Tails of token edges, for quick "is this vertex a contraction target".
-	nt := len(ws.tokenEdges)
-	ws.tailStart = growInts(ws.tailStart, n+1)
-	ws.tailItems = growInts(ws.tailItems, nt)
-	ws.keyTmp = growInts(ws.keyTmp, nt)
-	ws.valTmp = growInts(ws.valTmp, nt)
-	for j, ei := range ws.tokenEdges {
-		ws.keyTmp[j] = ws.localID[s.G.Edges[ei].From]
-		ws.valTmp[j] = j
-	}
-	ws.fillCSR(ws.tailStart, ws.tailItems, n, ws.keyTmp[:nt], ws.valTmp[:nt])
 
 	// For each token edge, longest zero-token path from its head to every
 	// reachable vertex (DAG DP), generating contracted edges to every token
 	// edge tail reached.
+	nt := len(ws.tokenEdges)
 	ws.dist = growRats(ws.dist, n)
 	ws.has = growBools(ws.has, n)
 	ws.pred = growInts(ws.pred, n)
@@ -242,6 +168,97 @@ func (ws *Workspace) maxRatioSCC(s *System, comp []int, c int) (Result, bool, er
 		}
 	}
 	return Result{Ratio: lambda, Cycle: witness}, true, nil
+}
+
+// contractScaffold builds the structural state both the exact and the float
+// contraction sweeps run on: the component's token/zero edge lists, the local
+// vertex numbering, the zero-token DAG adjacency with its topological order
+// (ws.order), and the token-edge tail CSR. Keeping it in one place guarantees
+// the two sweeps walk identical structures in identical orders — the float
+// path's error bounds are only claims about the exact path if the candidate
+// sets match edge for edge. It returns the local vertex count; ok is false
+// when the component carries no token edge (no cycle to contribute).
+func (ws *Workspace) contractScaffold(s *System, comp []int, c int) (n int, ok bool, err error) {
+	// Intra-component edges, split into token edges and zero-token edges.
+	ws.tokenEdges = ws.tokenEdges[:0]
+	ws.zeroEdges = ws.zeroEdges[:0]
+	for i, e := range s.G.Edges {
+		if comp[e.From] != c || comp[e.To] != c {
+			continue
+		}
+		if s.Tokens[e.ID] > 0 {
+			ws.tokenEdges = append(ws.tokenEdges, i)
+		} else {
+			ws.zeroEdges = append(ws.zeroEdges, i)
+		}
+	}
+	if len(ws.tokenEdges) == 0 {
+		// Component with no token edge: acyclic by liveness (validated), so
+		// it contributes no cycle.
+		return 0, false, nil
+	}
+
+	// Map component vertices to local ids (first-seen order: token edge
+	// endpoints, then zero edge endpoints — matching the historical order).
+	ws.epoch++
+	ws.localID = growInts(ws.localID, s.G.N)
+	ws.localStamp = growInts(ws.localStamp, s.G.N)
+	ws.verts = ws.verts[:0]
+	local := func(v int) int {
+		if ws.localStamp[v] == ws.epoch {
+			return ws.localID[v]
+		}
+		id := len(ws.verts)
+		ws.localStamp[v] = ws.epoch
+		ws.localID[v] = id
+		ws.verts = append(ws.verts, v)
+		return id
+	}
+	for _, ei := range ws.tokenEdges {
+		local(s.G.Edges[ei].From)
+		local(s.G.Edges[ei].To)
+	}
+	for _, ei := range ws.zeroEdges {
+		local(s.G.Edges[ei].From)
+		local(s.G.Edges[ei].To)
+	}
+	n = len(ws.verts)
+
+	// Zero-token DAG adjacency over local vertices and its topological order.
+	nz := len(ws.zeroEdges)
+	ws.zeroStart = growInts(ws.zeroStart, n+1)
+	ws.zeroItems = growInts(ws.zeroItems, nz)
+	ws.keyTmp = growInts(ws.keyTmp, nz)
+	ws.valTmp = growInts(ws.valTmp, nz)
+	for j, ei := range ws.zeroEdges {
+		ws.keyTmp[j] = ws.localID[s.G.Edges[ei].From]
+		ws.valTmp[j] = j
+	}
+	ws.fillCSR(ws.zeroStart, ws.zeroItems, n, ws.keyTmp[:nz], ws.valTmp[:nz])
+	// Successor view of the same CSR (parallel to zeroItems), so the one
+	// Kahn implementation serves both the acyclicity checks and this
+	// topological order — the ordering discipline witness tie-breaking
+	// depends on lives in exactly one place.
+	ws.zeroSucc = growInts(ws.zeroSucc, nz)
+	for t := 0; t < nz; t++ {
+		ws.zeroSucc[t] = ws.localID[s.G.Edges[ws.zeroEdges[ws.zeroItems[t]]].To]
+	}
+	if ws.kahn(n, ws.zeroStart, ws.zeroSucc) != n {
+		return 0, false, ErrDeadlock
+	}
+
+	// Tails of token edges, for quick "is this vertex a contraction target".
+	nt := len(ws.tokenEdges)
+	ws.tailStart = growInts(ws.tailStart, n+1)
+	ws.tailItems = growInts(ws.tailItems, nt)
+	ws.keyTmp = growInts(ws.keyTmp, nt)
+	ws.valTmp = growInts(ws.valTmp, nt)
+	for j, ei := range ws.tokenEdges {
+		ws.keyTmp[j] = ws.localID[s.G.Edges[ei].From]
+		ws.valTmp[j] = j
+	}
+	ws.fillCSR(ws.tailStart, ws.tailItems, n, ws.keyTmp[:nt], ws.valTmp[:nt])
+	return n, true, nil
 }
 
 // meanEdge is an edge for Karp's algorithm: weight per single token.

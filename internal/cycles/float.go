@@ -1,0 +1,481 @@
+package cycles
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rat"
+)
+
+// This file is the float-screening tier (Backend float-screen): a float64
+// re-run of the contraction + Karp sweep that returns an approximate maximum
+// cycle ratio TOGETHER with a rigorous forward-error bound. The point is not
+// the approximation — it is the certificate attached to it: the exact ratio
+// provably lies in [Ratio-Err, Err+Ratio], so a caller ranking candidates can
+// discard in float everything whose enclosure cannot beat an exact incumbent
+// and pay exact arithmetic only for the ambiguous band. Every discard is
+// justified by an exact-rational comparison of enclosure endpoints (floats
+// convert to rationals losslessly), so screened searches return bit-identical
+// results to exact-only runs.
+//
+// Error accounting: each value carries a running absolute bound e with
+// |float - exact| <= e.
+//
+//   - Conversion rat -> float64 is correctly rounded (big.Rat) or three
+//     correctly-rounded ops (int64 fast path), so e0 = 4u|f| + eta over-covers
+//     it, with u = 2^-53 the unit roundoff and eta = 2^-1074 the smallest
+//     positive denormal (the additive term covers the denormal range, where
+//     relative bounds fail).
+//   - A correctly-rounded op c = fl(a op b) adds at most u|c| + eta of its
+//     own, so e_c = e_a + e_b + u|c| + eta.
+//   - Selections compose for free: |max_i f_i - max_i x_i| <= max_i e_i (and
+//     the same for min) — errors do not compound through the max/min choices
+//     the DP makes, which is why a full Karp table stays at a few ulps.
+//   - The bound arithmetic itself rounds, so every accumulation is inflated
+//     by (1+2^-50) + 2*eta (see propagate); the inflation strictly dominates
+//     the handful of roundings each accumulation performs.
+//
+// Any non-finite intermediate (overflow to +Inf, NaN from Inf-Inf in the
+// Karp difference) poisons the result to Err=+Inf: an always-ambiguous
+// enclosure that no screen can act on, so callers fall back to exact
+// arithmetic — degraded speed, never a degraded answer.
+
+const (
+	uRound = 0x1p-53   // float64 unit roundoff
+	etaSub = 0x1p-1074 // smallest positive denormal
+	// errInflate compensates the rounding of the error-bound arithmetic
+	// itself: each accumulation performs at most a handful of correctly
+	// rounded ops on non-negative values, under-approximating by < 8u
+	// relative, so multiplying by (1+2^-50) = (1+8u) restores a true upper
+	// bound.
+	errInflate = 1 + 0x1p-50
+)
+
+// propagate returns an error bound for a correctly-rounded binary operation
+// with result c whose operands carried bounds ea and eb: a float upper bound
+// on ea + eb + u|c| + eta that survives being computed in floating point.
+func propagate(ea, eb, c float64) float64 {
+	return (ea+eb+uRound*math.Abs(c))*errInflate + 2*etaSub
+}
+
+// FloatResult is an approximate maximum cycle ratio (or period) with a
+// rigorous forward-error bound: the exact value λ* satisfies
+// |Ratio − λ*| ≤ Err. A non-finite Ratio or Err means the float sweep
+// overflowed or degenerated; the enclosure is then vacuous (Contains is
+// always true, AtLeast always false) and callers must fall back to the exact
+// engines.
+type FloatResult struct {
+	Ratio float64
+	Err   float64
+}
+
+// Finite reports whether the enclosure is usable (both fields finite).
+func (r FloatResult) Finite() bool {
+	return !math.IsInf(r.Ratio, 0) && !math.IsNaN(r.Ratio) &&
+		!math.IsInf(r.Err, 0) && !math.IsNaN(r.Err)
+}
+
+// Enclosure returns the exact rational interval [lo, hi] = [Ratio−Err,
+// Ratio+Err] guaranteed to contain the exact value. Both endpoints are
+// computed in exact arithmetic (floats are dyadic rationals), so no further
+// rounding widens or — worse — narrows the interval. ok is false for a
+// non-finite result, which encloses nothing usefully.
+func (r FloatResult) Enclosure() (lo, hi rat.Rat, ok bool) {
+	v, ok1 := rat.FromFloat(r.Ratio)
+	e, ok2 := rat.FromFloat(r.Err)
+	if !ok1 || !ok2 {
+		return rat.Rat{}, rat.Rat{}, false
+	}
+	return v.Sub(e), v.Add(e), true
+}
+
+// Contains reports whether the enclosure contains the exact value x. A
+// non-finite result contains everything (vacuously): it constrains nothing.
+func (r FloatResult) Contains(x rat.Rat) bool {
+	lo, hi, ok := r.Enclosure()
+	if !ok {
+		return true
+	}
+	return !x.Less(lo) && !hi.Less(x)
+}
+
+// AtLeast reports that the exact value is certainly ≥ x: the enclosure's
+// lower endpoint is at or above x, compared in exact arithmetic. This is the
+// screening predicate — a candidate whose period is AtLeast the incumbent
+// cannot strictly improve it, so skipping its exact evaluation provably
+// leaves the search result unchanged. A non-finite result returns false: a
+// poisoned screen can never discard a candidate.
+func (r FloatResult) AtLeast(x rat.Rat) bool {
+	lo, _, ok := r.Enclosure()
+	return ok && !lo.Less(x)
+}
+
+// DivInt returns the enclosure scaled by 1/m (m > 0), the float analogue of
+// Rat.DivInt used when a cycle ratio becomes a period (division by the path
+// count or a pattern LCM). An m too large to round-trip through float64
+// poisons the result rather than silently losing precision.
+func (r FloatResult) DivInt(m int64) FloatResult {
+	f := float64(m)
+	if m <= 0 || int64(f) != m {
+		return FloatResult{Ratio: math.Inf(1), Err: math.Inf(1)}
+	}
+	q := r.Ratio / f
+	return FloatResult{Ratio: q, Err: propagate(r.Err/f, 0, q)}
+}
+
+// FloatOf returns a float enclosure of the exact value x: its nearest
+// float64 with the conversion-error bound. Values beyond float64 range
+// poison to Err=+Inf.
+func FloatOf(x rat.Rat) FloatResult {
+	f := x.Float64()
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return FloatResult{Ratio: f, Err: math.Inf(1)}
+	}
+	return FloatResult{Ratio: f, Err: convErr(f)}
+}
+
+// convErr bounds the rat->float64 conversion error of a value whose nearest
+// float is f: 4u|f| + eta, inflated against the bound's own rounding.
+func convErr(f float64) float64 {
+	return (4*uRound*math.Abs(f))*errInflate + 2*etaSub
+}
+
+// MaxFloat merges two enclosures into one containing max(x_a, x_b) of the
+// exact values: float max of the estimates, max of the bounds (selection
+// lemma — the max over approximations deviates from the max over exact
+// values by at most the worst per-candidate error). A poisoned operand
+// (Err=+Inf) poisons the merge, as it must: the unknown value could dominate.
+func MaxFloat(a, b FloatResult) FloatResult {
+	r := a
+	if b.Ratio > r.Ratio || math.IsNaN(b.Ratio) {
+		r.Ratio = b.Ratio
+	}
+	if b.Err > r.Err || math.IsNaN(b.Err) {
+		r.Err = b.Err
+	}
+	return r
+}
+
+// poisoned is the vacuous enclosure returned when the float sweep cannot
+// bound its own error.
+func poisoned() FloatResult { return FloatResult{Ratio: math.Inf(1), Err: math.Inf(1)} }
+
+// ApproxMaxRatio computes a float64 approximation of the maximum cycle ratio
+// with a rigorous error bound, allocating a fresh Workspace; hot loops use
+// Workspace.ApproxMaxRatio.
+func (s *System) ApproxMaxRatio() (FloatResult, error) {
+	var ws Workspace
+	return ws.ApproxMaxRatio(s)
+}
+
+// ApproxMaxRatio runs the float-screening sweep on the workspace's reused
+// scratch: the same contraction + Karp pipeline as MaxRatio (same SCCs, same
+// local numbering, same DAG orders — shared scaffolding code), with flat
+// float64 tables in place of the exact rational ones and a parallel running
+// error bound per table entry. The returned enclosure always contains the
+// exact MaxRatio/MaxRatioHoward ratio; structural failures (ErrNoCycle,
+// ErrDeadlock, negative costs) are reported exactly as the exact engines
+// report them, so a screened caller sees errors if and only if an exact
+// caller would.
+func (ws *Workspace) ApproxMaxRatio(s *System) (FloatResult, error) {
+	for i, c := range s.Cost {
+		if c.Sign() < 0 {
+			return FloatResult{}, fmt.Errorf("cycles: edge %d has negative cost %v", i, c)
+		}
+	}
+	if !ws.acyclic(s, true) {
+		return FloatResult{}, ErrDeadlock
+	}
+	if ws.acyclic(s, false) {
+		return FloatResult{}, ErrNoCycle
+	}
+	comp, ncomp := ws.scc(s)
+	var best FloatResult
+	found := false
+	for c := 0; c < ncomp; c++ {
+		r, ok, err := ws.approxRatioSCC(s, comp, c)
+		if err != nil {
+			return FloatResult{}, err
+		}
+		if !ok {
+			continue
+		}
+		if !found {
+			best, found = r, true
+		} else {
+			best = MaxFloat(best, r)
+		}
+	}
+	if !found {
+		return FloatResult{}, ErrNoCycle
+	}
+	if !best.Finite() {
+		return poisoned(), nil
+	}
+	return best, nil
+}
+
+// floatCEdge is a contracted edge of the float sweep: a token edge plus a
+// longest zero-token path, with the running error bound of its cost.
+type floatCEdge struct {
+	from, to  int
+	cost, err float64
+	tokens    int64
+}
+
+// floatMeanEdge is a unit-token edge for the float Karp stage.
+type floatMeanEdge struct {
+	from, to  int
+	cost, err float64
+}
+
+// approxRatioSCC is maxRatioSCC in float64: identical structure (shared
+// scaffold), float tables, running error bounds, no witness reconstruction.
+func (ws *Workspace) approxRatioSCC(s *System, comp []int, c int) (FloatResult, bool, error) {
+	n, ok, err := ws.contractScaffold(s, comp, c)
+	if !ok || err != nil {
+		return FloatResult{}, false, err
+	}
+	nt := len(ws.tokenEdges)
+
+	// Convert the component's edge costs once; the DAG DP reads each zero
+	// edge up to nt times. Edges belong to exactly one component, so the
+	// per-edge tables never need clearing between components.
+	ws.fcost = growFloats(ws.fcost, len(s.Cost))
+	ws.fcerr = growFloats(ws.fcerr, len(s.Cost))
+	for _, ei := range ws.tokenEdges {
+		f := s.Cost[ei].Float64()
+		ws.fcost[ei], ws.fcerr[ei] = f, convErr(f)
+	}
+	for _, ei := range ws.zeroEdges {
+		f := s.Cost[ei].Float64()
+		ws.fcost[ei], ws.fcerr[ei] = f, convErr(f)
+	}
+
+	// Longest zero-token path DP per token edge, mirroring the exact sweep.
+	// All values are non-negative, so overflow surfaces as +Inf and sticks
+	// through max (never NaN here); the Karp stage below detects it.
+	ws.fdist = growFloats(ws.fdist, n)
+	ws.fderr = growFloats(ws.fderr, n)
+	ws.has = growBools(ws.has, n)
+	ws.fcedges = ws.fcedges[:0]
+	for pos, ei := range ws.tokenEdges {
+		head := ws.localID[s.G.Edges[ei].To]
+		for i := 0; i < n; i++ {
+			ws.has[i] = false
+		}
+		ws.has[head] = true
+		ws.fdist[head], ws.fderr[head] = 0, 0
+		for _, u := range ws.order {
+			if !ws.has[u] {
+				continue
+			}
+			for t := ws.zeroStart[u]; t < ws.zeroStart[u+1]; t++ {
+				zei := ws.zeroEdges[ws.zeroItems[t]]
+				to := ws.localID[s.G.Edges[zei].To]
+				cand := ws.fdist[u] + ws.fcost[zei]
+				cerr := propagate(ws.fderr[u], ws.fcerr[zei], cand)
+				if !ws.has[to] {
+					ws.fdist[to], ws.fderr[to] = cand, cerr
+					ws.has[to] = true
+					continue
+				}
+				// Selection lemma: the running max keeps the max estimate and
+				// the max bound over ALL candidates — also the losing ones,
+				// whose exact counterpart could still be the exact max.
+				if cand > ws.fdist[to] {
+					ws.fdist[to] = cand
+				}
+				if cerr > ws.fderr[to] {
+					ws.fderr[to] = cerr
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !ws.has[v] {
+				continue
+			}
+			for t := ws.tailStart[v]; t < ws.tailStart[v+1]; t++ {
+				cost := ws.fcost[ei] + ws.fdist[v]
+				ws.fcedges = append(ws.fcedges, floatCEdge{
+					from:   pos,
+					to:     ws.tailItems[t],
+					cost:   cost,
+					err:    propagate(ws.fcerr[ei], ws.fderr[v], cost),
+					tokens: int64(s.Tokens[ei]),
+				})
+			}
+		}
+	}
+	if len(ws.fcedges) == 0 {
+		return FloatResult{}, false, nil
+	}
+	r, ok := ws.floatKarpMaxMean(ws.expandFloatTokens(nt))
+	return r, ok, nil
+}
+
+// expandFloatTokens is expandTokens for the float sweep: contracted edges
+// with k>1 tokens become k unit edges through fresh vertices, cost (and its
+// bound) on the first hop, exact zeros on the rest.
+func (ws *Workspace) expandFloatTokens(n int) int {
+	ws.fmedges = ws.fmedges[:0]
+	for _, ce := range ws.fcedges {
+		if ce.tokens == 1 {
+			ws.fmedges = append(ws.fmedges, floatMeanEdge{ce.from, ce.to, ce.cost, ce.err})
+			continue
+		}
+		prev := ce.from
+		for k := int64(0); k < ce.tokens; k++ {
+			to := ce.to
+			if k < ce.tokens-1 {
+				to = n
+				n++
+			}
+			cost, errB := 0.0, 0.0
+			if k == 0 {
+				cost, errB = ce.cost, ce.err
+			}
+			ws.fmedges = append(ws.fmedges, floatMeanEdge{prev, to, cost, errB})
+			prev = to
+		}
+	}
+	return n
+}
+
+// floatKarpMaxMean is karpMaxMean in float64: per-SCC Karp with error
+// tracking, merged with MaxFloat.
+func (ws *Workspace) floatKarpMaxMean(n int) (FloatResult, bool) {
+	m := len(ws.fmedges)
+	ws.karpStart = growInts(ws.karpStart, n+1)
+	ws.karpSucc = growInts(ws.karpSucc, m)
+	ws.keyTmp = growInts(ws.keyTmp, m)
+	ws.valTmp = growInts(ws.valTmp, m)
+	for j := range ws.fmedges {
+		ws.keyTmp[j] = ws.fmedges[j].from
+		ws.valTmp[j] = ws.fmedges[j].to
+	}
+	ws.fillCSR(ws.karpStart, ws.karpSucc, n, ws.keyTmp[:m], ws.valTmp[:m])
+	comp, ncomp := ws.sccKarp.run(n, ws.karpStart, ws.karpSucc)
+	var best FloatResult
+	found := false
+	for c := 0; c < ncomp; c++ {
+		r, ok := ws.floatKarpSCC(comp, c, n)
+		if !ok {
+			continue
+		}
+		if !found {
+			best, found = r, true
+		} else {
+			best = MaxFloat(best, r)
+		}
+	}
+	return best, found
+}
+
+// floatKarpSCC runs Karp's recurrence on one SCC of the expanded contracted
+// graph in float64. The reachability structure (kHas) is value-independent,
+// so the candidate set of the λ formula matches the exact sweep's exactly;
+// only the arithmetic differs. Non-finite candidates — the one place Inf-Inf
+// can manufacture a NaN — poison the component.
+func (ws *Workspace) floatKarpSCC(comp []int, c, nverts int) (FloatResult, bool) {
+	ws.karpVerts = ws.karpVerts[:0]
+	ws.karpID = growInts(ws.karpID, nverts)
+	for v := 0; v < nverts; v++ {
+		ws.karpID[v] = -1
+		if comp[v] == c {
+			ws.karpID[v] = len(ws.karpVerts)
+			ws.karpVerts = append(ws.karpVerts, v)
+		}
+	}
+	ws.karpWithin = ws.karpWithin[:0]
+	for i, e := range ws.fmedges {
+		if comp[e.from] == c && comp[e.to] == c {
+			ws.karpWithin = append(ws.karpWithin, i)
+		}
+	}
+	if len(ws.karpWithin) == 0 {
+		return FloatResult{}, false // trivial SCC without self loop
+	}
+	n := len(ws.karpVerts)
+
+	size := (n + 1) * n
+	ws.fkD = growFloats(ws.fkD, size)
+	ws.fkErr = growFloats(ws.fkErr, size)
+	ws.kHas = growBools(ws.kHas, size)
+	for i := 0; i < size; i++ {
+		ws.kHas[i] = false
+	}
+	ws.kHas[0] = true
+	ws.fkD[0], ws.fkErr[0] = 0, 0
+	for k := 1; k <= n; k++ {
+		row, prev := k*n, (k-1)*n
+		for _, mi := range ws.karpWithin {
+			me := &ws.fmedges[mi]
+			u, v := ws.karpID[me.from], ws.karpID[me.to]
+			if !ws.kHas[prev+u] {
+				continue
+			}
+			cand := ws.fkD[prev+u] + me.cost
+			cerr := propagate(ws.fkErr[prev+u], me.err, cand)
+			if !ws.kHas[row+v] {
+				ws.fkD[row+v], ws.fkErr[row+v] = cand, cerr
+				ws.kHas[row+v] = true
+				continue
+			}
+			if cand > ws.fkD[row+v] {
+				ws.fkD[row+v] = cand
+			}
+			if cerr > ws.fkErr[row+v] {
+				ws.fkErr[row+v] = cerr
+			}
+		}
+	}
+
+	// λ* = max_v min_k (D[n][v]-D[k][v])/(n-k), errors max-merged through
+	// both selections.
+	found := false
+	var best FloatResult
+	last := n * n
+	for v := 0; v < n; v++ {
+		if !ws.kHas[last+v] {
+			continue
+		}
+		var inner FloatResult
+		innerSet := false
+		for k := 0; k < n; k++ {
+			if !ws.kHas[k*n+v] {
+				continue
+			}
+			diff := ws.fkD[last+v] - ws.fkD[k*n+v]
+			derr := propagate(ws.fkErr[last+v], ws.fkErr[k*n+v], diff)
+			div := float64(n - k)
+			q := diff / div
+			qerr := propagate(derr/div, 0, q)
+			if math.IsNaN(q) || math.IsInf(q, 0) || math.IsNaN(qerr) || math.IsInf(qerr, 0) {
+				return poisoned(), true
+			}
+			if !innerSet {
+				inner, innerSet = FloatResult{q, qerr}, true
+				continue
+			}
+			if q < inner.Ratio {
+				inner.Ratio = q
+			}
+			if qerr > inner.Err {
+				inner.Err = qerr
+			}
+		}
+		if !innerSet {
+			continue
+		}
+		if !found {
+			best, found = inner, true
+		} else {
+			best = MaxFloat(best, inner)
+		}
+	}
+	if !found {
+		return FloatResult{}, false
+	}
+	return best, true
+}

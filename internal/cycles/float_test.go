@@ -1,0 +1,249 @@
+package cycles
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+)
+
+// TestFloatEnclosureContainsExact is the kernel-level soundness property of
+// the screening tier: on random live systems the float sweep's enclosure
+// always contains the exact ratio, and its point estimate is the kind of
+// tight (a few ulps) that makes screening worth having.
+func TestFloatEnclosureContainsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomLiveSystem(rng, 3+rng.Intn(6))
+		exact, err := s.MaxRatio()
+		if err != nil {
+			return true // structural failure: parity is asserted separately
+		}
+		var ws Workspace
+		fr, ferr := ws.ApproxMaxRatio(s)
+		if ferr != nil {
+			t.Logf("seed %d: approx errored (%v) where exact succeeded", seed, ferr)
+			return false
+		}
+		if !fr.Contains(exact.Ratio) {
+			t.Logf("seed %d: enclosure [%g ± %g] misses exact %v (%g)",
+				seed, fr.Ratio, fr.Err, exact.Ratio, exact.Ratio.Float64())
+			return false
+		}
+		if !fr.Finite() {
+			t.Logf("seed %d: poisoned result on a benign system", seed)
+			return false
+		}
+		// Tightness sanity: on these well-scaled inputs the bound must stay
+		// tiny relative to the value — a bound that balloons would make every
+		// candidate ambiguous and the screen useless.
+		if fr.Err > 1e-9*(1+math.Abs(fr.Ratio)) {
+			t.Logf("seed %d: bound %g implausibly loose for ratio %g", seed, fr.Err, fr.Ratio)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFloatErrorParity: the float sweep must report structural failures
+// exactly when the exact engines do, so a screened caller never diverges on
+// the error path.
+func TestFloatErrorParity(t *testing.T) {
+	var ws Workspace
+
+	acyclic := NewSystem(3)
+	acyclic.AddEdge(0, 1, rat.One(), 0)
+	acyclic.AddEdge(1, 2, rat.One(), 1)
+	if _, err := ws.ApproxMaxRatio(acyclic); !errors.Is(err, ErrNoCycle) {
+		t.Errorf("acyclic: got %v, want ErrNoCycle", err)
+	}
+
+	dead := NewSystem(2)
+	dead.AddEdge(0, 1, rat.One(), 0)
+	dead.AddEdge(1, 0, rat.One(), 0)
+	if _, err := ws.ApproxMaxRatio(dead); !errors.Is(err, ErrDeadlock) {
+		t.Errorf("deadlock: got %v, want ErrDeadlock", err)
+	}
+
+	neg := NewSystem(1)
+	neg.AddEdge(0, 0, rat.FromInt(-1), 1)
+	if _, err := ws.ApproxMaxRatio(neg); err == nil {
+		t.Error("negative cost: approx accepted what exact rejects")
+	}
+
+	// Exhaustive parity on random systems, including ones the generators
+	// above cannot produce.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomLiveSystem(rng, 3+rng.Intn(6))
+		_, exactErr := s.MaxRatio()
+		_, approxErr := ws.ApproxMaxRatio(s)
+		return (exactErr == nil) == (approxErr == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// powRat returns base^exp as an exact rational (exp >= 0).
+func powRat(base rat.Rat, exp int) rat.Rat {
+	x := rat.One()
+	for i := 0; i < exp; i++ {
+		x = x.Mul(base)
+	}
+	return x
+}
+
+// TestFloatPoisonOnOverflowScale: costs beyond float64 range must poison the
+// enclosure (Err=+Inf) — never return a finite bound that silently excludes
+// the exact value — and the poisoned result must refuse to screen anything.
+func TestFloatPoisonOnOverflowScale(t *testing.T) {
+	huge := powRat(rat.FromInt(10), 400) // 10^400 > max float64
+	s := NewSystem(2)
+	s.AddEdge(0, 1, huge, 1)
+	s.AddEdge(1, 0, rat.One(), 0)
+
+	exact, err := s.MaxRatio()
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	var ws Workspace
+	fr, err := ws.ApproxMaxRatio(s)
+	if err != nil {
+		t.Fatalf("approx: %v", err)
+	}
+	if fr.Finite() {
+		t.Fatalf("overflow-scale system returned finite enclosure [%g ± %g]", fr.Ratio, fr.Err)
+	}
+	if !fr.Contains(exact.Ratio) {
+		t.Error("poisoned enclosure must vacuously contain the exact ratio")
+	}
+	if fr.AtLeast(rat.Zero()) {
+		t.Error("poisoned enclosure must never certify a screening decision")
+	}
+	if _, _, ok := fr.Enclosure(); ok {
+		t.Error("poisoned enclosure must not produce rational endpoints")
+	}
+}
+
+// TestFloatDenormalScale: costs down in the denormal range (where relative
+// error bounds break down and only the additive eta term saves the
+// analysis) must still produce a containing enclosure.
+func TestFloatDenormalScale(t *testing.T) {
+	tiny := powRat(rat.New(1, 10), 322) // 10^-322: a float64 denormal
+	tinier := powRat(rat.New(1, 10), 323)
+	s := NewSystem(3)
+	s.AddEdge(0, 1, tiny, 0)
+	s.AddEdge(1, 2, tinier, 0)
+	s.AddEdge(2, 0, tiny, 1)
+	s.AddEdge(1, 0, tinier, 1) // second cycle, near-tied at denormal scale
+
+	exact, err := s.MaxRatio()
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	var ws Workspace
+	fr, err := ws.ApproxMaxRatio(s)
+	if err != nil {
+		t.Fatalf("approx: %v", err)
+	}
+	if !fr.Contains(exact.Ratio) {
+		t.Errorf("denormal enclosure [%g ± %g] misses exact %v", fr.Ratio, fr.Err, exact.Ratio)
+	}
+}
+
+// TestFloatResultPredicates pins the semantics the screening layers build on.
+func TestFloatResultPredicates(t *testing.T) {
+	r := FloatOf(rat.New(1, 3))
+	if !r.Contains(rat.New(1, 3)) {
+		t.Error("FloatOf(1/3) must contain 1/3")
+	}
+	if r.Contains(rat.New(1, 2)) {
+		t.Error("FloatOf(1/3) must not contain 1/2")
+	}
+	if !r.AtLeast(rat.New(1, 4)) {
+		t.Error("1/3 is certainly >= 1/4")
+	}
+	if r.AtLeast(rat.New(1, 3)) {
+		t.Error("AtLeast(1/3) must fail: the value itself is inside the enclosure")
+	}
+	lo, hi, ok := r.Enclosure()
+	if !ok || !lo.Less(rat.New(1, 3)) || !rat.New(1, 3).Less(hi) {
+		t.Errorf("enclosure [%v, %v] does not strictly bracket 1/3", lo, hi)
+	}
+
+	half := r.DivInt(3) // (1/3)/3 = 1/9
+	if !half.Contains(rat.New(1, 9)) {
+		t.Error("DivInt(3) enclosure must contain 1/9")
+	}
+	if bad := r.DivInt(0); bad.Finite() {
+		t.Error("DivInt(0) must poison")
+	}
+
+	m := MaxFloat(FloatOf(rat.FromInt(2)), FloatOf(rat.FromInt(5)))
+	if !m.Contains(rat.FromInt(5)) || m.Contains(rat.FromInt(2)) {
+		t.Error("MaxFloat must enclose the max, not the min")
+	}
+	p := MaxFloat(FloatOf(rat.FromInt(2)), poisoned())
+	if p.Finite() || p.AtLeast(rat.Zero()) {
+		t.Error("MaxFloat with a poisoned operand must stay poisoned")
+	}
+	p2 := MaxFloat(poisoned(), FloatOf(rat.FromInt(2)))
+	if p2.Finite() || p2.AtLeast(rat.Zero()) {
+		t.Error("MaxFloat poisoned-first must stay poisoned")
+	}
+}
+
+// TestFromFloatExact: the rational conversion underlying every screening
+// comparison is exact.
+func TestFromFloatExact(t *testing.T) {
+	x, ok := rat.FromFloat(0.1)
+	if !ok {
+		t.Fatal("FromFloat(0.1) failed")
+	}
+	// 0.1 rounds to 3602879701896397 / 2^55 — the exact value of the float,
+	// not the decimal it came from.
+	want := rat.New(3602879701896397, 1).Div(powRat(rat.FromInt(2), 55))
+	if !x.Equal(want) {
+		t.Errorf("FromFloat(0.1) = %v, want %v", x, want)
+	}
+	if x.Equal(rat.New(1, 10)) {
+		t.Error("FromFloat(0.1) must not equal 1/10: the conversion is of the float, not the decimal")
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, ok := rat.FromFloat(f); ok {
+			t.Errorf("FromFloat(%v) must report !ok", f)
+		}
+	}
+	if y, ok := rat.FromFloat(-2.5); !ok || !y.Equal(rat.New(-5, 2)) {
+		t.Errorf("FromFloat(-2.5) = %v, %v", y, ok)
+	}
+}
+
+// TestFloatScreenBackendResolvesExact: the float-screen backend's exact
+// computations route exactly like auto, so anything evaluated through
+// MaxRatioBackend is bit-identical across auto and float-screen.
+func TestFloatScreenBackendResolvesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var wsA, wsF Workspace
+	for trial := 0; trial < 50; trial++ {
+		s := randomLiveSystem(rng, 3+rng.Intn(6))
+		a, errA := wsA.MaxRatioBackend(s, BackendAuto)
+		f, errF := wsF.MaxRatioBackend(s, BackendFloatScreen)
+		if (errA == nil) != (errF == nil) {
+			t.Fatalf("trial %d: error divergence auto=%v float-screen=%v", trial, errA, errF)
+		}
+		if errA != nil {
+			continue
+		}
+		if !a.Ratio.Equal(f.Ratio) {
+			t.Fatalf("trial %d: auto %v != float-screen %v", trial, a.Ratio, f.Ratio)
+		}
+	}
+}

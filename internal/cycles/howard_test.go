@@ -3,6 +3,7 @@ package cycles
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/rat"
@@ -181,7 +182,10 @@ func TestHowardMultiTokenEdges(t *testing.T) {
 
 // TestBackendParseString round-trips the flag values.
 func TestBackendParseString(t *testing.T) {
-	for _, b := range []Backend{BackendAuto, BackendKarp, BackendHoward} {
+	// Every backend value — current and future — must round-trip through
+	// String/ParseBackend, so a new tier cannot ship half-wired.
+	for i := 0; i < NumBackends; i++ {
+		b := Backend(i)
 		got, err := ParseBackend(b.String())
 		if err != nil || got != b {
 			t.Errorf("ParseBackend(%q) = %v, %v", b.String(), got, err)
@@ -192,6 +196,14 @@ func TestBackendParseString(t *testing.T) {
 	}
 	if _, err := ParseBackend("bogus"); err == nil {
 		t.Error("bogus backend accepted")
+	}
+	// The error message is user-facing flag help: it must enumerate every
+	// parseable tier (the fix this PR's satellite demands).
+	_, err := ParseBackend("bogus")
+	for i := 0; i < NumBackends; i++ {
+		if name := Backend(i).String(); !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseBackend error %q does not mention %q", err, name)
+		}
 	}
 }
 
@@ -222,7 +234,7 @@ func TestMaxRatioBackendRouting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, b := range []Backend{BackendAuto, BackendKarp, BackendHoward} {
+		for _, b := range []Backend{BackendAuto, BackendKarp, BackendHoward, BackendFloatScreen} {
 			got, err := ws.MaxRatioBackend(s, b)
 			if err != nil {
 				t.Fatalf("%s backend=%v: %v", name, b, err)
@@ -233,6 +245,11 @@ func TestMaxRatioBackendRouting(t *testing.T) {
 			if wr, err := s.CycleRatio(got.Cycle); err != nil || !wr.Equal(got.Ratio) {
 				t.Fatalf("%s backend=%v: witness ratio %v err %v", name, b, wr, err)
 			}
+		}
+		// The float sweep's enclosure must contain the exact ratio on both
+		// sides of the auto-routing split.
+		if fr, err := ws.ApproxMaxRatio(s); err != nil || !fr.Contains(want.Ratio) {
+			t.Fatalf("%s: float enclosure [%g ± %g] (err %v) misses %v", name, fr.Ratio, fr.Err, err, want.Ratio)
 		}
 	}
 	if b := autoBackend(sparse); b != BackendKarp {

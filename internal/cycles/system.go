@@ -21,8 +21,16 @@
 //   - Lawler binary search: float64, for scale comparisons.
 //   - BruteForce: exhaustive elementary-cycle enumeration, for tests.
 //
+// A fifth evaluator, ApproxMaxRatio (see float.go), is not an exact engine
+// but the float-screening tier: a float64 re-run of the contraction+Karp
+// sweep returning an enclosure [Ratio−Err, Ratio+Err] guaranteed to contain
+// the exact ratio, so search layers can rank candidates in floating point
+// and reserve exact arithmetic for the ambiguous band.
+//
 // Workspace.MaxRatioBackend selects between the two exact engines (Backend
-// enum: auto, karp, howard); the auto heuristic routes by token-edge share.
+// enum: auto, karp, howard, float-screen); the auto heuristic routes by
+// token-edge share, and float-screen resolves identically to auto — the
+// screening protocol lives in the callers, never in the exact results.
 package cycles
 
 import (

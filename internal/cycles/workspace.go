@@ -89,6 +89,18 @@ type Workspace struct {
 	// workspace can never leak one engine's state into the other (see
 	// howardScratch).
 	howard howardScratch
+
+	// Float-screening scratch (see float.go): per-edge float costs with
+	// conversion-error bounds, the float DAG/Karp value+error tables, and
+	// the float contracted/mean edge lists. The structural scratch (SCC,
+	// CSR, orders, has/kHas) is shared with the exact sweep — the two never
+	// run interleaved within one call, and sharing it keeps their iteration
+	// structures identical by construction.
+	fcost, fcerr []float64
+	fdist, fderr []float64
+	fkD, fkErr   []float64
+	fcedges      []floatCEdge
+	fmedges      []floatMeanEdge
 }
 
 // growInts returns s with length n, reusing capacity when possible. New
@@ -111,6 +123,13 @@ func growRats(s []rat.Rat, n int) []rat.Rat {
 func growBools(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
 	return s[:n]
 }

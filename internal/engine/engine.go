@@ -85,6 +85,7 @@ const DefaultCacheEntries = 1 << 15
 // are shared by all batches evaluated through the same Engine.
 type Engine struct {
 	workers int
+	backend cycles.Backend
 	cache   *memoCache // nil when memoization is disabled
 	solvers sync.Pool  // *core.Solver, one borrowed per in-flight evaluation
 	hits    atomic.Int64
@@ -100,7 +101,7 @@ func New(opts Options) *Engine {
 	}
 	maxRows := opts.MaxRows
 	backend := opts.Backend
-	e := &Engine{workers: w}
+	e := &Engine{workers: w, backend: backend}
 	e.solvers.New = func() any {
 		s := core.NewSolver()
 		s.MaxRows = maxRows
@@ -120,6 +121,12 @@ func New(opts Options) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Backend returns the backend the engine's solvers were configured with.
+// Search layers consult it to decide whether float screening is on: only
+// cycles.BackendFloatScreen opts a batch into the ApproxBatch-then-exact
+// protocol.
+func (e *Engine) Backend() cycles.Backend { return e.backend }
 
 // CacheStats returns the cumulative memo-cache hit and miss counts.
 func (e *Engine) CacheStats() (hits, misses int64) {
@@ -212,6 +219,40 @@ func (e *Engine) evaluateSolver(t Task) (core.Result, error) {
 	s := e.solvers.Get().(*core.Solver)
 	defer e.solvers.Put(s)
 	return s.Period(t.Inst, t.Model)
+}
+
+// ApproxOutcome is the result of one float-screening evaluation: an
+// enclosure of the task's exact period, or the error the exact path would
+// also report (the float sweep fails exactly when the exact engines do).
+type ApproxOutcome struct {
+	Period cycles.FloatResult
+	Err    error
+}
+
+// EvaluateApprox computes a float64 enclosure of a task's period on a pooled
+// solver. Enclosures are never memoized: the cache stores exact Results
+// only, so a cached exact period can never be displaced by (or confused
+// with) a screening estimate.
+func (e *Engine) EvaluateApprox(t Task) (cycles.FloatResult, error) {
+	s := e.solvers.Get().(*core.Solver)
+	defer e.solvers.Put(s)
+	return s.PeriodApprox(t.Inst, t.Model)
+}
+
+// ApproxBatch evaluates float enclosures for tasks on the worker pool;
+// out[i] corresponds to tasks[i] exactly as in EvaluateBatch. The float
+// sweep is deterministic (IEEE 754 operations in a fixed order), so out is
+// bit-identical at any worker count.
+func (e *Engine) ApproxBatch(ctx context.Context, tasks []Task) ([]ApproxOutcome, error) {
+	out := make([]ApproxOutcome, len(tasks))
+	err := e.ForEach(ctx, len(tasks), func(i int) {
+		fr, err := e.EvaluateApprox(tasks[i])
+		out[i] = ApproxOutcome{Period: fr, Err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EvaluateBatch evaluates tasks on the worker pool. out[i] always

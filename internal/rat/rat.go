@@ -34,6 +34,19 @@ func One() Rat { return Rat{1, 1, nil} }
 // FromInt returns the rational n/1.
 func FromInt(n int64) Rat { return Rat{n, 1, nil} }
 
+// FromFloat returns the exact rational value of f. Every finite float64 is a
+// dyadic rational, so the conversion is lossless — no rounding happens here.
+// ok is false for NaN and the infinities, which have no rational value. The
+// float-screening layer uses it to compare float enclosure endpoints against
+// exact incumbents in exact arithmetic.
+func FromFloat(f float64) (Rat, bool) {
+	br := new(big.Rat).SetFloat64(f)
+	if br == nil {
+		return Rat{}, false
+	}
+	return fromBig(br), true
+}
+
 // New returns the rational n/d in lowest terms. It panics if d == 0.
 func New(n, d int64) Rat {
 	if d == 0 {

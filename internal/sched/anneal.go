@@ -47,7 +47,11 @@ func Anneal(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel
 // AnnealEngine is Anneal with evaluations memoized by the engine. The
 // cooling walk is sequential by construction; the memo cache pays off when
 // the walk re-proposes a partition (frequent near convergence) and when the
-// engine is shared with the other heuristics.
+// engine is shared with the other heuristics. Float screening deliberately
+// does NOT apply: the acceptance rule consumes rng.Float64() only when the
+// exact delta demands it, so skipping an exact evaluation would shift the
+// rng stream and change the trajectory — the annealer stays exact even on a
+// float-screen engine.
 func AnnealEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, rng *rand.Rand, opts AnnealOptions) (Result, error) {
 	opts.defaults()
 	start, err := GreedyEngine(ctx, eng, pipe, plat, cm)

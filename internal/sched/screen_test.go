@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// The batch heuristics on a float-screen engine must return bit-identical
+// results to the exact backends: screening only skips exact evaluations
+// whose enclosure proves they cannot win, so the winner — including the
+// first-stage and first-in-enumeration tie-breaks — never moves.
+
+func TestGreedyEngineFloatScreenBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		pipe, plat := testProblem(seed)
+		for _, cm := range model.Models() {
+			ref, refErr := GreedyEngine(context.Background(),
+				engine.New(engine.Options{Workers: 2}), pipe, plat, cm)
+			got, gotErr := GreedyEngine(context.Background(),
+				engine.New(engine.Options{Workers: 2, Backend: cycles.BackendFloatScreen}), pipe, plat, cm)
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d %v: err %v vs screened %v", seed, cm, refErr, gotErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			if !got.Period.Equal(ref.Period) || got.Mapping.String() != ref.Mapping.String() {
+				t.Fatalf("seed %d %v: screened greedy %v/%v, exact %v/%v",
+					seed, cm, got.Period, got.Mapping, ref.Period, ref.Mapping)
+			}
+		}
+	}
+}
+
+func TestExhaustiveEngineFloatScreenBitIdentical(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		pipe, plat := testProblem(seed)
+		for _, cm := range model.Models() {
+			ref, refErr := ExhaustiveOneToOneEngine(context.Background(),
+				engine.New(engine.Options{Workers: 2}), pipe, plat, cm)
+			got, gotErr := ExhaustiveOneToOneEngine(context.Background(),
+				engine.New(engine.Options{Workers: 2, Backend: cycles.BackendFloatScreen}), pipe, plat, cm)
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d %v: err %v vs screened %v", seed, cm, refErr, gotErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			if !got.Period.Equal(ref.Period) || got.Mapping.String() != ref.Mapping.String() {
+				t.Fatalf("seed %d %v: screened exhaustive %v/%v, exact %v/%v",
+					seed, cm, got.Period, got.Mapping, ref.Period, ref.Mapping)
+			}
+		}
+	}
+}
+
+// TestSequentialWalksIgnoreFloatScreen: the rng-coupled walks (random
+// search, annealing) must visit the identical trajectory on a float-screen
+// engine — screening never applies to them, because skipping an exact
+// evaluation would shift the rng stream and change the result.
+func TestSequentialWalksIgnoreFloatScreen(t *testing.T) {
+	pipe, plat := testProblem(7)
+	exact := engine.New(engine.Options{Workers: 2})
+	screened := engine.New(engine.Options{Workers: 2, Backend: cycles.BackendFloatScreen})
+
+	refR, err := RandomSearchEngine(context.Background(), exact, pipe, plat, model.Overlap, newRng(3), 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := RandomSearchEngine(context.Background(), screened, pipe, plat, model.Overlap, newRng(3), 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotR.Period.Equal(refR.Period) || gotR.Mapping.String() != refR.Mapping.String() {
+		t.Fatalf("random search diverged on a float-screen engine: %v/%v vs %v/%v",
+			gotR.Period, gotR.Mapping, refR.Period, refR.Mapping)
+	}
+
+	refA, err := AnnealEngine(context.Background(), exact, pipe, plat, model.Overlap, newRng(4), AnnealOptions{Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := AnnealEngine(context.Background(), screened, pipe, plat, model.Overlap, newRng(4), AnnealOptions{Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotA.Period.Equal(refA.Period) || gotA.Mapping.String() != refA.Mapping.String() {
+		t.Fatalf("annealing diverged on a float-screen engine: %v/%v vs %v/%v",
+			gotA.Period, gotA.Mapping, refA.Period, refA.Mapping)
+	}
+}

@@ -554,6 +554,12 @@ type SearchResponse struct {
 	// present on every bnb response — zero included — and absent otherwise.
 	Nodes  *int64 `json:"nodes,omitempty"`
 	Pruned *int64 `json:"pruned,omitempty"`
+	// Screened (bnb only) counts leaves the float-screening tier ruled out
+	// without an exact evaluation; always zero unless the request selected
+	// the float-screen backend. Nodes, Pruned, the period and the proven
+	// flag are bit-identical either way — Screened only shows how much
+	// exact arithmetic the screen saved.
+	Screened *int64 `json:"screened,omitempty"`
 }
 
 func (r SearchResponse) backendLabel() string { return r.Backend }
@@ -644,6 +650,8 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 		if exact != nil {
 			proven, nodes, pruned := exact.Proven, exact.Stats.Nodes, exact.Stats.Pruned
 			resp.Proven, resp.Nodes, resp.Pruned = &proven, &nodes, &pruned
+			screened := exact.Stats.Screened
+			resp.Screened = &screened
 		}
 		return resp, nil
 	}, nil

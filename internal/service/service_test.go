@@ -740,3 +740,79 @@ func TestPanickingSolveDoesNotLeakCapacity(t *testing.T) {
 		t.Fatalf("post-panic evaluate returned no period: %+v", got)
 	}
 }
+
+// TestSearchFloatScreenBitIdenticalToExact is the service-level bit-identity
+// gate of the float-screening tier: for every batch search algorithm, a
+// request with backend "float-screen" must return exactly the response the
+// exact default backend returns — same period string, same replica sets,
+// and for bnb the same proven flag and tree counts. Only the screened
+// counter (how the leaves were ruled out) may differ from zero.
+func TestSearchFloatScreenBitIdenticalToExact(t *testing.T) {
+	pipe := mustPipeline(t, []int64{100, 200, 100}, []int64{50, 50})
+	plat := mustPlatform(t)
+	_, ts := newTestServer(t, Options{Workers: 2})
+	for _, algo := range []string{"greedy", "exhaustive", "bnb"} {
+		var exact, screened SearchResponse
+		req := SearchRequest{Pipeline: pipe, Platform: plat, Model: "strict", Algo: algo, Seed: 3}
+		req.Backend = "auto"
+		postJSON(t, ts.URL+"/v1/search", req, &exact)
+		req.Backend = "float-screen"
+		postJSON(t, ts.URL+"/v1/search", req, &screened)
+		if screened.Backend != "float-screen" {
+			t.Fatalf("algo %s: response backend %q", algo, screened.Backend)
+		}
+		if exact.Period != screened.Period || exact.Throughput != screened.Throughput {
+			t.Fatalf("algo %s: exact period %s != screened %s", algo, exact.Period, screened.Period)
+		}
+		if fmt.Sprint(exact.Replicas) != fmt.Sprint(screened.Replicas) {
+			t.Fatalf("algo %s: exact mapping %v != screened %v", algo, exact.Replicas, screened.Replicas)
+		}
+		if algo == "bnb" {
+			if exact.Proven == nil || screened.Proven == nil || *exact.Proven != *screened.Proven {
+				t.Fatalf("proven flag diverged: exact %v screened %v", exact.Proven, screened.Proven)
+			}
+			if *exact.Nodes != *screened.Nodes || *exact.Pruned != *screened.Pruned {
+				t.Fatalf("tree counts diverged: nodes %d/%d pruned %d/%d",
+					*exact.Nodes, *screened.Nodes, *exact.Pruned, *screened.Pruned)
+			}
+			if screened.Screened == nil {
+				t.Fatal("bnb float-screen response missing the screened counter")
+			}
+			if exact.Screened != nil && *exact.Screened != 0 {
+				t.Fatalf("exact-backend bnb reported %d screened leaves", *exact.Screened)
+			}
+		}
+	}
+}
+
+// TestMetricsEnumerateFloatScreenBackend: the per-backend cache series and
+// the per-endpoint/backend latency histograms are sized from
+// cycles.NumBackends, so the float-screen engine must appear on /metrics
+// like any other backend once a request has used it.
+func TestMetricsEnumerateFloatScreenBackend(t *testing.T) {
+	pipe := mustPipeline(t, []int64{100, 200, 100}, []int64{50, 50})
+	plat := mustPlatform(t)
+	_, ts := newTestServer(t, Options{Workers: 2})
+	var got SearchResponse
+	postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pipeline: pipe, Platform: plat, Model: "overlap", Algo: "greedy", Backend: "float-screen",
+	}, &got)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Cache   map[string]json.RawMessage `json:"cache"`
+		Latency map[string]json.RawMessage `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Cache["float-screen"]; !ok {
+		t.Fatalf("no float-screen cache series: %v", m.Cache)
+	}
+	if _, ok := m.Latency["search/float-screen"]; !ok {
+		t.Fatalf("no search/float-screen latency histogram: %v", m.Latency)
+	}
+}

@@ -1,26 +1,37 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into a JSON
 # array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
-# (BENCH_5.json in CI) and enforce the allocation gate: the strict-model
-# Evaluate benchmarks must stay at or below `gate` allocs/op (the PR-2
-# zero-allocation refactor brought them to single digits; see
-# EXPERIMENTS.md). Exits non-zero after the report if the gate is broken.
+# (BENCH_6.json in CI) and enforce two gates:
 #
-# Usage: awk -v gate=12 -f scripts/benchjson.awk bench.txt > BENCH_5.json
+#   * allocation gate — the strict-model Evaluate benchmarks must stay at
+#     or below `gate` allocs/op (the PR-2 zero-allocation refactor brought
+#     them to single digits; see EXPERIMENTS.md);
+#   * leaf-rate gate — BenchmarkBnBLeafRate/screened must rule out leaves
+#     at >= `leafgate` times the rate of BenchmarkBnBLeafRate/exact
+#     (leaves/s custom metric), or the float-screening tier has regressed
+#     into pointless overhead.
+#
+# Exits non-zero after the report if either gate is broken.
+#
+# Usage: awk -v gate=12 -v leafgate=5 -f scripts/benchjson.awk bench.txt > BENCH_6.json
 
 BEGIN {
     n = 0
     fail = 0
     if (gate == "") gate = 12
+    if (leafgate == "") leafgate = 5
+    exactLeafRate = ""
+    screenedLeafRate = ""
 }
 
 /^Benchmark/ && / allocs\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; leafrate = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "leaves/s") leafrate = $i
     }
     n++
     names[n] = name
@@ -29,8 +40,8 @@ BEGIN {
     bop[n] = bytes
     aop[n] = allocs
 
-    # The gate: strict-model Evaluate paths (pooled free function and
-    # reused solver; the fresh-solver case intentionally measures the
+    # The allocation gate: strict-model Evaluate paths (pooled free function
+    # and reused solver; the fresh-solver case intentionally measures the
     # unpooled cost and is exempt).
     if (name == "BenchmarkPeriodStrict/free-function" || name == "BenchmarkPeriodStrict/reused-solver") {
         gated[n] = 1
@@ -39,12 +50,26 @@ BEGIN {
             fail = 1
         }
     }
+
+    # Collect the leaf-rate pair for the screening gate.
+    if (name == "BenchmarkBnBLeafRate/exact") { gated[n] = 1; exactLeafRate = leafrate }
+    if (name == "BenchmarkBnBLeafRate/screened") { gated[n] = 1; screenedLeafRate = leafrate }
 }
 
 END {
     if (n == 0) {
         print "benchjson.awk: no benchmark lines found" > "/dev/stderr"
         exit 1
+    }
+    if (exactLeafRate != "" || screenedLeafRate != "") {
+        if (exactLeafRate == "" || screenedLeafRate == "") {
+            print "GATE FAIL: BenchmarkBnBLeafRate ran only one of exact/screened" > "/dev/stderr"
+            fail = 1
+        } else if (exactLeafRate + 0 <= 0 || screenedLeafRate + 0 < leafgate * (exactLeafRate + 0)) {
+            printf "GATE FAIL: screened leaf rate %s leaves/s is below %sx the exact rate %s leaves/s\n", \
+                screenedLeafRate, leafgate, exactLeafRate > "/dev/stderr"
+            fail = 1
+        }
     }
     print "["
     for (i = 1; i <= n; i++) {
