@@ -329,8 +329,10 @@ func (e *Engine) CacheStats() (hits, misses int64) { return e.eng.CacheStats() }
 func (e *Engine) Workers() int { return e.eng.Workers() }
 
 // Serve runs the batched-evaluation HTTP service on addr until ctx is
-// canceled, then shuts down gracefully. The service exposes /v1/evaluate,
-// /v1/batch, /v1/search, /v1/sweep, /healthz and /metrics; every numeric
+// canceled, then shuts down gracefully. The service exposes /v1/instances
+// (register an instance once and refer to it by content ID in evaluate and
+// batch bodies), /v1/evaluate, /v1/batch, /v1/search, /v1/sweep, /healthz
+// and /metrics; every numeric
 // answer is the exact rational the library computes. logf, when non-nil,
 // receives one "listening on <addr>" line once the listener is bound (pass
 // an addr ending in ":0" to pick a free port). See cmd/serve for the

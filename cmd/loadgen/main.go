@@ -8,19 +8,28 @@
 //
 // Usage:
 //
-//	loadgen -url http://localhost:8080 [-endpoint evaluate] [-workers 4]
-//	        [-rps 0] [-duration 10s] [-model strict] [-backend auto]
-//	        [-reps 2,3] [-instances 64] [-batch 16] [-algo bnb] [-seed 1]
+//	loadgen -url http://localhost:8080 [-endpoint evaluate] [-via inline]
+//	        [-workers 4] [-rps 0] [-duration 10s] [-model strict]
+//	        [-backend auto] [-reps 2,3] [-instances 64] [-batch 16]
+//	        [-algo bnb] [-seed 1]
 //
 // -endpoint search drives /v1/search with randomly generated (pipeline,
 // platform) problems; -algo picks the search algorithm (default bnb, the
 // exact branch and bound — the heaviest per-request workload the service
 // offers).
 //
+// -via store switches evaluate/batch requests to the content-addressed
+// protocol: every instance is registered once via POST /v1/instances before
+// the measurement window opens, and the workload refers to instances by
+// their 64-byte content IDs — the request bodies shrink ~100x and the
+// server's hit path skips all instance parsing and canonical serialization.
+// The summary then includes the server-side cache/store/response-memo
+// deltas scraped from /metrics across the window.
+//
 // -rps 0 runs unthrottled (pure closed loop: measured throughput is the
 // service's capacity at this concurrency). The summary is one JSON object
-// on stdout: request/error counts, achieved RPS and latency quantiles
-// (p50/p95/p99), ready for EXPERIMENTS.md or a dashboard.
+// on stdout: request/error counts, achieved RPS, average request bytes and
+// latency quantiles (p50/p95/p99), ready for EXPERIMENTS.md or a dashboard.
 package main
 
 import (
@@ -63,15 +72,31 @@ func main() {
 
 // Summary is the JSON report printed on stdout.
 type Summary struct {
-	URL             string  `json:"url"`
-	Endpoint        string  `json:"endpoint"`
-	Workers         int     `json:"workers"`
-	TargetRPS       float64 `json:"targetRps"`
-	DurationSeconds float64 `json:"durationSeconds"`
-	Requests        int     `json:"requests"`
-	Errors          int     `json:"errors"`
-	AchievedRPS     float64 `json:"achievedRps"`
-	Latency         LatQ    `json:"latencyMs"`
+	URL             string       `json:"url"`
+	Endpoint        string       `json:"endpoint"`
+	Via             string       `json:"via"`
+	Workers         int          `json:"workers"`
+	TargetRPS       float64      `json:"targetRps"`
+	DurationSeconds float64      `json:"durationSeconds"`
+	Requests        int          `json:"requests"`
+	Errors          int          `json:"errors"`
+	AchievedRPS     float64      `json:"achievedRps"`
+	AvgRequestBytes float64      `json:"avgRequestBytes"`
+	Latency         LatQ         `json:"latencyMs"`
+	Server          *ServerStats `json:"server,omitempty"`
+}
+
+// ServerStats are the server-side counter deltas across the measurement
+// window, scraped from /metrics (omitted when the scrape fails — e.g. a
+// server predating the instance store).
+type ServerStats struct {
+	CacheHits      int64 `json:"cacheHits"`
+	CacheMisses    int64 `json:"cacheMisses"`
+	StoreResolves  int64 `json:"storeResolves"`
+	StoreMisses    int64 `json:"storeMisses"`
+	StoreEntries   int64 `json:"storeEntries"`
+	RespMemoHits   int64 `json:"respMemoHits"`
+	RespMemoMisses int64 `json:"respMemoMisses"`
 }
 
 // LatQ holds latency quantiles in milliseconds.
@@ -97,6 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	instances := fs.Int("instances", 64, "distinct random instances rotated through")
 	batchSize := fs.Int("batch", 16, "tasks per request for -endpoint batch")
 	algo := fs.String("algo", "bnb", "search algorithm for -endpoint search: best, greedy, random, anneal, exhaustive or bnb")
+	via := fs.String("via", "inline", "instance transport for evaluate/batch: inline (full JSON per request) or store (register once, refer by content ID)")
 	seed := fs.Int64("seed", 1, "random seed for the instance population")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,11 +164,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -algo %q (want best, greedy, random, anneal, exhaustive or bnb)", *algo)
 	}
+	switch *via {
+	case "inline":
+	case "store":
+		if *endpoint == "search" {
+			return fmt.Errorf("-via store applies to evaluate/batch only (search carries no instance)")
+		}
+	default:
+		return fmt.Errorf("unknown -via %q (want inline or store)", *via)
+	}
 
-	payloads, err := buildPayloads(*endpoint, rand.New(rand.NewSource(*seed)), reps, *instances, *batchSize, *algo, cm, backend)
+	client := newLoadClient(*workers)
+	base := strings.TrimRight(*baseURL, "/")
+
+	var payloads [][]byte
+	if *via == "store" {
+		// Register the population once, outside the measurement window, then
+		// hammer by ID. Same seed, same generator: the tasks are identical to
+		// the inline form's, only the transport differs.
+		payloads, err = storePayloads(ctx, client, base, *endpoint, rand.New(rand.NewSource(*seed)), reps, *instances, *batchSize, cm, backend)
+	} else {
+		payloads, err = buildPayloads(*endpoint, rand.New(rand.NewSource(*seed)), reps, *instances, *batchSize, *algo, cm, backend)
+	}
 	if err != nil {
 		return err
 	}
+	var payloadBytes int64
+	for _, p := range payloads {
+		payloadBytes += int64(len(p))
+	}
+
+	before, haveBefore := scrapeServerStats(ctx, client, base)
 
 	ctx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
@@ -160,8 +212,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		tokens = ticker.C
 	}
 
-	client := &http.Client{}
-	url := strings.TrimRight(*baseURL, "/") + path
+	url := base + path
 	type workerStats struct {
 		lats []time.Duration
 		errs int
@@ -209,17 +260,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	sum := Summary{
 		URL:             *baseURL,
 		Endpoint:        *endpoint,
+		Via:             *via,
 		Workers:         *workers,
 		TargetRPS:       *rps,
 		DurationSeconds: elapsed.Seconds(),
 		Requests:        len(all) + errs,
 		Errors:          errs,
 		AchievedRPS:     float64(len(all)) / elapsed.Seconds(),
+		AvgRequestBytes: float64(payloadBytes) / float64(len(payloads)),
 		Latency:         quantiles(all),
+	}
+	// The measurement deadline has expired; scrape the post-window counters
+	// on a fresh context.
+	if after, ok := scrapeServerStats(context.WithoutCancel(ctx), client, base); ok && haveBefore {
+		sum.Server = &ServerStats{
+			CacheHits:      after.CacheHits - before.CacheHits,
+			CacheMisses:    after.CacheMisses - before.CacheMisses,
+			StoreResolves:  after.StoreResolves - before.StoreResolves,
+			StoreMisses:    after.StoreMisses - before.StoreMisses,
+			StoreEntries:   after.StoreEntries,
+			RespMemoHits:   after.RespMemoHits - before.RespMemoHits,
+			RespMemoMisses: after.RespMemoMisses - before.RespMemoMisses,
+		}
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(sum)
+}
+
+// newLoadClient builds the measurement client. The default transport keeps
+// only 2 idle connections per host, so any run past -workers 2 tore down
+// and re-dialed TCP on most requests — measuring connection setup, not the
+// service. Size the idle pool to the worker count: a closed loop holds at
+// most one connection per worker.
+func newLoadClient(workers int) *http.Client {
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = workers
+	if transport.MaxIdleConns < workers {
+		transport.MaxIdleConns = workers
+	}
+	return &http.Client{Transport: transport}
 }
 
 // post sends one request and reports success (HTTP 200). The body is
@@ -319,6 +399,112 @@ func buildPayloads(endpoint string, rng *rand.Rand, reps []int, instances, batch
 		payloads = append(payloads, b)
 	}
 	return payloads, nil
+}
+
+// storePayloads builds the -via store workload: the same deterministic
+// instance population as the inline form (same seed, same generator), each
+// registered once via POST /v1/instances, with the request bodies carrying
+// only the returned content IDs.
+func storePayloads(ctx context.Context, client *http.Client, base, endpoint string, rng *rand.Rand, reps []int, instances, batchSize int, cm model.CommModel, backend cycles.Backend) ([][]byte, error) {
+	ids := make([]string, instances)
+	for k := range ids {
+		inst, err := exper.RandomTimedInstance(rng, reps, 5, 15)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(service.InstanceRequest{Instance: inst})
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/instances", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("registering instance %d: %w", k, err)
+		}
+		var reg service.InstanceResponse
+		err = json.NewDecoder(resp.Body).Decode(&reg)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || reg.ID == "" {
+			return nil, fmt.Errorf("registering instance %d: status %d (decode err %v)", k, resp.StatusCode, err)
+		}
+		ids[k] = reg.ID
+	}
+	var payloads [][]byte
+	if endpoint == "evaluate" {
+		for _, id := range ids {
+			b, err := json.Marshal(service.EvaluateRequest{InstanceID: id, Model: cm.String(), Backend: backend.String()})
+			if err != nil {
+				return nil, err
+			}
+			payloads = append(payloads, b)
+		}
+		return payloads, nil
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("-batch must be >= 1 (got %d)", batchSize)
+	}
+	for at := 0; at < len(ids); at += batchSize {
+		end := at + batchSize
+		if end > len(ids) {
+			end = len(ids)
+		}
+		req := service.BatchRequest{Backend: backend.String()}
+		for _, id := range ids[at:end] {
+			req.Tasks = append(req.Tasks, service.BatchTask{InstanceID: id, Model: cm.String()})
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, b)
+	}
+	return payloads, nil
+}
+
+// scrapeServerStats pulls the cache/store/response-memo counters from
+// /metrics; ok is false when the scrape fails (the summary then omits the
+// server block rather than failing the run).
+func scrapeServerStats(ctx context.Context, client *http.Client, base string) (ServerStats, bool) {
+	var out ServerStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return out, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return out, false
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Cache map[string]struct {
+			Hits, Misses int64
+		} `json:"cache"`
+		Store struct {
+			Resolves, Misses, Entries int64
+		} `json:"store"`
+		RespMemo *struct {
+			Hits, Misses int64
+		} `json:"respMemo"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&m) != nil {
+		return out, false
+	}
+	for _, c := range m.Cache {
+		out.CacheHits += c.Hits
+		out.CacheMisses += c.Misses
+	}
+	out.StoreResolves = m.Store.Resolves
+	out.StoreMisses = m.Store.Misses
+	out.StoreEntries = m.Store.Entries
+	if m.RespMemo != nil {
+		out.RespMemoHits = m.RespMemo.Hits
+		out.RespMemoMisses = m.RespMemo.Misses
+	}
+	return out, true
 }
 
 // quantiles computes exact latency quantiles from the recorded samples.

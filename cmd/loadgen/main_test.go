@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -126,5 +127,72 @@ func TestLoadgenBadAlgo(t *testing.T) {
 	err := run(context.Background(), []string{"-url", "http://x", "-endpoint", "search", "-algo", "oracle"}, &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "unknown -algo") {
 		t.Fatalf("bad -algo error = %v", err)
+	}
+}
+
+func TestLoadgenViaFlagErrors(t *testing.T) {
+	for _, c := range []struct{ name, via, endpoint, want string }{
+		{"unknown via", "teleport", "evaluate", "unknown -via"},
+		{"store with search", "store", "search", "-via store applies to evaluate/batch only"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), []string{"-url", "http://x", "-endpoint", c.endpoint, "-via", c.via}, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestLoadClientIdlePool is the connection-churn regression test: the
+// measurement client must keep one idle connection per worker, where the
+// default transport's per-host limit of 2 forced every worker past the
+// second to re-dial TCP on most requests.
+func TestLoadClientIdlePool(t *testing.T) {
+	client := newLoadClient(16)
+	tr, ok := client.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T, want *http.Transport", client.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != 16 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want the worker count 16", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < 16 {
+		t.Fatalf("MaxIdleConns = %d, below the worker count", tr.MaxIdleConns)
+	}
+	if http.DefaultTransport.(*http.Transport).MaxIdleConnsPerHost != 0 {
+		t.Fatal("newLoadClient mutated http.DefaultTransport")
+	}
+}
+
+// TestLoadgenStoreMode drives the by-ID protocol end to end: instances are
+// registered once, the window hammers content IDs, and the summary carries
+// the server-side deltas proving the hits were served by the response memo.
+func TestLoadgenStoreMode(t *testing.T) {
+	// -reps 8,8,8 makes the inline instance body a few KB so the transport
+	// sizes are meaningfully apart; a 2x2 population serializes to ~100
+	// bytes, the same order as a content ID.
+	sum := runAgainst(t, "-model", "overlap", "-via", "store", "-reps", "8,8,8")
+	if sum.Requests == 0 || sum.Errors != 0 {
+		t.Fatalf("store-mode run: %+v", sum)
+	}
+	if sum.Via != "store" {
+		t.Fatalf("summary via %q", sum.Via)
+	}
+	// A by-ID evaluate body is the 64-hex content ID plus model and backend,
+	// independent of the instance size.
+	if sum.AvgRequestBytes <= 0 || sum.AvgRequestBytes > 200 {
+		t.Fatalf("by-ID avgRequestBytes = %.0f, want a small ID-sized body", sum.AvgRequestBytes)
+	}
+	if sum.Server == nil {
+		t.Fatal("store-mode summary lacks the server stats block")
+	}
+	if sum.Server.StoreEntries == 0 || sum.Server.RespMemoHits == 0 {
+		t.Fatalf("server stats %+v: want registered entries and response-memo hits", sum.Server)
+	}
+	inline := runAgainst(t, "-model", "overlap", "-reps", "8,8,8")
+	if inline.Via != "inline" || inline.AvgRequestBytes < 5*sum.AvgRequestBytes {
+		t.Fatalf("inline avgRequestBytes %.0f vs by-ID %.0f: inline should dwarf the ID form", inline.AvgRequestBytes, sum.AvgRequestBytes)
 	}
 }

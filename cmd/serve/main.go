@@ -8,12 +8,17 @@
 //
 //	serve [-addr :8080] [-workers 0] [-cache-entries 0] [-inflight 0]
 //	      [-timeout 60s] [-maxrows 0] [-backend auto]
+//	      [-store-entries 0] [-respmemo-entries 0]
 //
 // -workers sizes each backend's engine pool (0 = GOMAXPROCS).
 // -cache-entries bounds each engine's memo cache (0 = default 32768,
 // negative disables memoization). -inflight caps concurrent solve requests
 // (0 = 2x workers). -backend sets the cycle-ratio engine used by requests
 // that do not name one; every backend returns identical exact results.
+// -store-entries bounds the content-addressed instance store behind
+// POST /v1/instances (0 = default 4096). -respmemo-entries bounds the
+// encoded-response memo that serves repeat evaluate hits without touching
+// a solver or encoder (0 = default 8192, negative disables).
 //
 // Example:
 //
@@ -65,6 +70,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request wall-clock ceiling")
 	maxRows := fs.Int("maxrows", 0, "unfolded-TPN row cap of the pooled solvers (0 = package default)")
 	backendName := fs.String("backend", "auto", "default cycle-ratio backend for requests that omit one: auto, karp, howard or float-screen")
+	storeEntries := fs.Int("store-entries", 0, "instance-store bound for POST /v1/instances (0 = default 4096)")
+	respEntries := fs.Int("respmemo-entries", 0, "encoded-response memo bound (0 = default 8192, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,12 +83,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	opts := service.Options{
-		Workers:        *workers,
-		CacheEntries:   *cacheEntries,
-		MaxRows:        *maxRows,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *timeout,
-		DefaultBackend: backend,
+		Workers:          *workers,
+		CacheEntries:     *cacheEntries,
+		MaxRows:          *maxRows,
+		MaxInFlight:      *inflight,
+		RequestTimeout:   *timeout,
+		DefaultBackend:   backend,
+		StoreEntries:     *storeEntries,
+		RespCacheEntries: *respEntries,
 	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 	if err := service.Serve(ctx, *addr, opts, logf); err != nil {

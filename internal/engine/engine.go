@@ -148,14 +148,16 @@ type CacheMetrics struct {
 	Capacity int
 }
 
-// CacheMetrics snapshots the cache counters. The snapshot is approximate
-// under concurrency (counters are read independently) but each number is
-// individually exact.
+// CacheMetrics snapshots the cache counters. Entries and Evictions are read
+// per shard under that shard's lock, and within a shard both only change
+// under the same lock, so the derived insert total (Entries + Evictions) is
+// monotone across snapshots — a scrape can never observe an eviction whose
+// insert it has not also observed. Hits and Misses are monotone atomics, so
+// their sum is monotone too; no scraped total ever goes backwards.
 func (e *Engine) CacheMetrics() CacheMetrics {
 	m := CacheMetrics{Hits: e.hits.Load(), Misses: e.misses.Load()}
 	if e.cache != nil {
-		m.Evictions = e.cache.evictions.Load()
-		m.Entries = e.cache.count.Load()
+		m.Entries, m.Evictions = e.cache.metrics()
 		m.Capacity = e.cache.cap
 	}
 	return m
@@ -166,6 +168,18 @@ func (e *Engine) CacheMetrics() CacheMetrics {
 // the way. The service layer coalesces concurrent identical requests on this
 // key.
 func CanonicalKey(t Task) (hash uint64, key string) { return canonicalKey(t) }
+
+// InstanceKey is the model-independent half of the canonical key: the exact
+// serialization of an instance's replication structure and operation times,
+// plus its 64-bit FNV-1a hash. Two instances with equal InstanceKey strings
+// are interchangeable in every evaluation under every model — it is the
+// content address the instance store registers instances under.
+func InstanceKey(inst *model.Instance) (hash uint64, key string) {
+	k := keyHasher{h: fnvOffset64}
+	k.b.Grow(16 * inst.NumStages() * inst.MaxReplication())
+	writeInstanceKey(&k, inst)
+	return k.h, k.b.String()
+}
 
 // Task is one period evaluation: an instance under a communication model.
 type Task struct {
@@ -462,10 +476,18 @@ func (k *keyHasher) writeByte(c byte) {
 // period.
 func canonicalKey(t Task) (uint64, string) {
 	inst := t.Inst
-	n := inst.NumStages()
 	k := keyHasher{h: fnvOffset64}
-	k.b.Grow(16 * n * inst.MaxReplication())
+	k.b.Grow(16*inst.NumStages()*inst.MaxReplication() + 2)
 	k.writeString(strconv.Itoa(int(t.Model)))
+	writeInstanceKey(&k, inst)
+	return k.h, k.b.String()
+}
+
+// writeInstanceKey appends the instance-content part of the canonical key:
+// the replication vector (implied by the separators) and the exact operation
+// times, in a fixed order.
+func writeInstanceKey(k *keyHasher, inst *model.Instance) {
+	n := inst.NumStages()
 	for i := 0; i < n; i++ {
 		k.writeByte('|')
 		for a := 0; a < inst.Replication(i); a++ {
@@ -482,7 +504,6 @@ func canonicalKey(t Task) (uint64, string) {
 			}
 		}
 	}
-	return k.h, k.b.String()
 }
 
 // memoShardCount is the number of independent cache shards. 64 shards keep
@@ -499,23 +520,24 @@ const memoShardCount = 64
 // same Result a fresh computation would, so cache state never affects what
 // a batch returns.
 type memoCache struct {
-	cap       int
-	count     atomic.Int64 // total entries across shards
-	evictions atomic.Int64 // total CLOCK replacements across shards
-	shards    [memoShardCount]memoShard
+	cap    int
+	shards [memoShardCount]memoShard
 }
 
 // memoShard is one CLOCK ring: entries live in fixed slots of a quota-bound
 // slice, index maps each 64-bit key hash to the slots holding it (a tiny
 // chain, so a full-hash collision still resolves by string compare), and
 // hand is the CLOCK pointer that sweeps slots looking for an unreferenced
-// victim.
+// victim. evictions lives on the shard — not in a cache-global atomic — so a
+// metrics snapshot can read it and len(entries) under one lock acquisition
+// and never observe the counters mid-replacement.
 type memoShard struct {
-	mu      sync.RWMutex
-	index   map[uint64][]int32
-	entries []memoEntry
-	quota   int32 // max len(entries) for this shard
-	hand    int32
+	mu        sync.RWMutex
+	index     map[uint64][]int32
+	entries   []memoEntry
+	quota     int32 // max len(entries) for this shard
+	hand      int32
+	evictions int64 // CLOCK replacements, guarded by mu
 	// pad the shards apart so neighboring shard locks do not false-share a
 	// cache line.
 	_ [4]uint64
@@ -579,7 +601,6 @@ func (c *memoCache) put(h uint64, k string, res core.Result) {
 		e.hash, e.key, e.res = h, k, res
 		e.ref.Store(true)
 		sh.index[h] = append(sh.index[h], slot)
-		c.count.Add(1)
 		return
 	}
 	// Quota full: advance the CLOCK hand, clearing reference bits, until a
@@ -596,9 +617,26 @@ func (c *memoCache) put(h uint64, k string, res core.Result) {
 		e.hash, e.key, e.res = h, k, res
 		e.ref.Store(true)
 		sh.index[h] = append(sh.index[h], victim)
-		c.evictions.Add(1)
+		sh.evictions++
 		return
 	}
+}
+
+// metrics sums entries and evictions across the shards, reading each shard
+// under its lock. Entry slots are only appended (CLOCK replaces in place),
+// and evictions only increment under the same lock, so each shard's
+// contribution to entries+evictions — its cumulative insert count — is
+// internally consistent and monotone; the cross-shard sum of monotone terms
+// is monotone.
+func (c *memoCache) metrics() (entries, evictions int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		entries += int64(len(sh.entries))
+		evictions += sh.evictions
+		sh.mu.RUnlock()
+	}
+	return entries, evictions
 }
 
 // dropFromIndex removes one slot from the hash's chain (swap-remove; the
@@ -620,4 +658,7 @@ func (sh *memoShard) dropFromIndex(h uint64, slot int32) {
 }
 
 // size returns the total number of cached entries (tests only).
-func (c *memoCache) size() int { return int(c.count.Load()) }
+func (c *memoCache) size() int {
+	entries, _ := c.metrics()
+	return int(entries)
+}

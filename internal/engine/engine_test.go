@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strconv"
@@ -294,7 +295,7 @@ func TestMemoCacheClockEviction(t *testing.T) {
 	if got := len(sh.entries); got != 2 {
 		t.Fatalf("shard holds %d entries, quota 2", got)
 	}
-	if ev := c.evictions.Load(); ev != 8 {
+	if _, ev := c.metrics(); ev != 8 {
 		t.Fatalf("evictions = %d, want 8", ev)
 	}
 	// The last insert is resident and correct.
@@ -386,6 +387,88 @@ func TestEngineMaxRowsOption(t *testing.T) {
 	}
 	if !got.Period.Equal(want.Period) {
 		t.Fatalf("capped-engine period %v != default %v", got.Period, want.Period)
+	}
+}
+
+func TestInstanceKeyIsModelFreeSuffixOfCanonicalKey(t *testing.T) {
+	// The store content-addresses instances by InstanceKey; the task key of
+	// every model must be the model prefix plus exactly that content string,
+	// so the two serializations cannot drift apart.
+	rng := rand.New(rand.NewSource(9))
+	inst := randomInstance(t, rng, []int{2, 3, 2}, 5, 15)
+	_, content := InstanceKey(inst)
+	if content == "" {
+		t.Fatal("empty instance key")
+	}
+	for _, cm := range model.Models() {
+		_, task := canonicalKey(Task{Inst: inst, Model: cm})
+		if want := strconv.Itoa(int(cm)) + content; task != want {
+			t.Fatalf("model %s: task key is not model prefix + instance content", cm)
+		}
+	}
+	h1, k1 := InstanceKey(inst)
+	h2, k2 := InstanceKey(inst)
+	if h1 != h2 || k1 != k2 {
+		t.Fatal("InstanceKey not stable")
+	}
+	other := randomInstance(t, rng, []int{2, 3, 2}, 5, 15)
+	if _, k3 := InstanceKey(other); k3 == k1 {
+		t.Fatal("distinct instances collided (times differ with probability ~1)")
+	}
+}
+
+// TestCacheMetricsConsistentUnderConcurrentScrapes is the /metrics
+// consistency regression test (run under -race in CI): while batches churn a
+// deliberately tiny cache through constant eviction, every scrape must see
+// monotone lookup (hits+misses) and insert (entries+evictions) totals, and
+// an entry count within the bound. Before evictions moved under the shard
+// locks, a scrape could observe an eviction without its insert and the
+// derived totals went backwards between scrapes.
+func TestCacheMetricsConsistentUnderConcurrentScrapes(t *testing.T) {
+	eng := New(Options{Workers: 2, CacheEntries: 8})
+	tasks := randomTasks(t, 23, 96)
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	var scrapeErr atomic.Value
+	go func() {
+		defer close(done)
+		var lastLookups, lastInserts int64
+		for i := 0; ; i++ {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			m := eng.CacheMetrics()
+			lookups := m.Hits + m.Misses
+			inserts := m.Entries + m.Evictions
+			if lookups < lastLookups {
+				scrapeErr.Store(fmt.Sprintf("scrape %d: hits+misses went backwards (%d -> %d)", i, lastLookups, lookups))
+				return
+			}
+			if inserts < lastInserts {
+				scrapeErr.Store(fmt.Sprintf("scrape %d: entries+evictions went backwards (%d -> %d)", i, lastInserts, inserts))
+				return
+			}
+			if m.Entries > int64(m.Capacity) {
+				scrapeErr.Store(fmt.Sprintf("scrape %d: %d entries over capacity %d", i, m.Entries, m.Capacity))
+				return
+			}
+			lastLookups, lastInserts = lookups, inserts
+		}
+	}()
+	for round := 0; round < 6; round++ {
+		if _, err := eng.EvaluateBatch(context.Background(), tasks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(quit)
+	<-done
+	if msg := scrapeErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if m := eng.CacheMetrics(); m.Evictions == 0 {
+		t.Fatalf("workload of %d tasks over an 8-entry cache produced no evictions", len(tasks))
 	}
 }
 

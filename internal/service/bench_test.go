@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchResponseWriter is a minimal ResponseWriter so the benchmark measures
+// the serving stack, not httptest's recorder bookkeeping.
+type benchResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *benchResponseWriter) Header() http.Header         { return w.h }
+func (w *benchResponseWriter) WriteHeader(code int)        { w.status = code }
+func (w *benchResponseWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// BenchmarkServeHitPath measures the full in-process request path of a
+// hit-dominated /v1/evaluate workload — the steady state a loadgen run
+// converges to — in its two request forms:
+//
+//   - by-id: the body carries a 64-byte content ID; the canonical task key
+//     is a precomputed field load and the response comes straight from the
+//     response-bytes memo.
+//   - inline: the body carries the full instance JSON, re-parsed and
+//     re-serialized to its canonical key on every request before the same
+//     memo lookup.
+//
+// The by-id/inline ns-per-op ratio is the measured value of the
+// content-addressed protocol (gated in scripts/benchjson.awk, along with
+// the by-id allocation count).
+func BenchmarkServeHitPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst := randomTimedInstance(b, rng, []int{8, 8})
+	s := NewServer(Options{Workers: 1})
+	handler := s.Handler()
+
+	run := func(path string, payload []byte) (status int, body int) {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(payload))
+		w := &benchResponseWriter{h: make(http.Header)}
+		handler.ServeHTTP(w, req)
+		return w.status, w.n
+	}
+
+	regPayload, err := json.Marshal(InstanceRequest{Instance: inst})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if status, _ := run("/v1/instances", regPayload); status != http.StatusOK {
+		b.Fatalf("register: status %d", status)
+	}
+	var reg InstanceResponse
+	{
+		req := httptest.NewRequest(http.MethodPost, "/v1/instances", bytes.NewReader(regPayload))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if err := json.Unmarshal(rec.Body.Bytes(), &reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	forms := []struct {
+		name    string
+		request EvaluateRequest
+	}{
+		{"by-id", EvaluateRequest{InstanceID: reg.ID, Model: "overlap"}},
+		{"inline", EvaluateRequest{Instance: inst, Model: "overlap"}},
+	}
+	for _, form := range forms {
+		payload, err := json.Marshal(form.request)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the solve and the response memo: every timed iteration is a
+		// pure hit.
+		if status, _ := run("/v1/evaluate", payload); status != http.StatusOK {
+			b.Fatalf("%s warm-up: status %d", form.name, status)
+		}
+		b.Run(form.name, func(b *testing.B) {
+			req := httptest.NewRequest(http.MethodPost, "/v1/evaluate", bytes.NewReader(nil))
+			rd := bytes.NewReader(payload)
+			body := io.NopCloser(rd)
+			w := &benchResponseWriter{h: make(http.Header)}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rd.Reset(payload)
+				req.Body = body
+				w.status, w.n = 0, 0
+				handler.ServeHTTP(w, req)
+				if w.status != http.StatusOK {
+					b.Fatalf("iteration %d: status %d", i, w.status)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// ---- /v1/instances ----
+
+// InstanceRequest registers an instance with the content-addressed store.
+type InstanceRequest struct {
+	Instance *model.Instance `json:"instance"`
+}
+
+// InstanceResponse answers a registration (POST) or lookup (GET). The ID is
+// the hex SHA-256 of the canonical content serialization: the same timed
+// structure registers under the same ID from any client, on any node, across
+// restarts — which is exactly what a consistent-hash router shards on.
+type InstanceResponse struct {
+	ID string `json:"id"`
+	// Created reports whether this registration inserted a new entry (false:
+	// the content was already resident and the ID refers to it).
+	Created bool `json:"created"`
+	// CanonicalKey is the model-independent canonical serialization the ID
+	// addresses (replication structure plus exact operation times) — returned
+	// on registration so a client can verify what it registered; omitted on
+	// GET, where Instance carries the content itself.
+	CanonicalKey string `json:"canonicalKey,omitempty"`
+	// Stages and PathCount summarize the registered structure.
+	Stages    int   `json:"stages"`
+	PathCount int64 `json:"pathCount"`
+	// Instance echoes the stored content on GET lookups.
+	Instance *model.Instance `json:"instance,omitempty"`
+}
+
+// handleInstancePost registers an instance: POST /v1/instances with
+// {"instance": {...}} answers the stable content ID. Registering the same
+// content twice is an idempotent dedup, not an error.
+func (s *Server) handleInstancePost(w http.ResponseWriter, r *http.Request) {
+	const name = "instances"
+	s.met.requests.Add(name, 1)
+	if r.Method != http.MethodPost {
+		s.fail(w, name, http.StatusMethodNotAllowed, "/v1/instances requires POST (GET /v1/instances/{id} looks up)")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var req InstanceRequest
+	if err := decode(r, &req); err != nil {
+		s.failErr(w, name, err)
+		return
+	}
+	if req.Instance == nil {
+		s.failErr(w, name, badRequest("missing \"instance\""))
+		return
+	}
+	ent, created, err := s.store.Put(req.Instance)
+	if err != nil {
+		// ErrFull: every resident entry is pinned by an in-flight request —
+		// a transient overload, so tell the client to retry, like a full
+		// solve queue.
+		s.fail(w, name, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	inst := ent.Instance()
+	_, content := ent.TaskKey(model.Overlap)
+	writeJSON(w, http.StatusOK, InstanceResponse{
+		ID:      ent.ID(),
+		Created: created,
+		// The overlap task key is model prefix + content; strip the prefix to
+		// hand back the model-free canonical serialization the ID hashes.
+		CanonicalKey: strings.TrimPrefix(content, overlapKeyPrefix),
+		Stages:       inst.NumStages(),
+		PathCount:    inst.PathCount(),
+	})
+}
+
+// overlapKeyPrefix is the model prefix engine.CanonicalKey prepends to the
+// content serialization for the overlap model (model.Overlap == 0).
+const overlapKeyPrefix = "0"
+
+// handleInstanceGet looks a registration up: GET /v1/instances/{id} echoes
+// the stored instance, 404 when the ID is unknown (never registered, or
+// evicted by store pressure — re-register to restore it).
+func (s *Server) handleInstanceGet(w http.ResponseWriter, r *http.Request) {
+	const name = "instances"
+	s.met.requests.Add(name, 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, name, http.StatusMethodNotAllowed, "/v1/instances/{id} requires GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/instances/")
+	if id == "" || strings.Contains(id, "/") {
+		s.failErr(w, name, badRequest("bad instance path %q (want /v1/instances/{id})", r.URL.Path))
+		return
+	}
+	ent, ok := s.store.Resolve(id)
+	if !ok {
+		s.failErr(w, name, notFound("unknown instance ID %q (expired or never registered; POST /v1/instances to register)", id))
+		return
+	}
+	defer ent.Release()
+	inst := ent.Instance()
+	writeJSON(w, http.StatusOK, InstanceResponse{
+		ID:        ent.ID(),
+		Created:   false,
+		Stages:    inst.NumStages(),
+		PathCount: inst.PathCount(),
+		Instance:  inst,
+	})
+}
+
+// resolveInstance resolves a by-ID reference for a solve request: the entry
+// comes back pinned (the caller owes one Release once the request finishes)
+// so store eviction cannot recycle it mid-solve.
+func (s *Server) resolveInstance(id string) (*store.Entry, error) {
+	ent, ok := s.store.Resolve(id)
+	if !ok {
+		return nil, notFound("unknown instance ID %q (expired or never registered; POST /v1/instances to register)", id)
+	}
+	return ent, nil
+}

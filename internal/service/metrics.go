@@ -139,7 +139,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "%q: {\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"capacity\":%d}",
 			cycles.Backend(i).String(), cm.Hits, cm.Misses, cm.Evictions, cm.Entries, cm.Capacity)
 	}
-	b.WriteString("},\n\"latency\": {")
+	b.WriteString("},\n")
+	sm := s.store.Metrics()
+	fmt.Fprintf(&b, "\"store\": {\"puts\":%d,\"dedups\":%d,\"resolves\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"pinned\":%d,\"capacity\":%d},\n",
+		sm.Puts, sm.Dedups, sm.Resolves, sm.Misses, sm.Evictions, sm.Entries, sm.Pinned, sm.Capacity)
+	b.WriteString("\"respMemo\": ")
+	if s.resp != nil {
+		rm := s.resp.metrics()
+		fmt.Fprintf(&b, "{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"capacity\":%d}",
+			rm.Hits, rm.Misses, rm.Evictions, rm.Entries, rm.Capacity)
+	} else {
+		b.WriteString("null")
+	}
+	b.WriteString(",\n\"latency\": {")
 	s.met.mu.Lock()
 	keys := make([]string, 0, len(s.met.hists))
 	for k := range s.met.hists {

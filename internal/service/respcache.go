@@ -1,0 +1,130 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultRespEntries bounds the response memo when Options leave it zero.
+// Bodies are a few hundred bytes each, so the default costs a couple of MiB
+// while covering far more distinct (instance, model, backend, options)
+// combinations than a steady-state workload rotates through.
+const defaultRespEntries = 8192
+
+// respCache memoizes fully-encoded /v1/evaluate response bodies keyed by
+// (backend, canonical task key, request options). A hit serves pre-encoded
+// bytes with zero solver, simulator or encoder work — and without taking an
+// in-flight slot, since nothing left to bound. Residency is CLOCK-bounded
+// like the engine memo cache; entries are immutable byte slices so reads
+// need no copy.
+//
+// Only self-computed responses are stored: a coalesced answer (shared from
+// another caller's flight) is already served from that flight's memory and
+// carries the "coalesced" marker, which must not be replayed to future
+// callers.
+//
+// Metrics follow the same consistency contract as the engine cache: the
+// mutating counters live under the cache mutex and metrics() snapshots them
+// in one acquisition, so Entries+Evictions (cumulative inserts) is monotone
+// across scrapes.
+type respCache struct {
+	capacity int
+
+	mu        sync.RWMutex
+	byKey     map[string]int32 // key -> slot
+	entries   []*respEntry     // fixed slots; the CLOCK ring
+	hand      int32
+	evictions int64 // guarded by mu
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type respEntry struct {
+	key  string
+	body []byte      // immutable once inserted
+	ref  atomic.Bool // CLOCK reference bit
+}
+
+func newRespCache(capacity int) *respCache {
+	if capacity <= 0 {
+		capacity = defaultRespEntries
+	}
+	return &respCache{
+		capacity: capacity,
+		byKey:    make(map[string]int32, capacity),
+		entries:  make([]*respEntry, 0, capacity),
+	}
+}
+
+// get returns the memoized body for key. The returned slice is shared and
+// must not be mutated.
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slot, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := c.entries[slot]
+	e.ref.Store(true)
+	c.hits.Add(1)
+	return e.body, true
+}
+
+// put memoizes body under key, copying it (the caller's buffer is pooled).
+// A concurrent first-fill wins; losing fills are dropped, keeping one body
+// per key so repeat hits are byte-stable.
+func (c *respCache) put(key string, body []byte) {
+	owned := make([]byte, len(body))
+	copy(owned, body)
+	ent := &respEntry{key: key, body: owned}
+	ent.ref.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, ent)
+		c.byKey[key] = int32(len(c.entries) - 1)
+		return
+	}
+	// CLOCK sweep: clear reference bits until an unreferenced slot turns up.
+	// Two revolutions guarantee a victim (no pins here — bodies are served
+	// inside the read lock, never held across requests).
+	for {
+		victim := c.hand
+		cand := c.entries[victim]
+		c.hand = (c.hand + 1) % int32(len(c.entries))
+		if cand.ref.CompareAndSwap(true, false) {
+			continue
+		}
+		delete(c.byKey, cand.key)
+		c.entries[victim] = ent
+		c.byKey[key] = victim
+		c.evictions++
+		return
+	}
+}
+
+// respMetrics is a consistent point-in-time snapshot of the memo.
+type respMetrics struct {
+	Hits, Misses, Evictions, Entries int64
+	Capacity                         int
+}
+
+// metrics snapshots the counters; Entries and Evictions are read in one
+// lock acquisition so Entries+Evictions never decreases between scrapes.
+func (c *respCache) metrics() respMetrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return respMetrics{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions,
+		Entries:   int64(len(c.entries)),
+		Capacity:  c.capacity,
+	}
+}

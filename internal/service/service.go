@@ -31,9 +31,20 @@
 //     of a batch/search; an individual period computation is a tight exact
 //     numeric kernel and always runs to completion — bound its size with
 //     MaxRows, not the clock.
+//
+//   - Content addressing. POST /v1/instances registers an instance under
+//     its content ID (internal/store; SHA-256 of the canonical
+//     serialization), and evaluate/batch bodies may carry "instanceId"
+//     instead of the inline instance: requests shrink ~20x and the server
+//     resolves the ID to precomputed task keys, doing zero per-request
+//     serialization. A bounded response memo one tier above the engine
+//     cache serves repeat evaluate hits as pre-encoded bytes — no solver,
+//     no encoder, and no in-flight slot. By-ID, inline, memo-hit and
+//     memo-miss responses are byte-identical (gated on the Table 2 grid).
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,6 +53,8 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -53,6 +66,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Options configures a Server. The zero value serves with a GOMAXPROCS
@@ -83,6 +97,15 @@ type Options struct {
 	// DefaultBackend serves requests whose "backend" field is empty
 	// (cmd/serve's -backend flag; zero value is BackendAuto).
 	DefaultBackend cycles.Backend
+	// StoreEntries bounds the content-addressed instance store behind
+	// POST /v1/instances (0 = store.DefaultCapacity). The store cannot be
+	// disabled: it is pure capacity, holding nothing until a client
+	// registers.
+	StoreEntries int
+	// RespCacheEntries bounds the response-bytes memo that serves repeat
+	// /v1/evaluate hits as pre-encoded bytes (0 = the package default,
+	// negative disables the memo — every response is encoded fresh).
+	RespCacheEntries int
 }
 
 func (o *Options) defaults() {
@@ -114,16 +137,22 @@ type Server struct {
 	sem     chan struct{}                // in-flight solve budget
 	met     *metrics
 	flights flightGroup
+	store   *store.Store // content-addressed instances (POST /v1/instances)
+	resp    *respCache   // pre-encoded /v1/evaluate bodies; nil when disabled
 }
 
 // NewServer builds a server and its routes.
 func NewServer(opts Options) *Server {
 	opts.defaults()
 	s := &Server{
-		opts: opts,
-		mux:  http.NewServeMux(),
-		sem:  make(chan struct{}, opts.MaxInFlight),
-		met:  newMetrics(),
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, opts.MaxInFlight),
+		met:   newMetrics(),
+		store: store.New(opts.StoreEntries),
+	}
+	if opts.RespCacheEntries >= 0 {
+		s.resp = newRespCache(opts.RespCacheEntries)
 	}
 	for b := range s.engines {
 		s.engines[b] = engine.New(engine.Options{
@@ -137,6 +166,8 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/v1/batch", s.solveEndpoint("batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/search", s.solveEndpoint("search", s.handleSearch))
 	s.mux.HandleFunc("/v1/sweep", s.solveEndpoint("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/instances", s.handleInstancePost)
+	s.mux.HandleFunc("/v1/instances/", s.handleInstanceGet)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -151,6 +182,10 @@ func (s *Server) Workers() int { return s.opts.Workers }
 // engine returns the engine serving the given backend.
 func (s *Server) engine(b cycles.Backend) *engine.Engine { return s.engines[b] }
 
+// Store exposes the content-addressed instance store (tests pin entries
+// through it; cmd/serve reports its capacity).
+func (s *Server) Store() *store.Store { return s.store }
+
 // httpError is an error with a dedicated HTTP status.
 type httpError struct {
 	status int
@@ -163,17 +198,42 @@ func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+func notFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
 // solveFunc is the compute half of a solve request, produced by a handler
 // after it has fully parsed and validated the body.
 type solveFunc func(ctx context.Context) (any, error)
+
+// reply is a handler's parse-phase verdict: either pre-encoded bytes ready
+// to serve (raw — the response-memo hit path, which never takes an in-flight
+// slot because there is no work left to bound) or a solveFunc to run under
+// the in-flight budget.
+type reply struct {
+	solve solveFunc
+	// raw, when non-nil, is a complete pre-encoded response body; backend
+	// labels its latency-histogram bucket.
+	raw     []byte
+	backend string
+	// cache, when set, is offered the encoded body after a successful solve
+	// so the handler can memoize it (the slice is pooled scratch — the
+	// callee must copy).
+	cache func(resp any, body []byte)
+	// cleanup always runs when the request finishes, error paths included —
+	// by-ID handlers release their store pins here.
+	cleanup func()
+}
 
 // solveEndpoint wraps a solve handler with everything every solve route
 // shares: POST-only, body limit, request timeout, the in-flight budget,
 // request/error counters and the latency histogram. The handler runs in
 // two phases — parse (h, before any budget is taken, so a slow-sending
 // client cannot occupy solve capacity with body reads) and solve (the
-// returned solveFunc, under the in-flight semaphore).
-func (s *Server) solveEndpoint(name string, h func(r *http.Request) (solveFunc, error)) http.HandlerFunc {
+// returned solveFunc, under the in-flight semaphore). A handler that
+// resolves the whole answer at parse time (the response memo) returns it as
+// raw bytes and skips the budget entirely.
+func (s *Server) solveEndpoint(name string, h func(r *http.Request) (reply, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.met.requests.Add(name, 1)
 		if r.Method != http.MethodPost {
@@ -183,9 +243,18 @@ func (s *Server) solveEndpoint(name string, h func(r *http.Request) (solveFunc, 
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
-		solve, err := h(r)
+		start := time.Now()
+		rep, err := h(r)
+		if rep.cleanup != nil {
+			defer rep.cleanup()
+		}
 		if err != nil {
 			s.failErr(w, name, err)
+			return
+		}
+		if rep.raw != nil {
+			s.met.observe(name, rep.backend, time.Since(start))
+			writeRaw(w, http.StatusOK, rep.raw)
 			return
 		}
 		// The worker budget: wait for a slot on the request's own clock.
@@ -214,16 +283,27 @@ func (s *Server) solveEndpoint(name string, h func(r *http.Request) (solveFunc, 
 			<-s.sem
 		}
 		defer release()
-		start := time.Now()
-		resp, err := runSolve(solve, ctx)
-		elapsed := time.Since(start)
+		solveStart := time.Now()
+		resp, err := runSolve(rep.solve, ctx)
+		elapsed := time.Since(solveStart)
 		release()
 		if err != nil {
 			s.failErr(w, name, err)
 			return
 		}
 		s.met.observe(name, backendLabelOf(resp), elapsed)
-		writeJSON(w, http.StatusOK, resp)
+		sc := encPool.Get().(*encScratch)
+		sc.buf.Reset()
+		if err := sc.enc.Encode(resp); err != nil {
+			encPool.Put(sc)
+			s.fail(w, name, http.StatusInternalServerError, fmt.Sprintf("encoding response: %v", err))
+			return
+		}
+		if rep.cache != nil {
+			rep.cache(resp, sc.buf.Bytes())
+		}
+		writeRaw(w, http.StatusOK, sc.buf.Bytes())
+		encPool.Put(sc)
 	}
 }
 
@@ -260,12 +340,39 @@ func (s *Server) fail(w http.ResponseWriter, name string, status int, msg string
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// encScratch is a pooled JSON encoder bound to its scratch buffer: every
+// response body in the process is produced by this one encode path
+// (SetEscapeHTML(false), Encode's trailing newline), which is what makes
+// memoized bytes byte-identical to fresh ones.
+type encScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	sc := &encScratch{}
+	sc.enc = json.NewEncoder(&sc.buf)
+	sc.enc.SetEscapeHTML(false)
+	return sc
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	sc := encPool.Get().(*encScratch)
+	sc.buf.Reset()
+	if err := sc.enc.Encode(v); err != nil {
+		// Nothing useful left to send; surface a bare 500.
+		encPool.Put(sc)
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, sc.buf.Bytes())
+	encPool.Put(sc)
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v) // the status line is gone; nothing useful left on error
+	_, _ = w.Write(body) // the status line is gone; nothing useful left on error
 }
 
 // backendLabeled lets responses report which backend served them so the
@@ -315,11 +422,16 @@ func (s *Server) parseSelectors(modelName, backendName string) (model.CommModel,
 // ---- /v1/evaluate ----
 
 // EvaluateRequest asks for the period (and optionally the steady-state
-// latency distribution) of one instance under one model and backend.
+// latency distribution) of one instance under one model and backend. The
+// instance arrives either inline (Instance) or by reference (InstanceID — a
+// content ID from POST /v1/instances), never both; the by-ID form cuts the
+// request body from multi-KB JSON to a 64-byte ID and skips all instance
+// parsing and canonical serialization server-side.
 type EvaluateRequest struct {
-	Instance *model.Instance `json:"instance"`
-	Model    string          `json:"model"`
-	Backend  string          `json:"backend,omitempty"`
+	Instance   *model.Instance `json:"instance,omitempty"`
+	InstanceID string          `json:"instanceId,omitempty"`
+	Model      string          `json:"model"`
+	Backend    string          `json:"backend,omitempty"`
 	// LatencyPeriods > 0 additionally simulates that many macro-periods and
 	// reports per-data-set latency statistics (>= 2 required by the
 	// simulator; LatencyPeriods × PathCount is capped at
@@ -383,34 +495,77 @@ type EvaluateResponse struct {
 
 func (r EvaluateResponse) backendLabel() string { return r.Backend }
 
-func (s *Server) handleEvaluate(r *http.Request) (solveFunc, error) {
+func (s *Server) handleEvaluate(r *http.Request) (rep reply, err error) {
 	var req EvaluateRequest
 	if err := decode(r, &req); err != nil {
-		return nil, err
-	}
-	if req.Instance == nil {
-		return nil, badRequest("missing \"instance\"")
-	}
-	if req.LatencyPeriods > 0 {
-		if ds := int64(req.LatencyPeriods) * req.Instance.PathCount(); ds > maxLatencyDataSets || ds < 0 {
-			return nil, badRequest("latencyPeriods %d × %d paths = %d data sets exceeds the simulation limit of %d",
-				req.LatencyPeriods, req.Instance.PathCount(), ds, int64(maxLatencyDataSets))
-		}
+		return rep, err
 	}
 	cm, b, err := s.parseSelectors(req.Model, req.Backend)
 	if err != nil {
-		return nil, err
+		return rep, err
 	}
-	return func(ctx context.Context) (any, error) {
-		task := engine.Task{Inst: req.Instance, Model: cm}
+	// Resolve the instance and its canonical task key. The by-ID path reads
+	// the key precomputed at registration (zero serialization); the inline
+	// path serializes here, at parse time, so the response-memo lookup below
+	// can run before any solve capacity is taken.
+	var inst *model.Instance
+	var h uint64
+	var key string
+	switch {
+	case req.Instance != nil && req.InstanceID != "":
+		return rep, badRequest("\"instance\" and \"instanceId\" are mutually exclusive")
+	case req.InstanceID != "":
+		ent, err := s.resolveInstance(req.InstanceID)
+		if err != nil {
+			return rep, err
+		}
+		// The pin is dropped by solveEndpoint's deferred cleanup once the
+		// response is written, so store eviction cannot recycle the entry
+		// mid-solve — error paths below included.
+		rep.cleanup = ent.Release
+		inst = ent.Instance()
+		h, key = ent.TaskKey(cm)
+	case req.Instance != nil:
+		inst = req.Instance
+		h, key = engine.CanonicalKey(engine.Task{Inst: inst, Model: cm})
+	default:
+		return rep, badRequest("missing \"instance\" (inline) or \"instanceId\" (registered via POST /v1/instances)")
+	}
+	if req.LatencyPeriods > 0 {
+		if ds := int64(req.LatencyPeriods) * inst.PathCount(); ds > maxLatencyDataSets || ds < 0 {
+			return rep, badRequest("latencyPeriods %d × %d paths = %d data sets exceeds the simulation limit of %d",
+				req.LatencyPeriods, inst.PathCount(), ds, int64(maxLatencyDataSets))
+		}
+	}
+	// Response memo: a repeat of (backend, options, canonical task) serves
+	// the previously encoded bytes — no solver, simulator or encoder work,
+	// and no in-flight slot.
+	var respKey string
+	if s.resp != nil {
+		respKey = b.String() + "\x00" + strconv.Itoa(req.LatencyPeriods) + "\x00" + key
+		if body, ok := s.resp.get(respKey); ok {
+			rep.raw, rep.backend = body, b.String()
+			return rep, nil
+		}
+		rep.cache = func(resp any, body []byte) {
+			// Never memoize a coalesced answer: it carries the "coalesced"
+			// marker, which describes this request's scheduling, not the
+			// task's result.
+			if er, ok := resp.(EvaluateResponse); ok && !er.Coalesced {
+				s.resp.put(respKey, body)
+			}
+		}
+	}
+	latencyPeriods := req.LatencyPeriods
+	rep.solve = func(ctx context.Context) (any, error) {
+		task := engine.Task{Inst: inst, Model: cm}
 		eng := s.engine(b)
 		// Coalesce concurrent identical requests: one computation, every
 		// caller gets its result. The flight key includes the backend
 		// because each backend solves on its own engine (results are
-		// identical; cost is not), and the hash+key pair is handed back to
-		// the engine so the multi-KB canonical serialization happens once
-		// per request, not twice.
-		h, key := engine.CanonicalKey(task)
+		// identical; cost is not), and the hash+key pair is handed to the
+		// engine so the multi-KB canonical serialization from the parse
+		// phase is reused, not recomputed.
 		res, shared, err := s.flights.do(ctx, b.String()+"\x00"+key, func() (core.Result, error) {
 			return eng.EvaluateKeyed(h, key, task)
 		})
@@ -421,8 +576,8 @@ func (s *Server) handleEvaluate(r *http.Request) (solveFunc, error) {
 			s.met.coalesced.Add(1)
 		}
 		resp := EvaluateResponse{ResultJSON: resultJSON(res), Backend: b.String(), Coalesced: shared}
-		if req.LatencyPeriods > 0 {
-			stats, err := sim.Latency(req.Instance, cm, req.LatencyPeriods)
+		if latencyPeriods > 0 {
+			stats, err := sim.Latency(inst, cm, latencyPeriods)
 			if err != nil {
 				return nil, badRequest("latency simulation: %v", err)
 			}
@@ -435,15 +590,18 @@ func (s *Server) handleEvaluate(r *http.Request) (solveFunc, error) {
 			}
 		}
 		return resp, nil
-	}, nil
+	}
+	return rep, nil
 }
 
 // ---- /v1/batch ----
 
-// BatchTask is one entry of a /v1/batch request.
+// BatchTask is one entry of a /v1/batch request: an instance — inline or by
+// content ID — under one model.
 type BatchTask struct {
-	Instance *model.Instance `json:"instance"`
-	Model    string          `json:"model"`
+	Instance   *model.Instance `json:"instance,omitempty"`
+	InstanceID string          `json:"instanceId,omitempty"`
+	Model      string          `json:"model"`
 }
 
 // BatchRequest evaluates many tasks as one engine batch.
@@ -467,30 +625,50 @@ type BatchResponse struct {
 
 func (r BatchResponse) backendLabel() string { return r.Backend }
 
-func (s *Server) handleBatch(r *http.Request) (solveFunc, error) {
+func (s *Server) handleBatch(r *http.Request) (rep reply, err error) {
 	var req BatchRequest
 	if err := decode(r, &req); err != nil {
-		return nil, err
+		return rep, err
 	}
 	if len(req.Tasks) == 0 {
-		return nil, badRequest("empty \"tasks\"")
+		return rep, badRequest("empty \"tasks\"")
 	}
 	_, b, err := s.parseSelectors("overlap", req.Backend) // model is per task
 	if err != nil {
-		return nil, err
+		return rep, err
+	}
+	// Every by-ID entry stays pinned until the whole batch is answered; the
+	// single deferred cleanup also covers the partially-resolved prefix when
+	// a later task turns out malformed.
+	var pinned []*store.Entry
+	rep.cleanup = func() {
+		for _, e := range pinned {
+			e.Release()
+		}
 	}
 	tasks := make([]engine.Task, len(req.Tasks))
 	for i, bt := range req.Tasks {
-		if bt.Instance == nil {
-			return nil, badRequest("task %d: missing \"instance\"", i)
-		}
 		cm, err := model.Parse(bt.Model)
 		if err != nil {
-			return nil, badRequest("task %d: %v", i, err)
+			return rep, badRequest("task %d: %v", i, err)
 		}
-		tasks[i] = engine.Task{Inst: bt.Instance, Model: cm}
+		inst := bt.Instance
+		switch {
+		case bt.Instance != nil && bt.InstanceID != "":
+			return rep, badRequest("task %d: \"instance\" and \"instanceId\" are mutually exclusive", i)
+		case bt.InstanceID != "":
+			ent, err := s.resolveInstance(bt.InstanceID)
+			if err != nil {
+				return rep, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("task %d: %v", i, err)}
+			}
+			pinned = append(pinned, ent)
+			inst = ent.Instance()
+		case bt.Instance == nil:
+			return rep, badRequest("task %d: missing \"instance\" or \"instanceId\"", i)
+		}
+		tasks[i] = engine.Task{Inst: inst, Model: cm}
 	}
-	return func(ctx context.Context) (any, error) {
+	rep.solve = func(ctx context.Context) (any, error) {
 		outs, err := s.engine(b).EvaluateBatch(ctx, tasks)
 		if err != nil {
 			return nil, err
@@ -505,7 +683,8 @@ func (s *Server) handleBatch(r *http.Request) (solveFunc, error) {
 			resp.Outcomes[i] = BatchOutcome{ResultJSON: &rj}
 		}
 		return resp, nil
-	}, nil
+	}
+	return rep, nil
 }
 
 // ---- /v1/search ----
@@ -564,17 +743,17 @@ type SearchResponse struct {
 
 func (r SearchResponse) backendLabel() string { return r.Backend }
 
-func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
+func (s *Server) handleSearch(r *http.Request) (reply, error) {
 	var req SearchRequest
 	if err := decode(r, &req); err != nil {
-		return nil, err
+		return reply{}, err
 	}
 	if req.Pipeline == nil || req.Platform == nil {
-		return nil, badRequest("missing \"pipeline\" or \"platform\"")
+		return reply{}, badRequest("missing \"pipeline\" or \"platform\"")
 	}
 	cm, b, err := s.parseSelectors(req.Model, req.Backend)
 	if err != nil {
-		return nil, err
+		return reply{}, err
 	}
 	restarts, moves, steps := req.Restarts, req.Moves, req.AnnealSteps
 	if restarts <= 0 {
@@ -593,9 +772,9 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 	switch algo {
 	case "best", "greedy", "random", "anneal", "exhaustive", "bnb":
 	default:
-		return nil, badRequest("unknown algo %q (want best, greedy, random, anneal, exhaustive or bnb)", algo)
+		return reply{}, badRequest("unknown algo %q (want best, greedy, random, anneal, exhaustive or bnb)", algo)
 	}
-	return func(outer context.Context) (any, error) {
+	return reply{solve: func(outer context.Context) (any, error) {
 		ctx := outer
 		if req.BudgetMs > 0 {
 			var cancel context.CancelFunc
@@ -654,7 +833,7 @@ func (s *Server) handleSearch(r *http.Request) (solveFunc, error) {
 			resp.Screened = &screened
 		}
 		return resp, nil
-	}, nil
+	}}, nil
 }
 
 // ---- /v1/sweep ----
@@ -691,14 +870,14 @@ type SweepResponse struct {
 
 func (r SweepResponse) backendLabel() string { return r.Backend }
 
-func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
+func (s *Server) handleSweep(r *http.Request) (reply, error) {
 	var req SweepRequest
 	if err := decode(r, &req); err != nil {
-		return nil, err
+		return reply{}, err
 	}
 	_, b, err := s.parseSelectors("overlap", req.Backend)
 	if err != nil {
-		return nil, err
+		return reply{}, err
 	}
 	pairs := req.Pairs
 	if len(pairs) == 0 {
@@ -706,7 +885,7 @@ func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
 	}
 	for i, reps := range pairs {
 		if len(reps) == 0 {
-			return nil, badRequest("pairs[%d] is empty", i)
+			return reply{}, badRequest("pairs[%d] is empty", i)
 		}
 		// The sweep materializes the instance server-side (comp vectors
 		// plus one reps[j] x reps[j+1] matrix per file), so a few small
@@ -719,10 +898,10 @@ func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
 		// 60-byte request demand gigabytes).
 		for _, m := range reps {
 			if m < 1 {
-				return nil, badRequest("pairs[%d] holds non-positive replication %d", i, m)
+				return reply{}, badRequest("pairs[%d] holds non-positive replication %d", i, m)
 			}
 			if int64(m) > maxSweepCells {
-				return nil, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
+				return reply{}, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
 			}
 		}
 		cells := int64(0)
@@ -732,11 +911,11 @@ func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
 				cells += int64(m) * int64(reps[j+1])
 			}
 			if cells > maxSweepCells {
-				return nil, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
+				return reply{}, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
 			}
 		}
 	}
-	return func(ctx context.Context) (any, error) {
+	return reply{solve: func(ctx context.Context) (any, error) {
 		pts, err := exper.RuntimeSweepEngine(ctx, s.engine(b), req.Seed, pairs)
 		if err != nil {
 			return nil, err
@@ -754,7 +933,7 @@ func (s *Server) handleSweep(r *http.Request) (solveFunc, error) {
 			}
 		}
 		return resp, nil
-	}, nil
+	}}, nil
 }
 
 // ---- serving ----

@@ -706,8 +706,8 @@ func mustPlatform(t *testing.T) *platform.Platform {
 // every solve endpoint forever.
 func TestPanickingSolveDoesNotLeakCapacity(t *testing.T) {
 	s := NewServer(Options{Workers: 1, MaxInFlight: 2, RequestTimeout: 2 * time.Second})
-	boom := s.solveEndpoint("boom", func(r *http.Request) (solveFunc, error) {
-		return func(ctx context.Context) (any, error) { panic("solver blew up") }, nil
+	boom := s.solveEndpoint("boom", func(r *http.Request) (reply, error) {
+		return reply{solve: func(ctx context.Context) (any, error) { panic("solver blew up") }}, nil
 	})
 	n := 3*s.opts.MaxInFlight + 1 // well past the in-flight budget
 	for i := 0; i < n; i++ {

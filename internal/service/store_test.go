@@ -1,0 +1,437 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// registerInstance POSTs an instance to /v1/instances and returns the
+// response.
+func registerInstance(t *testing.T, baseURL string, inst *model.Instance) InstanceResponse {
+	t.Helper()
+	var resp InstanceResponse
+	postJSON(t, baseURL+"/v1/instances", InstanceRequest{Instance: inst}, &resp)
+	return resp
+}
+
+func TestInstanceRegistrationLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	rng := rand.New(rand.NewSource(41))
+	inst := randomTimedInstance(t, rng, []int{2, 3})
+
+	reg := registerInstance(t, ts.URL, inst)
+	if len(reg.ID) != 64 || reg.ID != store.ContentID(inst) {
+		t.Fatalf("ID %q is not the content address %q", reg.ID, store.ContentID(inst))
+	}
+	if !reg.Created || reg.CanonicalKey == "" || reg.Stages != inst.NumStages() || reg.PathCount != inst.PathCount() {
+		t.Fatalf("registration response %+v", reg)
+	}
+
+	// Idempotent: the same content registers under the same ID, no new entry.
+	again := registerInstance(t, ts.URL, inst)
+	if again.ID != reg.ID || again.Created {
+		t.Fatalf("re-registration: %+v, want same ID with created=false", again)
+	}
+
+	// GET echoes content whose address is the ID itself.
+	var got InstanceResponse
+	resp, err := http.Get(ts.URL + "/v1/instances/" + reg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Instance == nil || store.ContentID(got.Instance) != reg.ID {
+		t.Fatalf("GET returned content that does not hash back to its own ID")
+	}
+}
+
+// TestUnknownInstanceID404 is the by-ID protocol's error contract: an
+// unregistered (or evicted) ID answers 404 with a structured error on every
+// endpoint that accepts one.
+func TestUnknownInstanceID404(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	const bogus = "0000000000000000000000000000000000000000000000000000000000000000"
+
+	checkBody := func(t *testing.T, body []byte, status int) {
+		t.Helper()
+		if status != http.StatusNotFound {
+			t.Fatalf("status %d, want 404 (body %s)", status, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "unknown instance ID") {
+			t.Fatalf("error body %s (decode err %v)", body, err)
+		}
+	}
+
+	t.Run("evaluate", func(t *testing.T) {
+		body, status := postJSONStatus(t, ts.URL+"/v1/evaluate", EvaluateRequest{InstanceID: bogus, Model: "overlap"})
+		checkBody(t, body, status)
+	})
+	t.Run("batch", func(t *testing.T) {
+		body, status := postJSONStatus(t, ts.URL+"/v1/batch", BatchRequest{Tasks: []BatchTask{{InstanceID: bogus, Model: "strict"}}})
+		checkBody(t, body, status)
+	})
+	t.Run("get", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/instances/" + bogus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET status %d, want 404", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "unknown instance ID") {
+			t.Fatalf("GET error body %q (decode err %v)", e.Error, err)
+		}
+	})
+	t.Run("both forms rejected", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(42))
+		inst := randomTimedInstance(t, rng, []int{2, 2})
+		body, status := postJSONStatus(t, ts.URL+"/v1/evaluate", EvaluateRequest{Instance: inst, InstanceID: bogus, Model: "overlap"})
+		if status != http.StatusBadRequest || !strings.Contains(string(body), "mutually exclusive") {
+			t.Fatalf("status %d body %s, want 400 mutually exclusive", status, body)
+		}
+	})
+}
+
+// TestByIDResponsesByteIdenticalOnTable2Grid is the protocol-equivalence
+// bar: for every Table 2 task, the /v1/evaluate body answered for a by-ID
+// request must be byte-for-byte the body answered for the inline form — on
+// the memoized path (same server, repeat ask) and on the fresh path (a
+// separate server seeing each form first).
+func TestByIDResponsesByteIdenticalOnTable2Grid(t *testing.T) {
+	perRow := 2
+	if testing.Short() {
+		perRow = 1
+	}
+	tasks := table2Tasks(t, perRow)
+	_, inlineFirst := newTestServer(t, Options{Workers: 2})
+	_, byIDFirst := newTestServer(t, Options{Workers: 2})
+	for i, task := range tasks {
+		req := EvaluateRequest{Instance: task.Inst, Model: task.Model.String()}
+		idReq := EvaluateRequest{InstanceID: store.ContentID(task.Inst), Model: task.Model.String()}
+
+		// Server 1 solves the inline form first; the by-ID repeat is served
+		// from the response memo.
+		registerInstance(t, inlineFirst.URL, task.Inst)
+		inlineBody, status := postJSONStatus(t, inlineFirst.URL+"/v1/evaluate", req)
+		if status != http.StatusOK {
+			t.Fatalf("task %d inline: status %d body %s", i, status, inlineBody)
+		}
+		byIDBody, status := postJSONStatus(t, inlineFirst.URL+"/v1/evaluate", idReq)
+		if status != http.StatusOK {
+			t.Fatalf("task %d by-ID: status %d body %s", i, status, byIDBody)
+		}
+		if string(inlineBody) != string(byIDBody) {
+			t.Fatalf("task %d: by-ID body differs from inline body on the memo path\ninline: %s\nby-ID:  %s", i, inlineBody, byIDBody)
+		}
+
+		// Server 2 solves the by-ID form first (fresh encode), then the
+		// inline form (memo hit); both must still match server 1's bytes.
+		registerInstance(t, byIDFirst.URL, task.Inst)
+		freshByID, status := postJSONStatus(t, byIDFirst.URL+"/v1/evaluate", idReq)
+		if status != http.StatusOK {
+			t.Fatalf("task %d fresh by-ID: status %d body %s", i, status, freshByID)
+		}
+		memoInline, status := postJSONStatus(t, byIDFirst.URL+"/v1/evaluate", req)
+		if status != http.StatusOK {
+			t.Fatalf("task %d memo inline: status %d body %s", i, status, memoInline)
+		}
+		if string(freshByID) != string(inlineBody) || string(memoInline) != string(inlineBody) {
+			t.Fatalf("task %d: response bytes differ across request forms/servers", i)
+		}
+	}
+}
+
+// TestBatchByIDByteIdenticalToInline covers the batch form of the protocol
+// equivalence: a tasks list referring to registered IDs answers exactly the
+// bytes of the inline list.
+func TestBatchByIDByteIdenticalToInline(t *testing.T) {
+	tasks := table2Tasks(t, 1)
+	if len(tasks) > 8 {
+		tasks = tasks[:8]
+	}
+	_, ts := newTestServer(t, Options{Workers: 2})
+	inline := BatchRequest{Tasks: make([]BatchTask, len(tasks))}
+	byID := BatchRequest{Tasks: make([]BatchTask, len(tasks))}
+	for i, task := range tasks {
+		inline.Tasks[i] = BatchTask{Instance: task.Inst, Model: task.Model.String()}
+		reg := registerInstance(t, ts.URL, task.Inst)
+		byID.Tasks[i] = BatchTask{InstanceID: reg.ID, Model: task.Model.String()}
+	}
+	inlineBody, status := postJSONStatus(t, ts.URL+"/v1/batch", inline)
+	if status != http.StatusOK {
+		t.Fatalf("inline batch: status %d body %s", status, inlineBody)
+	}
+	byIDBody, status := postJSONStatus(t, ts.URL+"/v1/batch", byID)
+	if status != http.StatusOK {
+		t.Fatalf("by-ID batch: status %d body %s", status, byIDBody)
+	}
+	if string(inlineBody) != string(byIDBody) {
+		t.Fatalf("batch bodies differ between forms\ninline: %s\nby-ID:  %s", inlineBody, byIDBody)
+	}
+}
+
+// metricsSnapshot is the subset of /metrics these tests parse.
+type metricsSnapshot struct {
+	Cache map[string]struct {
+		Hits, Misses, Evictions, Entries, Capacity int64
+	} `json:"cache"`
+	Store struct {
+		Puts, Dedups, Resolves, Misses, Evictions, Entries, Pinned, Capacity int64
+	} `json:"store"`
+	RespMemo *struct {
+		Hits, Misses, Evictions, Entries, Capacity int64
+	} `json:"respMemo"`
+}
+
+func scrapeMetrics(t testing.TB, baseURL string) metricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	return m
+}
+
+// TestStoreEvictionPinningDuringFlight drives the pinning contract through
+// the serving stack: a store entry held on behalf of an in-flight request
+// survives a registration storm that overruns the store many times over,
+// and becomes evictable the moment the flight releases it.
+func TestStoreEvictionPinningDuringFlight(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, StoreEntries: 2})
+	rng := rand.New(rand.NewSource(43))
+	inst := randomTimedInstance(t, rng, []int{2, 3})
+	reg := registerInstance(t, ts.URL, inst)
+
+	// Pin exactly as solveEndpoint does for a by-ID request in flight.
+	ent, ok := s.Store().Resolve(reg.ID)
+	if !ok {
+		t.Fatal("registered entry did not resolve")
+	}
+
+	// Registration storm: 5x the store capacity of distinct instances.
+	for i := 0; i < 10; i++ {
+		registerInstance(t, ts.URL, randomTimedInstance(t, rng, []int{2, 3}))
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Store.Pinned != 1 || m.Store.Evictions == 0 {
+		t.Fatalf("store metrics %+v: want 1 pinned entry amid evictions", m.Store)
+	}
+	// The pinned entry still serves.
+	var got EvaluateResponse
+	postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{InstanceID: reg.ID, Model: "overlap"}, &got)
+	if got.Period == "" {
+		t.Fatalf("pinned entry did not evaluate: %+v", got)
+	}
+
+	// Released, the same pressure evicts it and by-ID asks turn 404.
+	ent.Release()
+	for i := 0; i < 10; i++ {
+		registerInstance(t, ts.URL, randomTimedInstance(t, rng, []int{2, 3}))
+	}
+	if _, status := postJSONStatus(t, ts.URL+"/v1/evaluate", EvaluateRequest{InstanceID: reg.ID, Model: "overlap"}); status != http.StatusNotFound {
+		t.Fatalf("evicted ID evaluated with status %d, want 404", status)
+	}
+	if m := scrapeMetrics(t, ts.URL); m.Store.Pinned != 0 {
+		t.Fatalf("store metrics %+v: leaked pin", m.Store)
+	}
+}
+
+// TestRespMemoServesRepeatHits checks the response memo end to end: the
+// second identical ask is a memo hit on /metrics, and a server with the
+// memo disabled still answers identical bytes.
+func TestRespMemoServesRepeatHits(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	_, noMemo := newTestServer(t, Options{Workers: 1, RespCacheEntries: -1})
+	rng := rand.New(rand.NewSource(44))
+	inst := randomTimedInstance(t, rng, []int{3, 2})
+	req := EvaluateRequest{Instance: inst, Model: "strict"}
+
+	first, status := postJSONStatus(t, ts.URL+"/v1/evaluate", req)
+	if status != http.StatusOK {
+		t.Fatalf("first: status %d body %s", status, first)
+	}
+	second, status := postJSONStatus(t, ts.URL+"/v1/evaluate", req)
+	if status != http.StatusOK || string(first) != string(second) {
+		t.Fatalf("repeat: status %d, bytes identical=%v", status, string(first) == string(second))
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.RespMemo == nil || m.RespMemo.Hits == 0 || m.RespMemo.Entries == 0 {
+		t.Fatalf("respMemo metrics %+v: want a recorded hit", m.RespMemo)
+	}
+
+	// Memo disabled: /metrics reports null, bytes still identical.
+	plain1, _ := postJSONStatus(t, noMemo.URL+"/v1/evaluate", req)
+	plain2, _ := postJSONStatus(t, noMemo.URL+"/v1/evaluate", req)
+	if string(plain1) != string(first) || string(plain2) != string(first) {
+		t.Fatal("memo-disabled server answered different bytes")
+	}
+	if m := scrapeMetrics(t, noMemo.URL); m.RespMemo != nil {
+		t.Fatalf("respMemo on disabled server = %+v, want null", m.RespMemo)
+	}
+}
+
+// TestMetricsMonotoneUnderConcurrentLoad is the /metrics consistency
+// regression test (run under -race in CI): while workers hammer a server
+// sized to evict constantly — small memo cache, small store — a scraper
+// asserts that the derived totals every dashboard rates on (cache
+// hits+misses, cache entries+evictions, store entries+evictions, respMemo
+// hits+misses) never go backwards between scrapes.
+func TestMetricsMonotoneUnderConcurrentLoad(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, CacheEntries: 8, StoreEntries: 8, RespCacheEntries: 8})
+	rng := rand.New(rand.NewSource(45))
+	insts := make([]*model.Instance, 32)
+	ids := make([]string, len(insts))
+	for i := range insts {
+		insts[i] = randomTimedInstance(t, rng, []int{2, 2})
+		ids[i] = store.ContentID(insts[i])
+	}
+
+	quit := make(chan struct{})
+	scraped := make(chan struct{})
+	var scrapeErr atomic.Value
+	go func() {
+		defer close(scraped)
+		scrape := func() (metricsSnapshot, error) {
+			var m metricsSnapshot
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				return m, err
+			}
+			defer resp.Body.Close()
+			return m, json.NewDecoder(resp.Body).Decode(&m)
+		}
+		var lastCacheLookups, lastCacheInserts, lastStoreInserts, lastMemoLookups int64
+		for i := 0; ; i++ {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			m, err := scrape()
+			if err != nil {
+				scrapeErr.Store(fmt.Sprintf("scrape %d: %v", i, err))
+				return
+			}
+			var cacheLookups, cacheInserts int64
+			for _, c := range m.Cache {
+				cacheLookups += c.Hits + c.Misses
+				cacheInserts += c.Entries + c.Evictions
+			}
+			storeInserts := m.Store.Entries + m.Store.Evictions
+			var memoLookups int64
+			if m.RespMemo != nil {
+				memoLookups = m.RespMemo.Hits + m.RespMemo.Misses
+			}
+			check := func(name string, last *int64, now int64) bool {
+				if now < *last {
+					scrapeErr.Store(fmt.Sprintf("scrape %d: %s went backwards (%d -> %d)", i, name, *last, now))
+					return false
+				}
+				*last = now
+				return true
+			}
+			if !check("cache lookups", &lastCacheLookups, cacheLookups) ||
+				!check("cache inserts", &lastCacheInserts, cacheInserts) ||
+				!check("store inserts", &lastStoreInserts, storeInserts) ||
+				!check("respMemo lookups", &lastMemoLookups, memoLookups) {
+				return
+			}
+		}
+	}()
+
+	// post is the goroutine-safe request helper: workers must not Fatal, so
+	// failures flow back through t.Errorf only.
+	post := func(path string, v any) (int, bool) {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			t.Errorf("marshal: %v", err)
+			return 0, false
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(string(payload)))
+		if err != nil {
+			t.Errorf("POST %s: %v", path, err)
+			return 0, false
+		}
+		defer resp.Body.Close()
+		var sink json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&sink)
+		return resp.StatusCode, true
+	}
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(2 * time.Second)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				k := (self*31 + i) % len(insts)
+				var status int
+				var ok bool
+				switch i % 3 {
+				case 0:
+					if status, ok = post("/v1/instances", InstanceRequest{Instance: insts[k]}); !ok || status != http.StatusOK {
+						t.Errorf("register: status %d", status)
+						return
+					}
+					// The fresh registration may already be evicted by a
+					// sibling's churn; 404 is a legal race outcome.
+					status, ok = post("/v1/evaluate", EvaluateRequest{InstanceID: ids[k], Model: "overlap"})
+				case 1:
+					status, ok = post("/v1/evaluate", EvaluateRequest{Instance: insts[k], Model: "overlap"})
+				case 2:
+					status, ok = post("/v1/evaluate", EvaluateRequest{InstanceID: ids[k], Model: "strict"})
+				}
+				if !ok {
+					return
+				}
+				if status != http.StatusOK && status != http.StatusNotFound {
+					t.Errorf("unexpected status %d", status)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(quit)
+	<-scraped
+	if msg := scrapeErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.Store.Evictions == 0 {
+		t.Fatalf("store metrics %+v: the storm was meant to evict", m.Store)
+	}
+	if m.Store.Pinned != 0 {
+		t.Fatalf("store metrics %+v: leaked pins after load", m.Store)
+	}
+	if got := s.met.inFlight.Value(); got != 0 {
+		t.Fatalf("inFlight gauge %d after load, want 0", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package store is the content-addressed instance store behind the serving
+// layer: clients register an instance once (POST /v1/instances) and refer to
+// it by a stable content ID afterwards, cutting the per-request bytes from a
+// multi-KB JSON instance to a 64-byte ID — the prerequisite for sharding the
+// service, since the ID is exactly what a consistent-hash router routes on.
+//
+// Design:
+//
+//   - Content addressing. The ID is the SHA-256 of engine.InstanceKey — the
+//     canonical serialization of the replication structure and exact
+//     operation times. Registering the same timed structure twice (from any
+//     client, in any representation that canonicalizes equally) yields the
+//     same ID and one resident entry; IDs are valid across restarts and
+//     across nodes because they depend on nothing but the content.
+//
+//   - Precomputed task keys. An entry carries the engine's canonical
+//     (hash, key) pair for every communication model, computed once at
+//     registration. A by-ID request therefore performs zero canonical
+//     serialization: the multi-KB key the memo cache and the request
+//     coalescer need is a field load.
+//
+//   - Bounded residency, CLOCK discipline. Like the engine's memo cache the
+//     store holds at most its configured capacity; past it, a CLOCK hand
+//     recycles the coldest unpinned entry (reference bits set on every
+//     resolve). Entries resolved by an in-flight request are pinned and
+//     never evicted until released, so eviction pressure cannot invalidate
+//     an instance mid-solve.
+//
+//   - Consistent metrics. Mutating counters live under the store mutex and
+//     Metrics snapshots them in one acquisition, so derived totals
+//     (Entries+Evictions = cumulative inserts) are monotone across scrapes.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// numModels sizes the per-entry task-key tables; the communication models
+// are a closed two-element enum (model.Models).
+const numModels = 2
+
+// DefaultCapacity bounds the store when Options leave it zero: at a few KB
+// per entry (the instance plus three canonical strings) the default stays
+// within tens of MiB while holding far more distinct instances than a
+// loadgen-scale client population rotates through.
+const DefaultCapacity = 4096
+
+// ErrFull reports that every resident entry is pinned by an in-flight
+// request and the capacity is reached — the only condition under which a
+// registration is refused.
+var ErrFull = errors.New("store: capacity reached and every entry is pinned")
+
+// Entry is one registered instance. Entries are immutable after
+// registration; the pin count is the only mutable state.
+type Entry struct {
+	id   string
+	inst *model.Instance
+
+	// taskHash/taskKey are engine.CanonicalKey(Task{inst, m}) per model,
+	// precomputed so the by-ID hot path never serializes the instance.
+	taskHash [numModels]uint64
+	taskKey  [numModels]string
+
+	pins atomic.Int32 // in-flight requests holding this entry
+	ref  atomic.Bool  // CLOCK reference bit
+}
+
+// ID returns the stable content ID (hex SHA-256 of the canonical content).
+func (e *Entry) ID() string { return e.id }
+
+// Instance returns the registered instance (immutable, safe to share).
+func (e *Entry) Instance() *model.Instance { return e.inst }
+
+// TaskKey returns the engine's canonical (hash, key) pair for this instance
+// under cm, precomputed at registration.
+func (e *Entry) TaskKey(cm model.CommModel) (uint64, string) {
+	return e.taskHash[cm], e.taskKey[cm]
+}
+
+// Release drops one pin. Every successful Resolve must be paired with
+// exactly one Release once the request referencing the entry finishes.
+func (e *Entry) Release() { e.pins.Add(-1) }
+
+// Metrics is a consistent point-in-time snapshot of the store.
+type Metrics struct {
+	// Puts counts registrations that created a new entry; Dedups counts
+	// registrations answered by an existing entry (same content ID).
+	Puts, Dedups int64
+	// Resolves and Misses count by-ID lookups (found / unknown ID).
+	Resolves, Misses int64
+	// Evictions counts entries recycled by the CLOCK hand; Entries+Evictions
+	// is the cumulative insert count and never decreases between snapshots.
+	Evictions int64
+	// Entries is the current resident count; never exceeds Capacity.
+	Entries int64
+	// Pinned is the number of entries currently held by in-flight requests.
+	Pinned int64
+	// Capacity is the configured bound.
+	Capacity int
+}
+
+// Store is the bounded content-addressed instance store. Safe for concurrent
+// use; reads (Resolve) take a shared lock, registrations an exclusive one.
+type Store struct {
+	capacity int
+
+	mu        sync.RWMutex
+	byID      map[string]int32 // content ID -> slot
+	entries   []*Entry         // fixed slots; the CLOCK ring
+	hand      int32
+	puts      int64 // guarded by mu
+	dedups    int64 // guarded by mu
+	evictions int64 // guarded by mu
+
+	resolves atomic.Int64 // monotone, updated under RLock
+	misses   atomic.Int64
+}
+
+// New builds a store holding at most capacity entries (<= 0 means
+// DefaultCapacity).
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		capacity: capacity,
+		byID:     make(map[string]int32, capacity),
+		entries:  make([]*Entry, 0, capacity),
+	}
+}
+
+// Capacity returns the configured bound.
+func (s *Store) Capacity() int { return s.capacity }
+
+// ContentID computes the stable content ID an instance registers under,
+// without touching the store: the hex SHA-256 of the canonical
+// model-independent serialization.
+func ContentID(inst *model.Instance) string {
+	_, content := engine.InstanceKey(inst)
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:])
+}
+
+// Put registers an instance and returns its entry. created reports whether a
+// new entry was inserted (false: the content was already registered and the
+// existing entry is returned). Put fails only with ErrFull — capacity
+// reached while every resident entry is pinned.
+func (s *Store) Put(inst *model.Instance) (e *Entry, created bool, err error) {
+	// Hash and serialize outside the lock: registration cost is dominated by
+	// the canonical serializations, and they need no store state.
+	id := ContentID(inst)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if slot, ok := s.byID[id]; ok {
+		ent := s.entries[slot]
+		ent.ref.Store(true)
+		s.dedups++
+		return ent, false, nil
+	}
+	ent := &Entry{id: id, inst: inst}
+	for _, cm := range model.Models() {
+		h, k := engine.CanonicalKey(engine.Task{Inst: inst, Model: cm})
+		ent.taskHash[cm], ent.taskKey[cm] = h, k
+	}
+	ent.ref.Store(true)
+	if len(s.entries) < s.capacity {
+		s.entries = append(s.entries, ent)
+		s.byID[id] = int32(len(s.entries) - 1)
+		s.puts++
+		return ent, true, nil
+	}
+	// CLOCK sweep: clear reference bits until an unpinned, unreferenced slot
+	// turns up. Pinned entries are skipped without clearing their bit — a
+	// pin is stronger than a reference. Two full revolutions guarantee a
+	// victim unless every slot is pinned; a third finds nothing new, so bail
+	// out then rather than spinning.
+	for sweeps := 0; sweeps < 3*len(s.entries); sweeps++ {
+		victim := s.hand
+		cand := s.entries[victim]
+		s.hand = (s.hand + 1) % int32(len(s.entries))
+		if cand.pins.Load() > 0 {
+			continue
+		}
+		if cand.ref.CompareAndSwap(true, false) {
+			continue
+		}
+		delete(s.byID, cand.id)
+		s.entries[victim] = ent
+		s.byID[id] = victim
+		s.evictions++
+		s.puts++
+		return ent, true, nil
+	}
+	return nil, false, ErrFull
+}
+
+// Resolve looks an ID up and pins the entry: until the caller invokes
+// Release, the entry cannot be evicted. The boolean reports whether the ID
+// is registered.
+func (s *Store) Resolve(id string) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot, ok := s.byID[id]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	ent := s.entries[slot]
+	ent.pins.Add(1)
+	ent.ref.Store(true)
+	s.resolves.Add(1)
+	return ent, true
+}
+
+// Metrics snapshots the store counters. Entries, Evictions, Puts and Dedups
+// are read under the store lock in one acquisition, so Entries+Evictions
+// (cumulative inserts) is exact and monotone across snapshots.
+func (s *Store) Metrics() Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := Metrics{
+		Puts:      s.puts,
+		Dedups:    s.dedups,
+		Evictions: s.evictions,
+		Entries:   int64(len(s.entries)),
+		Capacity:  s.capacity,
+		Resolves:  s.resolves.Load(),
+		Misses:    s.misses.Load(),
+	}
+	for _, e := range s.entries {
+		if e.pins.Load() > 0 {
+			m.Pinned++
+		}
+	}
+	return m
+}

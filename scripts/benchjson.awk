@@ -1,6 +1,6 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into a JSON
 # array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
-# (BENCH_6.json in CI) and enforce two gates:
+# (BENCH_7.json in CI) and enforce four gates:
 #
 #   * allocation gate — the strict-model Evaluate benchmarks must stay at
 #     or below `gate` allocs/op (the PR-2 zero-allocation refactor brought
@@ -8,19 +8,31 @@
 #   * leaf-rate gate — BenchmarkBnBLeafRate/screened must rule out leaves
 #     at >= `leafgate` times the rate of BenchmarkBnBLeafRate/exact
 #     (leaves/s custom metric), or the float-screening tier has regressed
-#     into pointless overhead.
+#     into pointless overhead;
+#   * hit-path allocation gate — BenchmarkServeHitPath/by-id (the memoized
+#     by-ID /v1/evaluate request, end to end through the handler stack)
+#     must stay at or below `hitgate` allocs/op;
+#   * hit-path speedup gate — BenchmarkServeHitPath/by-id must run at
+#     least `speedupgate` times faster (ns/op) than the inline form of the
+#     same memoized request, or the content-addressed protocol has stopped
+#     paying for itself.
 #
-# Exits non-zero after the report if either gate is broken.
+# Exits non-zero after the report if any gate is broken.
 #
-# Usage: awk -v gate=12 -v leafgate=5 -f scripts/benchjson.awk bench.txt > BENCH_6.json
+# Usage: awk -v gate=12 -v leafgate=5 -v hitgate=32 -v speedupgate=4 \
+#            -f scripts/benchjson.awk bench.txt > BENCH_7.json
 
 BEGIN {
     n = 0
     fail = 0
     if (gate == "") gate = 12
     if (leafgate == "") leafgate = 5
+    if (hitgate == "") hitgate = 32
+    if (speedupgate == "") speedupgate = 4
     exactLeafRate = ""
     screenedLeafRate = ""
+    byIDNs = ""
+    inlineNs = ""
 }
 
 /^Benchmark/ && / allocs\/op/ {
@@ -54,6 +66,18 @@ BEGIN {
     # Collect the leaf-rate pair for the screening gate.
     if (name == "BenchmarkBnBLeafRate/exact") { gated[n] = 1; exactLeafRate = leafrate }
     if (name == "BenchmarkBnBLeafRate/screened") { gated[n] = 1; screenedLeafRate = leafrate }
+
+    # The serving hit-path gates: allocation ceiling on the by-ID form, and
+    # the by-ID/inline pair for the speedup ratio.
+    if (name == "BenchmarkServeHitPath/by-id") {
+        gated[n] = 1
+        byIDNs = ns
+        if (allocs + 0 > hitgate + 0) {
+            printf "GATE FAIL: %s at %s allocs/op exceeds the hit-path gate of %s\n", name, allocs, hitgate > "/dev/stderr"
+            fail = 1
+        }
+    }
+    if (name == "BenchmarkServeHitPath/inline") { gated[n] = 1; inlineNs = ns }
 }
 
 END {
@@ -68,6 +92,16 @@ END {
         } else if (exactLeafRate + 0 <= 0 || screenedLeafRate + 0 < leafgate * (exactLeafRate + 0)) {
             printf "GATE FAIL: screened leaf rate %s leaves/s is below %sx the exact rate %s leaves/s\n", \
                 screenedLeafRate, leafgate, exactLeafRate > "/dev/stderr"
+            fail = 1
+        }
+    }
+    if (byIDNs != "" || inlineNs != "") {
+        if (byIDNs == "" || inlineNs == "") {
+            print "GATE FAIL: BenchmarkServeHitPath ran only one of by-id/inline" > "/dev/stderr"
+            fail = 1
+        } else if (byIDNs + 0 <= 0 || inlineNs + 0 < speedupgate * (byIDNs + 0)) {
+            printf "GATE FAIL: by-ID hit path at %s ns/op is not %sx faster than the inline form at %s ns/op\n", \
+                byIDNs, speedupgate, inlineNs > "/dev/stderr"
             fail = 1
         }
     }
