@@ -3,7 +3,7 @@ GO ?= go
 # Coverage gate: these packages hold the exact period engines, the serving
 # layer and the exact search, and must stay above the floor (CI enforces it
 # via `make cover`).
-COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb ./internal/sched ./internal/store
+COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb ./internal/sched ./internal/store ./internal/ring ./internal/cluster
 COVER_MIN  = 75
 
 # Fuzz smoke budget per target (CI runs `make fuzz` on top of the corpus
@@ -23,11 +23,16 @@ FUZZTIME ?= 10s
 # /v1/evaluate hit path must stay at or below HITALLOC_GATE allocs/op
 # (measured at 18) and run at least SPEEDUP_GATE x faster than the
 # inline-instance form of the same hit (measured around 12x in-process).
-BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch|BenchmarkBnBLeafRate|BenchmarkServeHitPath
+# The router gate (ROUTER_GATE) guards the PR-8 cluster layer: a memoized
+# by-ID hit through the cluster router's core may cost at most ROUTER_GATE x
+# the same request against a single node over the same transport (the
+# router's response memo keeps the measured ratio below 1x).
+BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch|BenchmarkBnBLeafRate|BenchmarkServeHitPath|BenchmarkRouterHitPath
 ALLOC_GATE = 12
 LEAF_GATE = 5
 HITALLOC_GATE = 32
 SPEEDUP_GATE = 4
+ROUTER_GATE = 2
 
 .PHONY: all vet build test race check bench bench-regression cover fuzz fmt lint
 
@@ -72,18 +77,20 @@ lint:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
 
-# bench-regression runs the period/backend/engine/bnb/serving benchmarks at
-# a fixed iteration count, converts them to BENCH_7.json (uploaded as a CI
-# artifact) and fails if the strict-model Evaluate allocs/op regress above
-# ALLOC_GATE, the screened leaf rate drops below LEAF_GATE x exact, the
-# by-ID serving hit path regresses above HITALLOC_GATE allocs/op, or the
-# by-ID/inline hit-path speedup drops below SPEEDUP_GATE x.
+# bench-regression runs the period/backend/engine/bnb/serving/cluster
+# benchmarks at a fixed iteration count, converts them to BENCH_8.json
+# (uploaded as a CI artifact) and fails if the strict-model Evaluate
+# allocs/op regress above ALLOC_GATE, the screened leaf rate drops below
+# LEAF_GATE x exact, the by-ID serving hit path regresses above
+# HITALLOC_GATE allocs/op, the by-ID/inline hit-path speedup drops below
+# SPEEDUP_GATE x, or the routed hit path costs more than ROUTER_GATE x the
+# direct single-node hit.
 bench-regression:
-	@status=0; $(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . ./internal/bnb ./internal/service > bench_regression.txt || status=$$?; \
+	@status=0; $(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . ./internal/bnb ./internal/service ./internal/cluster > bench_regression.txt || status=$$?; \
 	cat bench_regression.txt; \
 	if [ "$$status" != "0" ]; then echo "bench-regression: go test failed ($$status)"; exit $$status; fi
-	awk -v gate=$(ALLOC_GATE) -v leafgate=$(LEAF_GATE) -v hitgate=$(HITALLOC_GATE) -v speedupgate=$(SPEEDUP_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_7.json
-	@echo "wrote BENCH_7.json ($$(grep -c '"name"' BENCH_7.json) benchmarks, alloc gate $(ALLOC_GATE), leaf-rate gate $(LEAF_GATE)x, hit-alloc gate $(HITALLOC_GATE), speedup gate $(SPEEDUP_GATE)x)"
+	awk -v gate=$(ALLOC_GATE) -v leafgate=$(LEAF_GATE) -v hitgate=$(HITALLOC_GATE) -v speedupgate=$(SPEEDUP_GATE) -v routergate=$(ROUTER_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_8.json
+	@echo "wrote BENCH_8.json ($$(grep -c '"name"' BENCH_8.json) benchmarks, alloc gate $(ALLOC_GATE), leaf-rate gate $(LEAF_GATE)x, hit-alloc gate $(HITALLOC_GATE), speedup gate $(SPEEDUP_GATE)x, router gate $(ROUTER_GATE)x)"
 
 # cover fails when any of COVER_PKGS drops below COVER_MIN% statement
 # coverage. Uses -coverprofile + `go tool cover -func` rather than grepping

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	loadgen -url http://localhost:8080 [-endpoint evaluate] [-via inline]
-//	        [-workers 4] [-rps 0] [-duration 10s] [-model strict]
+//	        [-cluster] [-workers 4] [-rps 0] [-duration 10s] [-model strict]
 //	        [-backend auto] [-reps 2,3] [-instances 64] [-batch 16]
 //	        [-algo bnb] [-seed 1]
 //
@@ -26,6 +26,12 @@
 // The summary then includes the server-side cache/store/response-memo
 // deltas scraped from /metrics across the window.
 //
+// -cluster points the run at a cmd/router front end instead of a single
+// serve node: the summary's "cluster" block then reports how the window's
+// requests distributed across the nodes (and the skew of that
+// distribution), plus the router's failover retries, registration replays,
+// eject/rejoin transitions and response-memo traffic.
+//
 // -rps 0 runs unthrottled (pure closed loop: measured throughput is the
 // service's capacity at this concurrency). The summary is one JSON object
 // on stdout: request/error counts, achieved RPS, average request bytes and
@@ -40,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -72,18 +79,37 @@ func main() {
 
 // Summary is the JSON report printed on stdout.
 type Summary struct {
-	URL             string       `json:"url"`
-	Endpoint        string       `json:"endpoint"`
-	Via             string       `json:"via"`
-	Workers         int          `json:"workers"`
-	TargetRPS       float64      `json:"targetRps"`
-	DurationSeconds float64      `json:"durationSeconds"`
-	Requests        int          `json:"requests"`
-	Errors          int          `json:"errors"`
-	AchievedRPS     float64      `json:"achievedRps"`
-	AvgRequestBytes float64      `json:"avgRequestBytes"`
-	Latency         LatQ         `json:"latencyMs"`
-	Server          *ServerStats `json:"server,omitempty"`
+	URL             string        `json:"url"`
+	Endpoint        string        `json:"endpoint"`
+	Via             string        `json:"via"`
+	Workers         int           `json:"workers"`
+	TargetRPS       float64       `json:"targetRps"`
+	DurationSeconds float64       `json:"durationSeconds"`
+	Requests        int           `json:"requests"`
+	Errors          int           `json:"errors"`
+	AchievedRPS     float64       `json:"achievedRps"`
+	AvgRequestBytes float64       `json:"avgRequestBytes"`
+	Latency         LatQ          `json:"latencyMs"`
+	Server          *ServerStats  `json:"server,omitempty"`
+	Cluster         *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats are the router-side counter deltas across the measurement
+// window when -cluster points the run at a cmd/router front end: the
+// per-node request distribution (and its skew — max/mean, 1.0 = perfectly
+// even), failover retries, registration replays, membership transitions
+// and the router response-memo traffic.
+type ClusterStats struct {
+	// PerNodeRequests is requests proxied to each node during the window.
+	PerNodeRequests map[string]int64 `json:"perNodeRequests"`
+	// Skew is max/mean over PerNodeRequests (0 when no node saw traffic).
+	Skew           float64 `json:"skew"`
+	Retries        int64   `json:"retries"`
+	Replays        int64   `json:"replays"`
+	Ejects         int64   `json:"ejects"`
+	Rejoins        int64   `json:"rejoins"`
+	RespMemoHits   int64   `json:"respMemoHits"`
+	RespMemoMisses int64   `json:"respMemoMisses"`
 }
 
 // ServerStats are the server-side counter deltas across the measurement
@@ -123,6 +149,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	batchSize := fs.Int("batch", 16, "tasks per request for -endpoint batch")
 	algo := fs.String("algo", "bnb", "search algorithm for -endpoint search: best, greedy, random, anneal, exhaustive or bnb")
 	via := fs.String("via", "inline", "instance transport for evaluate/batch: inline (full JSON per request) or store (register once, refer by content ID)")
+	clusterMode := fs.Bool("cluster", false, "treat -url as a cluster router (cmd/router): the summary reports the per-node request distribution, its skew and the router's failover counters instead of single-node server stats")
 	seed := fs.Int64("seed", 1, "random seed for the instance population")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -194,7 +221,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		payloadBytes += int64(len(p))
 	}
 
-	before, haveBefore := scrapeServerStats(ctx, client, base)
+	var before ServerStats
+	var haveBefore bool
+	var cBefore clusterCounters
+	var haveCBefore bool
+	if *clusterMode {
+		cBefore, haveCBefore = scrapeClusterCounters(ctx, client, base)
+	} else {
+		before, haveBefore = scrapeServerStats(ctx, client, base)
+	}
 
 	ctx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
@@ -272,15 +307,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	// The measurement deadline has expired; scrape the post-window counters
 	// on a fresh context.
-	if after, ok := scrapeServerStats(context.WithoutCancel(ctx), client, base); ok && haveBefore {
-		sum.Server = &ServerStats{
-			CacheHits:      after.CacheHits - before.CacheHits,
-			CacheMisses:    after.CacheMisses - before.CacheMisses,
-			StoreResolves:  after.StoreResolves - before.StoreResolves,
-			StoreMisses:    after.StoreMisses - before.StoreMisses,
-			StoreEntries:   after.StoreEntries,
-			RespMemoHits:   after.RespMemoHits - before.RespMemoHits,
-			RespMemoMisses: after.RespMemoMisses - before.RespMemoMisses,
+	switch {
+	case *clusterMode:
+		if after, ok := scrapeClusterCounters(context.WithoutCancel(ctx), client, base); ok && haveCBefore {
+			sum.Cluster = clusterDelta(cBefore, after)
+		}
+	default:
+		if after, ok := scrapeServerStats(context.WithoutCancel(ctx), client, base); ok && haveBefore {
+			sum.Server = &ServerStats{
+				CacheHits:      after.CacheHits - before.CacheHits,
+				CacheMisses:    after.CacheMisses - before.CacheMisses,
+				StoreResolves:  after.StoreResolves - before.StoreResolves,
+				StoreMisses:    after.StoreMisses - before.StoreMisses,
+				StoreEntries:   after.StoreEntries,
+				RespMemoHits:   after.RespMemoHits - before.RespMemoHits,
+				RespMemoMisses: after.RespMemoMisses - before.RespMemoMisses,
+			}
 		}
 	}
 	enc := json.NewEncoder(stdout)
@@ -507,14 +549,105 @@ func scrapeServerStats(ctx context.Context, client *http.Client, base string) (S
 	return out, true
 }
 
-// quantiles computes exact latency quantiles from the recorded samples.
+// clusterCounters is the raw router-side counter snapshot behind the
+// ClusterStats deltas.
+type clusterCounters struct {
+	perNode                           map[string]int64
+	retries, replays, ejects, rejoins int64
+	memoHits, memoMisses              int64
+}
+
+// scrapeClusterCounters pulls the router block from a cmd/router /metrics
+// body; ok is false when the target is unreachable or is not a router (a
+// plain serve node has no "router" section — the summary then omits the
+// cluster block rather than reporting zeros as fact).
+func scrapeClusterCounters(ctx context.Context, client *http.Client, base string) (clusterCounters, bool) {
+	var out clusterCounters
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return out, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return out, false
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Router *struct {
+			Retries  int64            `json:"retries"`
+			Replays  int64            `json:"replays"`
+			Ejects   int64            `json:"ejects"`
+			Rejoins  int64            `json:"rejoins"`
+			PerNode  map[string]int64 `json:"perNode"`
+			RespMemo *struct {
+				Hits   int64 `json:"hits"`
+				Misses int64 `json:"misses"`
+			} `json:"respMemo"`
+		} `json:"router"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&m) != nil || m.Router == nil {
+		return out, false
+	}
+	out.perNode = m.Router.PerNode
+	out.retries = m.Router.Retries
+	out.replays = m.Router.Replays
+	out.ejects = m.Router.Ejects
+	out.rejoins = m.Router.Rejoins
+	if m.Router.RespMemo != nil {
+		out.memoHits = m.Router.RespMemo.Hits
+		out.memoMisses = m.Router.RespMemo.Misses
+	}
+	return out, true
+}
+
+// clusterDelta folds two router snapshots into the window's ClusterStats.
+func clusterDelta(before, after clusterCounters) *ClusterStats {
+	per := make(map[string]int64, len(after.perNode))
+	var total, max int64
+	for name, v := range after.perNode {
+		d := v - before.perNode[name]
+		per[name] = d
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	skew := 0.0
+	if len(per) > 0 && total > 0 {
+		skew = float64(max) * float64(len(per)) / float64(total)
+	}
+	return &ClusterStats{
+		PerNodeRequests: per,
+		Skew:            skew,
+		Retries:         after.retries - before.retries,
+		Replays:         after.replays - before.replays,
+		Ejects:          after.ejects - before.ejects,
+		Rejoins:         after.rejoins - before.rejoins,
+		RespMemoHits:    after.memoHits - before.memoHits,
+		RespMemoMisses:  after.memoMisses - before.memoMisses,
+	}
+}
+
+// quantiles computes exact latency quantiles from the recorded samples
+// using the nearest-rank definition: the smallest sample such that at
+// least a q fraction of the distribution is at or below it,
+// ceil(q*n)-1 after the sort. The previous floor-index formula
+// (int(q*(n-1))) was biased low on small samples — the p95 of 10 samples
+// answered the 9th-ranked value instead of the maximum — which understated
+// exactly the tail latencies a load report exists to surface.
 func quantiles(lats []time.Duration) LatQ {
 	if len(lats) == 0 {
 		return LatQ{}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	at := func(q float64) float64 {
-		i := int(q * float64(len(lats)-1))
+		i := int(math.Ceil(q*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
 		return float64(lats[i].Nanoseconds()) / 1e6
 	}
 	var sum time.Duration

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -109,6 +111,26 @@ func TestQuantilesExact(t *testing.T) {
 	}
 }
 
+// TestQuantilesNearestRankSmallSample pins the nearest-rank fix: on 10
+// samples of 1..10 ms, p95 and p99 are the maximum (10 ms). The old
+// floor-index formula answered 9 ms for both — a tail understated by a
+// whole rank, which is exactly the regime (small per-run sample counts)
+// short benchmark windows produce.
+func TestQuantilesNearestRankSmallSample(t *testing.T) {
+	lats := make([]time.Duration, 10)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	got := quantiles(lats)
+	want := LatQ{P50: 5, P95: 10, P99: 10, Mean: 5.5, Max: 10}
+	if got != want {
+		t.Fatalf("quantiles = %+v, want %+v", got, want)
+	}
+	if got := quantiles([]time.Duration{3 * time.Millisecond}); got != (LatQ{P50: 3, P95: 3, P99: 3, Mean: 3, Max: 3}) {
+		t.Fatalf("single-sample quantiles = %+v", got)
+	}
+}
+
 func TestLoadgenSearchEndpoint(t *testing.T) {
 	sum := runAgainst(t, "-endpoint", "search", "-algo", "bnb", "-model", "overlap", "-instances", "4", "-workers", "2")
 	if sum.Requests == 0 {
@@ -142,6 +164,72 @@ func TestLoadgenViaFlagErrors(t *testing.T) {
 				t.Fatalf("error = %v, want containing %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestLoadgenClusterMode drives a full in-process cluster — three serve
+// nodes behind a cluster.Router — in -cluster mode and checks the
+// summary's cluster block: every request answered, traffic attributed
+// across the nodes, and a finite skew. This doubles as the router's -race
+// load smoke (concurrent clients through the scatter/gather and memo
+// paths).
+func TestLoadgenClusterMode(t *testing.T) {
+	var members []cluster.Node
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(service.NewServer(service.Options{Workers: 2, CacheEntries: 256}).Handler())
+		t.Cleanup(ts.Close)
+		members = append(members, cluster.Node{Name: fmt.Sprintf("n%d", i), URL: ts.URL})
+	}
+	rt, err := cluster.NewRouter(cluster.Options{Nodes: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(rt.Handler())
+	t.Cleanup(router.Close)
+
+	args := []string{
+		"-url", router.URL,
+		"-cluster",
+		"-duration", "300ms",
+		"-workers", "3",
+		"-reps", "2,2",
+		"-instances", "24",
+		"-model", "overlap",
+		"-via", "store",
+		"-seed", "7",
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, stdout.String())
+	}
+	if sum.Requests == 0 || sum.Errors != 0 {
+		t.Fatalf("cluster run: %+v", sum)
+	}
+	if sum.Cluster == nil {
+		t.Fatalf("cluster summary lacks the cluster block: %s", stdout.String())
+	}
+	if len(sum.Cluster.PerNodeRequests) != 3 {
+		t.Fatalf("perNodeRequests covers %d nodes, want 3: %+v", len(sum.Cluster.PerNodeRequests), sum.Cluster)
+	}
+	var total int64
+	for _, n := range sum.Cluster.PerNodeRequests {
+		total += n
+	}
+	// With the router memo absorbing repeats, proxied requests can be far
+	// fewer than client requests — but the measurement window must have
+	// reached the nodes at all, and skew must be a sane ratio when it did.
+	if total == 0 && sum.Cluster.RespMemoHits == 0 {
+		t.Fatalf("no traffic attributed to nodes or memo: %+v", sum.Cluster)
+	}
+	if total > 0 && (sum.Cluster.Skew < 1 || sum.Cluster.Skew > float64(len(sum.Cluster.PerNodeRequests))) {
+		t.Fatalf("implausible skew %.2f for %+v", sum.Cluster.Skew, sum.Cluster.PerNodeRequests)
+	}
+	if sum.Server != nil {
+		t.Fatalf("cluster mode should omit the single-node server block: %+v", sum.Server)
 	}
 }
 

@@ -1,0 +1,133 @@
+// Command router fronts N serve nodes as one logical server: a
+// consistent-hash cluster router exposing the identical /v1/* surface.
+// Single-instance requests route to the instance's home node (by content
+// ID, so by-ID and inline forms share caches); /v1/batch and /v1/sweep
+// scatter by per-task home node and gather answers in submission order,
+// byte-identical to a single node. A health prober ejects dead nodes from
+// the ring (requests fail over to ring successors) and rejoins them when
+// they recover; by-ID misses after a failover are healed by replaying the
+// registration from the router's bounded cache.
+//
+// Usage:
+//
+//	router -nodes URL[=WEIGHT],URL[=WEIGHT],... [-addr :8090]
+//	       [-vnodes 128] [-probe-interval 500ms] [-eject-after 3]
+//	       [-rejoin-after 2] [-retries 2] [-timeout 60s]
+//	       [-replay-entries 4096] [-respmemo-entries 8192]
+//
+// -nodes lists the serve processes to shard across (required); an optional
+// =WEIGHT per node scales its key share (default 1). -vnodes sets ring
+// points per weight unit. -retries bounds failover hops past a key's home
+// node. -replay-entries bounds the registration-replay cache and
+// -respmemo-entries the router's response memo (negative disables it).
+//
+// Example:
+//
+//	serve -addr :8081 & serve -addr :8082 & serve -addr :8083 &
+//	router -addr :8090 -nodes http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	curl -s localhost:8090/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed
+		}
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until ctx is canceled. Like cmd/serve, the
+// "listening on" line goes to stderr so tests can bind ":0" and discover
+// the port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("router", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8090", "listen address (host:port; :0 picks a free port)")
+	nodeList := fs.String("nodes", "", "comma-separated serve node URLs, each optionally URL=WEIGHT (required)")
+	vnodes := fs.Int("vnodes", 0, "ring virtual nodes per weight unit (0 = default 128)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "health-probe cadence per node")
+	ejectAfter := fs.Int("eject-after", 3, "consecutive probe failures before a node is ejected from the ring")
+	rejoinAfter := fs.Int("rejoin-after", 2, "consecutive probe successes before an ejected node rejoins")
+	retries := fs.Int("retries", 2, "failover hops past a key's home node (negative disables failover)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-proxied-request wall-clock ceiling")
+	replayEntries := fs.Int("replay-entries", 0, "registration-replay cache bound (0 = default 4096)")
+	respEntries := fs.Int("respmemo-entries", 0, "router response-memo bound (0 = default 8192, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	nodes, err := parseNodes(*nodeList)
+	if err != nil {
+		return err
+	}
+	opts := cluster.Options{
+		Nodes:           nodes,
+		Vnodes:          *vnodes,
+		ProbeInterval:   *probeInterval,
+		EjectAfter:      *ejectAfter,
+		RejoinAfter:     *rejoinAfter,
+		Retries:         *retries,
+		RequestTimeout:  *timeout,
+		ReplayEntries:   *replayEntries,
+		RespMemoEntries: *respEntries,
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	if err := cluster.Serve(ctx, *addr, opts, logf); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "shutdown complete")
+	return nil
+}
+
+// parseNodes parses the -nodes list: "URL,URL=3,URL". The URL doubles as
+// the node's ring name, so ownership is stable across router restarts as
+// long as the URL set is.
+func parseNodes(list string) ([]cluster.Node, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("-nodes is required (comma-separated serve URLs)")
+	}
+	var nodes []cluster.Node
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("-nodes holds an empty entry")
+		}
+		n := cluster.Node{Weight: 1}
+		if url, w, ok := strings.Cut(part, "="); ok {
+			weight, err := strconv.Atoi(w)
+			if err != nil || weight < 1 {
+				return nil, fmt.Errorf("bad node weight in %q (want URL=positive-integer)", part)
+			}
+			n.URL, n.Weight = url, weight
+		} else {
+			n.URL = part
+		}
+		if !strings.HasPrefix(n.URL, "http://") && !strings.HasPrefix(n.URL, "https://") {
+			return nil, fmt.Errorf("node URL %q must start with http:// or https://", n.URL)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// syncBuffer lets the test read stderr while run() writes it from another
+// goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := parseNodes("http://a:1,http://b:2=3, http://c:3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cluster.Node{
+		{URL: "http://a:1", Weight: 1},
+		{URL: "http://b:2", Weight: 3},
+		{URL: "http://c:3", Weight: 1},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("parsed %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing nodes", nil, "-nodes is required"},
+		{"empty entry", []string{"-nodes", "http://a:1,,http://b:2"}, "empty entry"},
+		{"bad weight", []string{"-nodes", "http://a:1=zero"}, "bad node weight"},
+		{"bad scheme", []string{"-nodes", "localhost:8081"}, "must start with http"},
+		{"positional args", []string{"-nodes", "http://a:1", "extra"}, "unexpected arguments"},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), c.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error()+stderr.String(), c.want) {
+				t.Fatalf("run(%v) error %q, want %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+var listenLine = regexp.MustCompile(`listening on ([^\s]+)`)
+
+// TestRouterLifecycle boots two in-process serve nodes and the real router
+// binary path on a free port, proxies one evaluation through it, checks
+// the cluster health view, and expects a clean logged shutdown.
+func TestRouterLifecycle(t *testing.T) {
+	n1 := httptest.NewServer(service.NewServer(service.Options{}).Handler())
+	defer n1.Close()
+	n2 := httptest.NewServer(service.NewServer(service.Options{}).Handler())
+	defer n2.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout bytes.Buffer
+	stderr := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-nodes", n1.URL + "," + n2.URL + "=2",
+			"-probe-interval", "50ms",
+		}, &stdout, stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never reported its address; stderr: %s", stderr.String())
+		}
+		if m := listenLine.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health cluster.HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.RingNodes) != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	var weights []int
+	for _, n := range health.Nodes {
+		weights = append(weights, n.Weight)
+	}
+	if (weights[0] == 2) == (weights[1] == 2) {
+		t.Fatalf("exactly one node should carry weight 2: %+v", health.Nodes)
+	}
+
+	body := `{"model":"overlap","instance":{"comp":[["4","4"],["3"]],"comm":[[["2"],["2"]]]}}`
+	resp, err = http.Post("http://"+addr+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	var eval struct {
+		Period string `json:"period"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eval); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || eval.Period == "" {
+		t.Fatalf("evaluate: status %d, %+v", resp.StatusCode, eval)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("router did not shut down after cancel")
+	}
+	if !strings.Contains(stderr.String(), "shutdown complete") {
+		t.Fatalf("no shutdown log; stderr: %s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("stdout should stay clean, got %q", stdout.String())
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/exper"
+	"repro/internal/service"
+)
+
+// BenchmarkRouterHitPath measures what the cluster layer costs on the
+// workload that dominates steady state: a repeat by-ID /v1/evaluate that
+// is a pure cache hit. Both arms go over real HTTP with a keep-alive
+// client so the comparison is transport-for-transport:
+//
+//   - direct: one serve node, the request hits its response-bytes memo.
+//   - router: a 3-node cluster behind the router; the repeat body hits the
+//     router's own response memo — no node round trip at all.
+//
+// The router/direct ns-per-op ratio is gated at <= 2x in
+// scripts/benchjson.awk (BENCH_8): the cluster layer may cost at most one
+// extra hop's worth on the hit path, and the memo keeps it under that.
+func BenchmarkRouterHitPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := exper.RandomTimedInstance(rng, []int{8, 8}, 5, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &http.Client{}
+
+	post := func(url string, payload []byte) ([]byte, int) {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body, resp.StatusCode
+	}
+
+	marshal := func(v any) []byte {
+		p, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	regPayload := marshal(service.InstanceRequest{Instance: inst})
+
+	// Direct arm: one node.
+	node := httptest.NewServer(service.NewServer(service.Options{}).Handler())
+	defer node.Close()
+
+	// Router arm: three nodes behind a router (no probers — the ring is
+	// static for the benchmark's lifetime).
+	var members []Node
+	var backends []*httptest.Server
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(service.NewServer(service.Options{}).Handler())
+		backends = append(backends, ts)
+		members = append(members, Node{URL: ts.URL})
+	}
+	defer func() {
+		for _, ts := range backends {
+			ts.Close()
+		}
+	}()
+	rt, err := NewRouter(Options{Nodes: members})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	for _, arm := range []struct {
+		name string
+		base string
+	}{
+		{"direct", node.URL},
+		{"router", router.URL},
+	} {
+		if body, status := post(arm.base+"/v1/instances", regPayload); status != http.StatusOK {
+			b.Fatalf("%s register: status %d, body %s", arm.name, status, body)
+		}
+		var reg service.InstanceResponse
+		{
+			body, _ := post(arm.base+"/v1/instances", regPayload)
+			if err := json.Unmarshal(body, &reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		payload := marshal(service.EvaluateRequest{InstanceID: reg.ID, Model: "overlap"})
+		// Warm every cache tier: timed iterations are pure hits.
+		if body, status := post(arm.base+"/v1/evaluate", payload); status != http.StatusOK {
+			b.Fatalf("%s warm-up: status %d, body %s", arm.name, status, body)
+		}
+		b.Run(arm.name, func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, status := post(arm.base+"/v1/evaluate", payload); status != http.StatusOK {
+					b.Fatalf("iteration %d: status %d", i, status)
+				}
+			}
+		})
+	}
+}

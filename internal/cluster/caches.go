@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// byteCache is a CLOCK-bounded string -> bytes cache, the same residency
+// discipline as the service's response memo and the engine memo cache. The
+// router runs two of them: the replay cache (content ID -> registration
+// body, behind replay-on-miss) and the response memo (evaluate request
+// body -> response body). Entries are immutable byte slices, so reads share
+// without copying.
+type byteCache struct {
+	capacity int
+
+	mu        sync.RWMutex
+	byKey     map[string]int32 // key -> slot
+	entries   []*byteEntry     // fixed slots; the CLOCK ring
+	hand      int32
+	evictions int64 // guarded by mu
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type byteEntry struct {
+	key string
+	val []byte      // immutable once inserted
+	ref atomic.Bool // CLOCK reference bit
+}
+
+func newByteCache(capacity int) *byteCache {
+	return &byteCache{
+		capacity: capacity,
+		byKey:    make(map[string]int32, capacity),
+		entries:  make([]*byteEntry, 0, capacity),
+	}
+}
+
+// get returns the cached value for key. The returned slice is shared and
+// must not be mutated.
+func (c *byteCache) get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slot, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := c.entries[slot]
+	e.ref.Store(true)
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// put stores val under key, copying it (callers pass request-scoped
+// buffers). A concurrent first-fill wins so repeat reads are byte-stable.
+func (c *byteCache) put(key string, val []byte) {
+	owned := make([]byte, len(val))
+	copy(owned, val)
+	ent := &byteEntry{key: key, val: owned}
+	ent.ref.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, ent)
+		c.byKey[key] = int32(len(c.entries) - 1)
+		return
+	}
+	// CLOCK sweep: clear reference bits until an unreferenced slot turns up;
+	// two revolutions guarantee a victim (nothing pins these entries).
+	for {
+		victim := c.hand
+		cand := c.entries[victim]
+		c.hand = (c.hand + 1) % int32(len(c.entries))
+		if cand.ref.CompareAndSwap(true, false) {
+			continue
+		}
+		delete(c.byKey, cand.key)
+		c.entries[victim] = ent
+		c.byKey[key] = victim
+		c.evictions++
+		return
+	}
+}
+
+// cacheMetrics is a consistent point-in-time snapshot (Entries and
+// Evictions read under one lock acquisition, so their sum is monotone
+// across scrapes — the same contract the service caches keep).
+type cacheMetrics struct {
+	Hits, Misses, Evictions, Entries int64
+	Capacity                         int
+}
+
+func (c *byteCache) metrics() cacheMetrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return cacheMetrics{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions,
+		Entries:   int64(len(c.entries)),
+		Capacity:  c.capacity,
+	}
+}

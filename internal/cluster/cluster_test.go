@@ -1,0 +1,568 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/exper"
+	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// testNode is one in-process serve node on a real listener, so tests can
+// kill it abruptly (connection resets, not graceful drains) and rebind the
+// same address to exercise rejoin.
+type testNode struct {
+	t    *testing.T
+	addr string
+	opts service.Options
+	srv  *http.Server
+}
+
+func startNode(t *testing.T, opts service.Options) *testNode {
+	t.Helper()
+	n := &testNode{t: t, opts: opts}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.addr = ln.Addr().String()
+	n.serveOn(ln)
+	t.Cleanup(n.kill)
+	return n
+}
+
+func (n *testNode) serveOn(ln net.Listener) {
+	srv := &http.Server{Handler: service.NewServer(n.opts).Handler()}
+	n.srv = srv
+	go func() { _ = srv.Serve(ln) }()
+}
+
+func (n *testNode) url() string { return "http://" + n.addr }
+
+// kill closes the listener and every open connection immediately.
+func (n *testNode) kill() {
+	if n.srv != nil {
+		_ = n.srv.Close()
+		n.srv = nil
+	}
+}
+
+// restart rebinds the node's original address with a fresh (cold-store)
+// server — a crash-and-recover, not a graceful bounce.
+func (n *testNode) restart() {
+	n.t.Helper()
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		n.t.Fatalf("rebind %s: %v", n.addr, err)
+	}
+	n.serveOn(ln)
+}
+
+// startCluster boots n serve nodes and a router over them. Probing is fast
+// so eject/rejoin tests converge quickly; tests that never kill a node are
+// unaffected.
+func startCluster(t *testing.T, nNodes int, nodeOpts service.Options, tune func(*Options)) ([]*testNode, *Router, string) {
+	t.Helper()
+	nodes := make([]*testNode, nNodes)
+	members := make([]Node, nNodes)
+	for i := range nodes {
+		nodes[i] = startNode(t, nodeOpts)
+		members[i] = Node{Name: fmt.Sprintf("n%d", i), URL: nodes[i].url()}
+	}
+	opts := Options{
+		Nodes:         members,
+		ProbeInterval: 20 * time.Millisecond,
+		EjectAfter:    2,
+		RejoinAfter:   2,
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	rt, err := NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	rt.Start(ctx)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return nodes, rt, ts.URL
+}
+
+func postRaw(t *testing.T, url string, body []byte) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), resp.StatusCode
+}
+
+func getRaw(t *testing.T, url string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), resp.StatusCode
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// routerMetricsJSON decodes the slice of the router /metrics body the
+// tests assert on.
+type routerMetricsJSON struct {
+	Router struct {
+		Retries  int64            `json:"retries"`
+		Replays  int64            `json:"replays"`
+		Ejects   int64            `json:"ejects"`
+		Rejoins  int64            `json:"rejoins"`
+		PerNode  map[string]int64 `json:"perNode"`
+		RespMemo *struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"respMemo"`
+	} `json:"router"`
+	Nodes map[string]json.RawMessage `json:"nodes"`
+}
+
+func scrapeRouter(t *testing.T, routerURL string) routerMetricsJSON {
+	t.Helper()
+	body, status := getRaw(t, routerURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("router /metrics: status %d, body %s", status, body)
+	}
+	var m routerMetricsJSON
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("router /metrics: %v\n%s", err, body)
+	}
+	return m
+}
+
+func routerHealth(t *testing.T, routerURL string) HealthzResponse {
+	t.Helper()
+	body, status := getRaw(t, routerURL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("router /healthz: status %d, body %s", status, body)
+	}
+	var h HealthzResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// table2Instances draws one instance per Table 2 grid row per model, the
+// same population the service acceptance tests evaluate.
+func table2Instances(t *testing.T) []*model.Instance {
+	t.Helper()
+	var insts []*model.Instance
+	for _, cm := range model.Models() {
+		for rowIdx, row := range exper.Table2Rows(cm, 1, exper.DefaultMaxPathCount) {
+			seed := int64(rowIdx*10_000 + 1)
+			rng := rand.New(rand.NewSource(seed))
+			inst, err := row.Specs[0].Instance(rng)
+			if err != nil {
+				t.Fatalf("row %q: %v", row.Label, err)
+			}
+			insts = append(insts, inst)
+		}
+	}
+	return insts
+}
+
+// TestRouterBatchBytesIdenticalToSingleNode is the tentpole acceptance
+// bar: a batch over the Table 2 grid — mixed inline and by-ID tasks —
+// scattered across 3 nodes must come back byte-for-byte identical to the
+// same request answered by one standalone node.
+func TestRouterBatchBytesIdenticalToSingleNode(t *testing.T) {
+	single := startNode(t, service.Options{})
+	_, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+
+	insts := table2Instances(t)
+	var tasks []service.BatchTask
+	for i, inst := range insts {
+		cm := model.Models()[i%len(model.Models())]
+		if i%2 == 0 {
+			tasks = append(tasks, service.BatchTask{Instance: inst, Model: cm.String()})
+			continue
+		}
+		// By-ID halves: register on both serving paths (the content ID is
+		// node-independent, so both registrations answer the same ID).
+		regBody := mustJSON(t, service.InstanceRequest{Instance: inst})
+		var reg service.InstanceResponse
+		for _, base := range []string{single.url(), routerURL} {
+			body, status := postRaw(t, base+"/v1/instances", regBody)
+			if status != http.StatusOK {
+				t.Fatalf("register on %s: status %d, body %s", base, status, body)
+			}
+			if err := json.Unmarshal(body, &reg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want := store.ContentID(inst); reg.ID != want {
+			t.Fatalf("registered ID %s, want content ID %s", reg.ID, want)
+		}
+		tasks = append(tasks, service.BatchTask{InstanceID: reg.ID, Model: cm.String()})
+	}
+
+	reqBody := mustJSON(t, service.BatchRequest{Tasks: tasks})
+	wantBody, wantStatus := postRaw(t, single.url()+"/v1/batch", reqBody)
+	gotBody, gotStatus := postRaw(t, routerURL+"/v1/batch", reqBody)
+	if wantStatus != http.StatusOK || gotStatus != wantStatus {
+		t.Fatalf("status: single %d, router %d (%s)", wantStatus, gotStatus, gotBody)
+	}
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("router batch differs from single node:\nrouter: %s\nsingle: %s", gotBody, wantBody)
+	}
+
+	// The scatter actually spread: the batch split into sub-requests for
+	// more than one node (a small key population can leave one of three
+	// nodes idle; all three busy would be a distribution claim the ring
+	// tests make with 100k keys).
+	m := scrapeRouter(t, routerURL)
+	busy := 0
+	for _, count := range m.Router.PerNode {
+		if count > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("batch did not scatter: per-node proxied counts %v", m.Router.PerNode)
+	}
+}
+
+// TestRouterSweepMatchesSingleNode scatters one sweep across 3 nodes and
+// checks every deterministic field of every point against a single node's
+// answer (the wall-clock fields PolyNs/TPNNs are scheduling noise on any
+// topology, single node included).
+func TestRouterSweepMatchesSingleNode(t *testing.T) {
+	single := startNode(t, service.Options{})
+	_, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+
+	req := mustJSON(t, service.SweepRequest{Seed: 7, Pairs: [][]int{{2, 3}, {3, 4}, {4, 5}, {2, 5}, {3, 5}, {5, 6}}})
+	wantBody, wantStatus := postRaw(t, single.url()+"/v1/sweep", req)
+	gotBody, gotStatus := postRaw(t, routerURL+"/v1/sweep", req)
+	if wantStatus != http.StatusOK || gotStatus != wantStatus {
+		t.Fatalf("status: single %d, router %d (%s)", wantStatus, gotStatus, gotBody)
+	}
+	var want, got service.SweepResponse
+	if err := json.Unmarshal(wantBody, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(gotBody, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Points {
+		want.Points[i].PolyNs, want.Points[i].TPNNs = 0, 0
+		got.Points[i].PolyNs, got.Points[i].TPNNs = 0, 0
+	}
+	wantNorm, gotNorm := mustJSON(t, want), mustJSON(t, got)
+	if !bytes.Equal(wantNorm, gotNorm) {
+		t.Fatalf("router sweep differs from single node on deterministic fields:\nrouter: %s\nsingle: %s", gotNorm, wantNorm)
+	}
+}
+
+// TestRouterEvaluateMemoAndAffinity: repeat evaluate bodies are served
+// from the router's response memo (no extra node round trip), and the
+// by-ID form of a registered instance routes and answers identically to
+// the inline form.
+func TestRouterEvaluateMemoAndAffinity(t *testing.T) {
+	_, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+
+	rng := rand.New(rand.NewSource(42))
+	inst, err := exper.RandomTimedInstance(rng, []int{3, 4}, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalBody := mustJSON(t, service.EvaluateRequest{Instance: inst, Model: "overlap"})
+
+	first, status := postRaw(t, routerURL+"/v1/evaluate", evalBody)
+	if status != http.StatusOK {
+		t.Fatalf("evaluate: status %d, body %s", status, first)
+	}
+	before := scrapeRouter(t, routerURL)
+	second, status := postRaw(t, routerURL+"/v1/evaluate", evalBody)
+	if status != http.StatusOK {
+		t.Fatalf("repeat evaluate: status %d", status)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat evaluate changed bytes:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	after := scrapeRouter(t, routerURL)
+	if after.Router.RespMemo == nil || before.Router.RespMemo == nil {
+		t.Fatal("router response memo missing from /metrics")
+	}
+	if after.Router.RespMemo.Hits <= before.Router.RespMemo.Hits {
+		t.Fatalf("repeat evaluate did not hit the router memo: hits %d -> %d",
+			before.Router.RespMemo.Hits, after.Router.RespMemo.Hits)
+	}
+
+	// By-ID answer matches the inline answer byte-for-byte (the service
+	// guarantee, preserved through the router because both route to the same
+	// home node).
+	regBody, regStatus := postRaw(t, routerURL+"/v1/instances", mustJSON(t, service.InstanceRequest{Instance: inst}))
+	if regStatus != http.StatusOK {
+		t.Fatalf("register: status %d, body %s", regStatus, regBody)
+	}
+	var reg service.InstanceResponse
+	if err := json.Unmarshal(regBody, &reg); err != nil {
+		t.Fatal(err)
+	}
+	byID, status := postRaw(t, routerURL+"/v1/evaluate", mustJSON(t, service.EvaluateRequest{InstanceID: reg.ID, Model: "overlap"}))
+	if status != http.StatusOK {
+		t.Fatalf("by-ID evaluate: status %d, body %s", status, byID)
+	}
+	if !bytes.Equal(byID, first) {
+		t.Fatalf("by-ID evaluate differs from inline:\nby-ID:  %s\ninline: %s", byID, first)
+	}
+}
+
+// TestRouterBatchErrorIndexRewrite: a failing task inside a scattered
+// batch must surface with its global index and the node's own phrasing —
+// identical to the single-node verdict.
+func TestRouterBatchErrorIndexRewrite(t *testing.T) {
+	single := startNode(t, service.Options{})
+	_, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+
+	rng := rand.New(rand.NewSource(3))
+	var tasks []service.BatchTask
+	for i := 0; i < 5; i++ {
+		inst, err := exper.RandomTimedInstance(rng, []int{2, 3}, 5, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, service.BatchTask{Instance: inst, Model: "overlap"})
+	}
+	bogus := "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	tasks[3] = service.BatchTask{InstanceID: bogus, Model: "overlap"}
+
+	reqBody := mustJSON(t, service.BatchRequest{Tasks: tasks})
+	wantBody, wantStatus := postRaw(t, single.url()+"/v1/batch", reqBody)
+	gotBody, gotStatus := postRaw(t, routerURL+"/v1/batch", reqBody)
+	if wantStatus != http.StatusNotFound {
+		t.Fatalf("single node: status %d, want 404 (%s)", wantStatus, wantBody)
+	}
+	if gotStatus != wantStatus || !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("router error verdict differs:\nrouter: %d %s\nsingle: %d %s", gotStatus, gotBody, wantStatus, wantBody)
+	}
+}
+
+// TestRouterFailoverNodeKillMidRun kills a node partway through a stream
+// of evaluations: every request must still answer 200 (successor failover
+// while the prober converges on ejection), and the health view must
+// degrade to exactly the surviving membership.
+func TestRouterFailoverNodeKillMidRun(t *testing.T) {
+	nodes, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+
+	rng := rand.New(rand.NewSource(11))
+	const total, killAt = 60, 20
+	for i := 0; i < total; i++ {
+		if i == killAt {
+			nodes[1].kill()
+		}
+		inst, err := exper.RandomTimedInstance(rng, []int{2, 3}, 5, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, status := postRaw(t, routerURL+"/v1/evaluate", mustJSON(t, service.EvaluateRequest{Instance: inst, Model: "overlap"}))
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, status, body)
+		}
+	}
+
+	waitFor(t, "node n1 ejected", func() bool {
+		h := routerHealth(t, routerURL)
+		return h.Status == "degraded" && len(h.RingNodes) == 2
+	})
+	h := routerHealth(t, routerURL)
+	for _, rn := range h.RingNodes {
+		if rn == "n1" {
+			t.Fatalf("killed node still in ring: %v", h.RingNodes)
+		}
+	}
+	m := scrapeRouter(t, routerURL)
+	if m.Router.Ejects == 0 {
+		t.Error("expected at least one eject after node kill")
+	}
+	if raw, ok := m.Nodes["n1"]; !ok || string(raw) != "null" {
+		t.Errorf("dead node should scrape as null, got %s", raw)
+	}
+}
+
+// TestRouterReplayAndRejoin is the full recovery story: the home node of a
+// registered instance dies; by-ID requests fail over to a successor whose
+// store is cold, and the router heals the 404 by replaying the cached
+// registration. The node then restarts (cold store, same address), rejoins
+// the ring, and by-ID requests to it are healed the same way.
+func TestRouterReplayAndRejoin(t *testing.T) {
+	nodes, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+
+	rng := rand.New(rand.NewSource(99))
+	inst, err := exper.RandomTimedInstance(rng, []int{3, 5}, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regBody, regStatus := postRaw(t, routerURL+"/v1/instances", mustJSON(t, service.InstanceRequest{Instance: inst}))
+	if regStatus != http.StatusOK {
+		t.Fatalf("register: status %d, body %s", regStatus, regBody)
+	}
+	var reg service.InstanceResponse
+	if err := json.Unmarshal(regBody, &reg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the home node empirically: exactly one node holds the content.
+	home := -1
+	for i, n := range nodes {
+		if _, status := getRaw(t, n.url()+"/v1/instances/"+reg.ID); status == http.StatusOK {
+			if home >= 0 {
+				t.Fatalf("instance resident on nodes %d and %d", home, i)
+			}
+			home = i
+		}
+	}
+	if home < 0 {
+		t.Fatal("registered instance resident on no node")
+	}
+
+	wantEval, status := postRaw(t, routerURL+"/v1/evaluate", mustJSON(t, service.EvaluateRequest{InstanceID: reg.ID, Model: "overlap"}))
+	if status != http.StatusOK {
+		t.Fatalf("by-ID evaluate before kill: status %d, body %s", status, wantEval)
+	}
+
+	nodes[home].kill()
+	waitFor(t, "home node ejected", func() bool {
+		return len(routerHealth(t, routerURL).RingNodes) == 2
+	})
+
+	// The successor's store has never seen this ID; only replay can answer.
+	// (The router memo would short-circuit the identical evaluate body, so
+	// exercise the GET path, which is never memoized, plus a distinct
+	// evaluate body.)
+	before := scrapeRouter(t, routerURL)
+	getBody, getStatus := getRaw(t, routerURL+"/v1/instances/"+reg.ID)
+	if getStatus != http.StatusOK {
+		t.Fatalf("by-ID GET after home kill: status %d, body %s", getStatus, getBody)
+	}
+	evalBody, evalStatus := postRaw(t, routerURL+"/v1/evaluate",
+		mustJSON(t, service.EvaluateRequest{InstanceID: reg.ID, Model: "strict"}))
+	if evalStatus != http.StatusOK {
+		t.Fatalf("by-ID evaluate after home kill: status %d, body %s", evalStatus, evalBody)
+	}
+	after := scrapeRouter(t, routerURL)
+	if after.Router.Replays <= before.Router.Replays {
+		t.Fatalf("expected replay-on-miss after home kill: replays %d -> %d",
+			before.Router.Replays, after.Router.Replays)
+	}
+
+	// Crash-recover the home node: same address, empty store. It must
+	// rejoin the ring and, once it owns its keys again, replay heals its
+	// cold store too.
+	nodes[home].restart()
+	waitFor(t, "home node rejoined", func() bool {
+		h := routerHealth(t, routerURL)
+		return h.Status == "ok" && len(h.RingNodes) == 3
+	})
+	m := scrapeRouter(t, routerURL)
+	if m.Router.Rejoins == 0 {
+		t.Error("expected a rejoin after restart")
+	}
+	gotEval, status := postRaw(t, routerURL+"/v1/evaluate", mustJSON(t, service.EvaluateRequest{InstanceID: reg.ID, Model: "overlap"}))
+	if status != http.StatusOK {
+		t.Fatalf("by-ID evaluate after rejoin: status %d, body %s", status, gotEval)
+	}
+	if !bytes.Equal(gotEval, wantEval) {
+		t.Fatalf("post-rejoin evaluate differs:\nafter:  %s\nbefore: %s", gotEval, wantEval)
+	}
+}
+
+// TestRouterUnknownIDIsTruthful404: an ID the router never saw registered
+// cannot be replayed — the node's 404 must pass through untouched.
+func TestRouterUnknownIDIsTruthful404(t *testing.T) {
+	_, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+	bogus := "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	body, status := postRaw(t, routerURL+"/v1/evaluate", mustJSON(t, service.EvaluateRequest{InstanceID: bogus, Model: "overlap"}))
+	if status != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 (%s)", status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("want node error body, got %s", body)
+	}
+}
+
+// TestRouterMetricsAggregatesNodes: the cluster scrape embeds every live
+// node's own metrics document.
+func TestRouterMetricsAggregatesNodes(t *testing.T) {
+	_, _, routerURL := startCluster(t, 3, service.Options{}, nil)
+	m := scrapeRouter(t, routerURL)
+	if len(m.Nodes) != 3 {
+		t.Fatalf("scrape covers %d nodes, want 3", len(m.Nodes))
+	}
+	for name, raw := range m.Nodes {
+		var nm struct {
+			UptimeSeconds *float64 `json:"uptimeSeconds"`
+		}
+		if err := json.Unmarshal(raw, &nm); err != nil || nm.UptimeSeconds == nil {
+			t.Errorf("node %s metrics not embedded: %v (%s)", name, err, raw)
+		}
+	}
+}
+
+// TestRouterOptionsValidation pins the constructor's verdicts.
+func TestRouterOptionsValidation(t *testing.T) {
+	if _, err := NewRouter(Options{}); err == nil {
+		t.Error("no nodes: want error")
+	}
+	if _, err := NewRouter(Options{Nodes: []Node{{Name: "a"}}}); err == nil {
+		t.Error("node without URL: want error")
+	}
+	if _, err := NewRouter(Options{Nodes: []Node{
+		{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate name: want error")
+	}
+}

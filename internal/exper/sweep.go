@@ -52,6 +52,18 @@ func RuntimeSweep(seed int64, pairs [][]int) ([]SweepPoint, error) {
 // pool is wider than one worker, which inflates absolute wall times on a
 // busy machine but preserves the poly-vs-TPN comparison each point makes.
 func RuntimeSweepEngine(ctx context.Context, eng *engine.Engine, seed int64, pairs [][]int) ([]SweepPoint, error) {
+	return RuntimeSweepEngineSubset(ctx, eng, seed, pairs, nil)
+}
+
+// RuntimeSweepEngineSubset evaluates only the pairs at the given indices
+// (nil = all), returning one point per index in the order given. The full
+// instance population is still drawn from the one serial rng stream before
+// anything is evaluated, so the instance at index k is bit-identical to the
+// one a full sweep over the same (seed, pairs) evaluates — the property the
+// cluster router's scatter relies on: each node generates the whole
+// (cheap) population but solves only the pairs it is home to, and the
+// gathered points merge back into exactly the single-node sweep.
+func RuntimeSweepEngineSubset(ctx context.Context, eng *engine.Engine, seed int64, pairs [][]int, only []int) ([]SweepPoint, error) {
 	rng := rand.New(rand.NewSource(seed))
 	insts := make([]*model.Instance, len(pairs))
 	for k, reps := range pairs {
@@ -61,10 +73,22 @@ func RuntimeSweepEngine(ctx context.Context, eng *engine.Engine, seed int64, pai
 		}
 		insts[k] = inst
 	}
-	out := make([]SweepPoint, len(pairs))
-	errs := make([]error, len(pairs))
-	if err := eng.ForEach(ctx, len(pairs), func(k int) {
-		out[k], errs[k] = sweepPoint(insts[k], pairs[k])
+	if only == nil {
+		only = make([]int, len(pairs))
+		for k := range only {
+			only[k] = k
+		}
+	}
+	for _, k := range only {
+		if k < 0 || k >= len(pairs) {
+			return nil, fmt.Errorf("exper: sweep index %d out of range [0, %d)", k, len(pairs))
+		}
+	}
+	out := make([]SweepPoint, len(only))
+	errs := make([]error, len(only))
+	if err := eng.ForEach(ctx, len(only), func(i int) {
+		k := only[i]
+		out[i], errs[i] = sweepPoint(insts[k], pairs[k])
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,202 @@
+// Package ring implements the consistent-hash ring the cluster router
+// shards on: a sorted circle of virtual-node points, weights expressed as
+// extra points per member, and the classic consistent-hashing rebalance
+// guarantee — a membership change moves only the keys owned by the changed
+// member, never the keys between two surviving members.
+//
+// The ring is a pure data structure: deterministic (the point positions are
+// FNV-1a hashes of "name#index", so the same membership always yields the
+// same ownership map on every process), allocation-light on lookup (binary
+// search over a flat slice), and deliberately not synchronized — the router
+// guards its ring with the same lock that guards node health state, so
+// membership changes and lookups cannot interleave inconsistently.
+//
+// Keys here are the serving layer's content IDs (store.ContentID — the hex
+// SHA-256 of an instance's canonical serialization), which is what makes the
+// per-node response memos an effectively distributed cache: the same
+// instance hashes to the same home node from any client, on any router,
+// across restarts.
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the number of virtual points per weight unit when New is
+// given a non-positive count. 128 points per member keeps the measured
+// ownership skew under 2x (pinned by TestDistributionSkew) while membership
+// changes stay O(vnodes log points).
+const DefaultVnodes = 128
+
+// Hash is the key hash the ring positions against: 64-bit FNV-1a finished
+// with a splitmix64-style avalanche. Plain FNV clusters on the sequential
+// "name#0", "name#1", ... vnode strings (neighboring suffixes land on
+// neighboring positions, which is exactly the skew virtual nodes exist to
+// kill); the finalizer spreads those runs uniformly around the circle.
+// Exposed so callers can pre-hash or route non-string keys consistently.
+func Hash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// point is one virtual node: a position on the circle owned by a member.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is the consistent-hash ring. Not safe for concurrent use; callers
+// serialize access (the router holds it under its state lock).
+type Ring struct {
+	vnodes  int            // points per weight unit
+	weights map[string]int // member -> weight
+	points  []point        // sorted by (hash, node)
+}
+
+// New builds an empty ring with the given number of virtual points per
+// weight unit (<= 0 means DefaultVnodes).
+func New(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, weights: make(map[string]int)}
+}
+
+// Vnodes returns the configured points per weight unit.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.weights) }
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.weights))
+	for n := range r.weights {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Weight returns a member's weight and whether it is present.
+func (r *Ring) Weight(node string) (int, bool) {
+	w, ok := r.weights[node]
+	return w, ok
+}
+
+// memberPoints derives the virtual points of a member: weight x vnodes
+// positions hashed from "name#index". The derivation depends on nothing but
+// the member itself, which is the whole rebalance guarantee — adding or
+// removing one member cannot move any other member's points.
+func (r *Ring) memberPoints(node string, weight int) []point {
+	pts := make([]point, 0, weight*r.vnodes)
+	for i := 0; i < weight*r.vnodes; i++ {
+		pts = append(pts, point{hash: Hash(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	return pts
+}
+
+// Add inserts a member with the given weight (>= 1; a weight-w member owns
+// roughly w times the key share of a weight-1 member). Adding a present
+// member or an empty name is an error.
+func (r *Ring) Add(node string, weight int) error {
+	if node == "" {
+		return fmt.Errorf("ring: empty node name")
+	}
+	if weight < 1 {
+		return fmt.Errorf("ring: node %q weight %d, want >= 1", node, weight)
+	}
+	if _, ok := r.weights[node]; ok {
+		return fmt.Errorf("ring: node %q already present", node)
+	}
+	r.weights[node] = weight
+	r.points = append(r.points, r.memberPoints(node, weight)...)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties broken by name so the ownership map is deterministic
+		// regardless of insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+	return nil
+}
+
+// Remove deletes a member and its points; reports whether it was present.
+func (r *Ring) Remove(node string) bool {
+	if _, ok := r.weights[node]; !ok {
+		return false
+	}
+	delete(r.weights, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Get returns the member owning key — the first point clockwise from the
+// key's hash — and false on an empty ring.
+func (r *Ring) Get(key string) (string, bool) {
+	return r.GetHash(Hash(key))
+}
+
+// GetHash is Get for a pre-computed key hash.
+func (r *Ring) GetHash(h uint64) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := r.search(h)
+	return r.points[i].node, true
+}
+
+// search finds the index of the first point at or clockwise of h (wrapping
+// past the top of the circle back to index 0).
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Successors returns up to n distinct members in ring order starting at the
+// key's owner — the failover sequence: while the owner is out, its keys are
+// served by the next distinct member clockwise, and so on.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.weights) {
+		n = len(r.weights)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	at := r.search(Hash(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		node := r.points[(at+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys draws n distinct synthetic keys shaped like the serving layer's
+// content IDs (hex-ish strings).
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("content-%08x-%d", i*2654435761, i)
+	}
+	return out
+}
+
+func mustAdd(t *testing.T, r *Ring, node string, weight int) {
+	t.Helper()
+	if err := r.Add(node, weight); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func owners(t *testing.T, r *Ring, ks []string) map[string]string {
+	t.Helper()
+	m := make(map[string]string, len(ks))
+	for _, k := range ks {
+		n, ok := r.Get(k)
+		if !ok {
+			t.Fatalf("Get(%q) on a populated ring returned none", k)
+		}
+		m[k] = n
+	}
+	return m
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	r := New(0)
+	if r.Vnodes() != DefaultVnodes {
+		t.Fatalf("Vnodes = %d, want default %d", r.Vnodes(), DefaultVnodes)
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("Get on an empty ring claimed an owner")
+	}
+	if got := r.Successors("k", 2); got != nil {
+		t.Fatalf("Successors on empty ring = %v", got)
+	}
+	if err := r.Add("", 1); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if err := r.Add("a", 0); err == nil {
+		t.Fatal("weight 0 accepted")
+	}
+	mustAdd(t, r, "a", 1)
+	if err := r.Add("a", 1); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if r.Remove("missing") {
+		t.Fatal("Remove of an absent node reported true")
+	}
+	if !r.Remove("a") || r.Len() != 0 {
+		t.Fatalf("Remove(a) failed; len %d", r.Len())
+	}
+}
+
+// TestDeterministicAcrossInsertionOrder: the ownership map depends only on
+// the membership set, not the order members joined — the property that lets
+// every router replica agree without coordination.
+func TestDeterministicAcrossInsertionOrder(t *testing.T) {
+	ks := keys(5000)
+	a := New(64)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		mustAdd(t, a, n, 1)
+	}
+	b := New(64)
+	for _, n := range []string{"n2", "n0", "n1"} {
+		mustAdd(t, b, n, 1)
+	}
+	oa, ob := owners(t, a, ks), owners(t, b, ks)
+	for _, k := range ks {
+		if oa[k] != ob[k] {
+			t.Fatalf("key %q owner differs by insertion order: %s vs %s", k, oa[k], ob[k])
+		}
+	}
+}
+
+// TestRemoveMovesOnlyOwnedKeys is the rebalance property: deleting one
+// member reassigns exactly the keys it owned, and every reassigned key goes
+// to that key's next surviving successor.
+func TestRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	r := New(128)
+	for _, n := range []string{"n0", "n1", "n2", "n3"} {
+		mustAdd(t, r, n, 1)
+	}
+	ks := keys(20000)
+	before := owners(t, r, ks)
+	succ := make(map[string][]string, len(ks))
+	for _, k := range ks {
+		succ[k] = r.Successors(k, 2)
+	}
+	if !r.Remove("n1") {
+		t.Fatal("Remove(n1) reported absent")
+	}
+	after := owners(t, r, ks)
+	moved := 0
+	for _, k := range ks {
+		if before[k] != "n1" {
+			if after[k] != before[k] {
+				t.Fatalf("key %q moved from %s to %s though n1 never owned it", k, before[k], after[k])
+			}
+			continue
+		}
+		moved++
+		if after[k] == "n1" {
+			t.Fatalf("key %q still owned by removed node", k)
+		}
+		// The new owner must be the key's next distinct successor.
+		if want := succ[k][1]; after[k] != want {
+			t.Fatalf("key %q reassigned to %s, want ring successor %s", k, after[k], want)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("n1 owned no keys out of 20000; ring is degenerate")
+	}
+}
+
+// TestAddRestoresExactOwnership: re-adding a removed member reproduces the
+// original ownership map bit for bit (membership is the only state).
+func TestAddRestoresExactOwnership(t *testing.T) {
+	r := New(128)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		mustAdd(t, r, n, 1)
+	}
+	ks := keys(10000)
+	before := owners(t, r, ks)
+	r.Remove("n2")
+	mustAdd(t, r, "n2", 1)
+	after := owners(t, r, ks)
+	for _, k := range ks {
+		if before[k] != after[k] {
+			t.Fatalf("key %q: owner %s before eject, %s after rejoin", k, before[k], after[k])
+		}
+	}
+}
+
+// TestDistributionSkew pins the load-balance bar from the issue: at 128
+// vnodes the per-node key share must stay within 2x in both directions.
+func TestDistributionSkew(t *testing.T) {
+	r := New(128)
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	for _, n := range nodes {
+		mustAdd(t, r, n, 1)
+	}
+	counts := make(map[string]int)
+	ks := keys(100000)
+	for _, k := range ks {
+		n, _ := r.Get(k)
+		counts[n]++
+	}
+	mean := float64(len(ks)) / float64(len(nodes))
+	for _, n := range nodes {
+		c := float64(counts[n])
+		if c > 2*mean {
+			t.Fatalf("node %s owns %.0f keys, more than 2x the mean %.0f", n, c, mean)
+		}
+		if c < mean/2 {
+			t.Fatalf("node %s owns %.0f keys, less than half the mean %.0f", n, c, mean)
+		}
+	}
+}
+
+// TestWeightsShiftShare: a weight-3 member owns roughly three times the
+// share of its weight-1 peers (loose bounds; the point count is what scales).
+func TestWeightsShiftShare(t *testing.T) {
+	r := New(128)
+	mustAdd(t, r, "small", 1)
+	mustAdd(t, r, "big", 3)
+	if w, ok := r.Weight("big"); !ok || w != 3 {
+		t.Fatalf("Weight(big) = %d, %v", w, ok)
+	}
+	counts := make(map[string]int)
+	for _, k := range keys(60000) {
+		n, _ := r.Get(k)
+		counts[n]++
+	}
+	ratio := float64(counts["big"]) / float64(counts["small"])
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("weight-3/weight-1 key ratio %.2f, want near 3 (counts %v)", ratio, counts)
+	}
+}
+
+func TestSuccessorsDistinctAndOrdered(t *testing.T) {
+	r := New(64)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		mustAdd(t, r, n, 1)
+	}
+	for _, k := range keys(200) {
+		owner, _ := r.Get(k)
+		succ := r.Successors(k, 5) // capped at membership
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 5) = %v, want all 3 members", k, succ)
+		}
+		if succ[0] != owner {
+			t.Fatalf("Successors(%q)[0] = %s, want owner %s", k, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Successors(%q) repeats %s: %v", k, n, succ)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	r := New(8)
+	for _, n := range []string{"z", "a", "m"} {
+		mustAdd(t, r, n, 1)
+	}
+	got := r.Nodes()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("Nodes() = %v, want sorted [a m z]", got)
+	}
+}

@@ -39,8 +39,14 @@ type InstanceResponse struct {
 // handleInstancePost registers an instance: POST /v1/instances with
 // {"instance": {...}} answers the stable content ID. Registering the same
 // content twice is an idempotent dedup, not an error.
+//
+// POST and GET count under separate metrics keys ("instancesPost" /
+// "instancesGet"): registration volume and by-ID lookup volume are different
+// signals — the router's load accounting reads them separately, and one
+// shared "instances" counter made a replay storm indistinguishable from a
+// lookup-heavy workload.
 func (s *Server) handleInstancePost(w http.ResponseWriter, r *http.Request) {
-	const name = "instances"
+	const name = "instancesPost"
 	s.met.requests.Add(name, 1)
 	if r.Method != http.MethodPost {
 		s.fail(w, name, http.StatusMethodNotAllowed, "/v1/instances requires POST (GET /v1/instances/{id} looks up)")
@@ -85,7 +91,7 @@ const overlapKeyPrefix = "0"
 // the stored instance, 404 when the ID is unknown (never registered, or
 // evicted by store pressure — re-register to restore it).
 func (s *Server) handleInstanceGet(w http.ResponseWriter, r *http.Request) {
-	const name = "instances"
+	const name = "instancesGet"
 	s.met.requests.Add(name, 1)
 	if r.Method != http.MethodGet {
 		s.fail(w, name, http.StatusMethodNotAllowed, "/v1/instances/{id} requires GET")

@@ -26,7 +26,8 @@ type metrics struct {
 	coalesced expvar.Int  // /v1/evaluate answers shared from another caller's in-flight computation
 
 	mu    sync.Mutex
-	hists map[string]*latencyHist // "endpoint/backend" -> histogram
+	hists map[string]*latencyHist // "endpoint/backend" -> total handler time
+	waits map[string]*latencyHist // endpoint -> in-flight queue wait
 }
 
 func newMetrics() *metrics {
@@ -35,11 +36,13 @@ func newMetrics() *metrics {
 		requests: new(expvar.Map).Init(),
 		errors:   new(expvar.Map).Init(),
 		hists:    make(map[string]*latencyHist),
+		waits:    make(map[string]*latencyHist),
 	}
 }
 
-// observe records one successful solve's latency in the per-endpoint,
-// per-backend histogram.
+// observe records one answered request's total handler time (parse + queue
+// wait + solve — the same measure whether the answer came from the response
+// memo or a fresh solve) in the per-endpoint, per-backend histogram.
 func (m *metrics) observe(endpoint, backend string, d time.Duration) {
 	key := endpoint + "/" + backend
 	m.mu.Lock()
@@ -47,6 +50,21 @@ func (m *metrics) observe(endpoint, backend string, d time.Duration) {
 	if !ok {
 		h = newLatencyHist()
 		m.hists[key] = h
+	}
+	m.mu.Unlock()
+	h.record(d)
+}
+
+// observeWait records the time one request spent queued for an in-flight
+// slot (including waits that end in a 503, which are exactly the ones worth
+// seeing). Keyed by endpoint only: the wait happens before any backend is
+// involved.
+func (m *metrics) observeWait(endpoint string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.waits[endpoint]
+	if !ok {
+		h = newLatencyHist()
+		m.waits[endpoint] = h
 	}
 	m.mu.Unlock()
 	h.record(d)
@@ -151,10 +169,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		b.WriteString("null")
 	}
-	b.WriteString(",\n\"latency\": {")
 	s.met.mu.Lock()
-	keys := make([]string, 0, len(s.met.hists))
-	for k := range s.met.hists {
+	b.WriteString(",\n\"latency\": {")
+	writeHists(&b, s.met.hists)
+	b.WriteString("},\n\"queueWait\": {")
+	writeHists(&b, s.met.waits)
+	s.met.mu.Unlock()
+	b.WriteString("}\n}\n")
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHists renders a histogram map as sorted JSON members; the caller
+// holds the metrics mutex and writes the surrounding braces.
+func writeHists(b *strings.Builder, hists map[string]*latencyHist) {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -162,12 +192,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%q: %s", k, s.met.hists[k].String())
+		fmt.Fprintf(b, "%q: %s", k, hists[k].String())
 	}
-	s.met.mu.Unlock()
-	b.WriteString("}\n}\n")
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write([]byte(b.String()))
+}
+
+// HealthzResponse is the /healthz body: liveness plus the load numbers a
+// balancer or the cluster router's eject/rejoin prober reads. Typed (rather
+// than an ad-hoc map) so the router decodes node health without guessing at
+// key names.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	InFlight      int64   `json:"inFlight"`
+	Workers       int     `json:"workers"`
+	MaxInFlight   int     `json:"maxInFlight"`
 }
 
 // handleHealthz reports liveness plus the load numbers a balancer wants.
@@ -176,11 +214,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "healthz requires GET"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"uptimeSeconds": time.Since(s.met.start).Seconds(),
-		"inFlight":      s.met.inFlight.Value(),
-		"workers":       s.opts.Workers,
-		"maxInFlight":   s.opts.MaxInFlight,
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		InFlight:      s.met.inFlight.Value(),
+		Workers:       s.opts.Workers,
+		MaxInFlight:   s.opts.MaxInFlight,
 	})
 }

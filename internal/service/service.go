@@ -257,13 +257,19 @@ func (s *Server) solveEndpoint(name string, h func(r *http.Request) (reply, erro
 			writeRaw(w, http.StatusOK, rep.raw)
 			return
 		}
-		// The worker budget: wait for a slot on the request's own clock.
+		// The worker budget: wait for a slot on the request's own clock. The
+		// wait is recorded in its own histogram — queueing time used to be
+		// invisible, folded into neither the solve nor the handler numbers,
+		// so a saturated server looked fast right up until it 503'd.
+		queued := time.Now()
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
+			s.met.observeWait(name, time.Since(queued))
 			s.fail(w, name, http.StatusServiceUnavailable, "server at capacity and request deadline expired while queued")
 			return
 		}
+		s.met.observeWait(name, time.Since(queued))
 		s.met.inFlight.Add(1)
 		// The slot MUST come back on every path. Releasing it inline after
 		// the solve leaked the slot (and pinned the gauge) whenever the solve
@@ -283,15 +289,18 @@ func (s *Server) solveEndpoint(name string, h func(r *http.Request) (reply, erro
 			<-s.sem
 		}
 		defer release()
-		solveStart := time.Now()
 		resp, err := runSolve(rep.solve, ctx)
-		elapsed := time.Since(solveStart)
 		release()
 		if err != nil {
 			s.failErr(w, name, err)
 			return
 		}
-		s.met.observe(name, backendLabelOf(resp), elapsed)
+		// Record total handler time (parse + queue wait + solve), the same
+		// measure the memo-hit path above records. The histogram used to mix
+		// two different quantities — solve-only here, total time on memo hits
+		// — so the router's load reports compared incomparable numbers; the
+		// queue-wait histogram above isolates the scheduling component.
+		s.met.observe(name, backendLabelOf(resp), time.Since(start))
 		sc := encPool.Get().(*encScratch)
 		sc.buf.Reset()
 		if err := sc.enc.Encode(resp); err != nil {
@@ -843,6 +852,15 @@ type SweepRequest struct {
 	Seed    int64   `json:"seed,omitempty"`
 	Pairs   [][]int `json:"pairs,omitempty"` // empty = exper.DefaultSweepPairs
 	Backend string  `json:"backend,omitempty"`
+	// Only restricts evaluation to the pair indices listed (nil = all),
+	// answering one point per index in the order given. The instance
+	// population is still drawn from the full (seed, pairs) rng stream, so
+	// the point at index k is bit-identical to the k-th point of an
+	// unrestricted sweep — this is how the cluster router scatters one sweep
+	// across nodes: each node receives the full request plus the indices it
+	// is home to, and the gathered points merge into exactly the single-node
+	// answer.
+	Only []int `json:"only,omitempty"`
 }
 
 // SweepPointJSON is one sweep point on the wire.
@@ -915,8 +933,13 @@ func (s *Server) handleSweep(r *http.Request) (reply, error) {
 			}
 		}
 	}
+	for _, k := range req.Only {
+		if k < 0 || k >= len(pairs) {
+			return reply{}, badRequest("only index %d out of range [0, %d)", k, len(pairs))
+		}
+	}
 	return reply{solve: func(ctx context.Context) (any, error) {
-		pts, err := exper.RuntimeSweepEngine(ctx, s.engine(b), req.Seed, pairs)
+		pts, err := exper.RuntimeSweepEngineSubset(ctx, s.engine(b), req.Seed, pairs, req.Only)
 		if err != nil {
 			return nil, err
 		}

@@ -324,9 +324,10 @@ func TestSearchBnbIsOptimalAndObservable(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var m struct {
-		Requests map[string]int64           `json:"requests"`
-		Errors   map[string]int64           `json:"errors"`
-		Latency  map[string]json.RawMessage `json:"latency"`
+		Requests  map[string]int64           `json:"requests"`
+		Errors    map[string]int64           `json:"errors"`
+		Latency   map[string]json.RawMessage `json:"latency"`
+		QueueWait map[string]json.RawMessage `json:"queueWait"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatalf("metrics JSON: %v", err)
@@ -336,6 +337,13 @@ func TestSearchBnbIsOptimalAndObservable(t *testing.T) {
 	}
 	if _, ok := m.Latency["search/auto"]; !ok {
 		t.Fatalf("no search latency histogram: %v", m.Latency)
+	}
+	// The latency histogram times the whole handler; the time spent waiting
+	// for a worker slot is broken out into its own series (keyed by endpoint
+	// only — the wait precedes backend choice) so a loaded run can tell
+	// queueing from solving.
+	if _, ok := m.QueueWait["search"]; !ok {
+		t.Fatalf("no search queue-wait histogram: %v", m.QueueWait)
 	}
 }
 

@@ -59,6 +59,31 @@ func TestInstanceRegistrationLifecycle(t *testing.T) {
 	if got.Instance == nil || store.ContentID(got.Instance) != reg.ID {
 		t.Fatalf("GET returned content that does not hash back to its own ID")
 	}
+
+	// Registrations and by-ID lookups count under separate metric keys —
+	// write volume and read volume are different capacity signals.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m struct {
+		Requests map[string]int64 `json:"requests"`
+		Errors   map[string]int64 `json:"errors"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if m.Requests["instancesPost"] != 2 || m.Requests["instancesGet"] != 1 {
+		t.Fatalf("instances counters post=%d get=%d, want 2/1 (all: %v)",
+			m.Requests["instancesPost"], m.Requests["instancesGet"], m.Requests)
+	}
+	if _, ok := m.Requests["instances"]; ok {
+		t.Fatalf("legacy shared \"instances\" counter still present: %v", m.Requests)
+	}
+	if m.Errors["instancesPost"] != 0 || m.Errors["instancesGet"] != 0 {
+		t.Fatalf("unexpected instances errors: %v", m.Errors)
+	}
 }
 
 // TestUnknownInstanceID404 is the by-ID protocol's error contract: an

@@ -1,6 +1,6 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into a JSON
 # array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
-# (BENCH_7.json in CI) and enforce four gates:
+# (BENCH_8.json in CI) and enforce five gates:
 #
 #   * allocation gate — the strict-model Evaluate benchmarks must stay at
 #     or below `gate` allocs/op (the PR-2 zero-allocation refactor brought
@@ -15,12 +15,17 @@
 #   * hit-path speedup gate — BenchmarkServeHitPath/by-id must run at
 #     least `speedupgate` times faster (ns/op) than the inline form of the
 #     same memoized request, or the content-addressed protocol has stopped
-#     paying for itself.
+#     paying for itself;
+#   * router overhead gate — BenchmarkRouterHitPath/router (a memoized
+#     by-ID hit through the cluster router, over real HTTP) must cost at
+#     most `routergate` times BenchmarkRouterHitPath/direct (the same hit
+#     against one node over the same transport), or fronting the cluster
+#     has become more expensive than the extra hop it may add.
 #
 # Exits non-zero after the report if any gate is broken.
 #
 # Usage: awk -v gate=12 -v leafgate=5 -v hitgate=32 -v speedupgate=4 \
-#            -f scripts/benchjson.awk bench.txt > BENCH_7.json
+#            -v routergate=2 -f scripts/benchjson.awk bench.txt > BENCH_8.json
 
 BEGIN {
     n = 0
@@ -29,10 +34,13 @@ BEGIN {
     if (leafgate == "") leafgate = 5
     if (hitgate == "") hitgate = 32
     if (speedupgate == "") speedupgate = 4
+    if (routergate == "") routergate = 2
     exactLeafRate = ""
     screenedLeafRate = ""
     byIDNs = ""
     inlineNs = ""
+    routedNs = ""
+    directNs = ""
 }
 
 /^Benchmark/ && / allocs\/op/ {
@@ -78,6 +86,10 @@ BEGIN {
         }
     }
     if (name == "BenchmarkServeHitPath/inline") { gated[n] = 1; inlineNs = ns }
+
+    # The router overhead pair: routed vs direct memoized hit over HTTP.
+    if (name == "BenchmarkRouterHitPath/router") { gated[n] = 1; routedNs = ns }
+    if (name == "BenchmarkRouterHitPath/direct") { gated[n] = 1; directNs = ns }
 }
 
 END {
@@ -102,6 +114,16 @@ END {
         } else if (byIDNs + 0 <= 0 || inlineNs + 0 < speedupgate * (byIDNs + 0)) {
             printf "GATE FAIL: by-ID hit path at %s ns/op is not %sx faster than the inline form at %s ns/op\n", \
                 byIDNs, speedupgate, inlineNs > "/dev/stderr"
+            fail = 1
+        }
+    }
+    if (routedNs != "" || directNs != "") {
+        if (routedNs == "" || directNs == "") {
+            print "GATE FAIL: BenchmarkRouterHitPath ran only one of router/direct" > "/dev/stderr"
+            fail = 1
+        } else if (directNs + 0 <= 0 || routedNs + 0 > routergate * (directNs + 0)) {
+            printf "GATE FAIL: routed hit path at %s ns/op exceeds %sx the direct hit path at %s ns/op\n", \
+                routedNs, routergate, directNs > "/dev/stderr"
             fail = 1
         }
     }
