@@ -74,6 +74,23 @@ type (
 	Backend = cycles.Backend
 	// ServerOptions configures the HTTP evaluation service (see Serve).
 	ServerOptions = service.Options
+	// Job is the wire status of one async job on the /v1/jobs surface:
+	// deterministic ID, kind, state and live progress.
+	Job = service.Job
+	// JobProgress is a job's live progress block (bnb tree counters for
+	// search jobs, points done/total for sweeps).
+	JobProgress = service.JobProgress
+	// JobSubmitRequest is the POST /v1/jobs body: a kind plus the matching
+	// synchronous request payload.
+	JobSubmitRequest = service.JobSubmitRequest
+	// JobListResponse is the GET /v1/jobs answer.
+	JobListResponse = service.JobListResponse
+	// ErrorInfo is the unified error envelope's payload: a stable
+	// machine-readable code plus a human-readable message.
+	ErrorInfo = service.ErrorInfo
+	// ErrorBody is the complete error answer, {"error": {code, message}} —
+	// every non-2xx response of the service and the cluster router uses it.
+	ErrorBody = service.ErrorBody
 )
 
 // Cycle-ratio backends. BackendAuto (the zero value, and the default of
@@ -331,12 +348,15 @@ func (e *Engine) Workers() int { return e.eng.Workers() }
 // Serve runs the batched-evaluation HTTP service on addr until ctx is
 // canceled, then shuts down gracefully. The service exposes /v1/instances
 // (register an instance once and refer to it by content ID in evaluate and
-// batch bodies), /v1/evaluate, /v1/batch, /v1/search, /v1/sweep, /healthz
+// batch bodies), /v1/evaluate, /v1/batch, /v1/search, /v1/sweep, the async
+// job surface /v1/jobs (submit long-running search/sweep work, poll
+// progress, fetch results, cancel — see Job and JobSubmitRequest), /healthz
 // and /metrics; every numeric
 // answer is the exact rational the library computes. logf, when non-nil,
 // receives one "listening on <addr>" line once the listener is bound (pass
 // an addr ending in ":0" to pick a free port). See cmd/serve for the
-// command-line front end and cmd/loadgen for a load driver.
+// command-line front end, cmd/loadgen for a load driver and cmd/reproctl
+// for the admin CLI.
 func Serve(ctx context.Context, addr string, opts ServerOptions, logf func(format string, args ...any)) error {
 	return service.Serve(ctx, addr, opts, logf)
 }

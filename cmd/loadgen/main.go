@@ -16,7 +16,16 @@
 // -endpoint search drives /v1/search with randomly generated (pipeline,
 // platform) problems; -algo picks the search algorithm (default bnb, the
 // exact branch and bound — the heaviest per-request workload the service
-// offers).
+// offers). -endpoint jobs drives the same search population through the
+// async /v1/jobs surface: each closed-loop cycle submits a job, polls its
+// status to a terminal state and fetches the result, so the measured
+// latency is the full submit-poll-result round trip and the comparison
+// against -endpoint search is the async surface's overhead.
+//
+// Any non-200 (for jobs, non-202/200) answer counts as an error, and the
+// summary carries the first few distinct error envelopes the run saw —
+// enough to tell a capacity refusal from a validation bug without
+// re-running under a debugger.
 //
 // -via store switches evaluate/batch requests to the content-addressed
 // protocol: every instance is registered once via POST /v1/instances before
@@ -79,19 +88,69 @@ func main() {
 
 // Summary is the JSON report printed on stdout.
 type Summary struct {
-	URL             string        `json:"url"`
-	Endpoint        string        `json:"endpoint"`
-	Via             string        `json:"via"`
-	Workers         int           `json:"workers"`
-	TargetRPS       float64       `json:"targetRps"`
-	DurationSeconds float64       `json:"durationSeconds"`
-	Requests        int           `json:"requests"`
-	Errors          int           `json:"errors"`
-	AchievedRPS     float64       `json:"achievedRps"`
-	AvgRequestBytes float64       `json:"avgRequestBytes"`
-	Latency         LatQ          `json:"latencyMs"`
-	Server          *ServerStats  `json:"server,omitempty"`
-	Cluster         *ClusterStats `json:"cluster,omitempty"`
+	URL             string  `json:"url"`
+	Endpoint        string  `json:"endpoint"`
+	Via             string  `json:"via"`
+	Workers         int     `json:"workers"`
+	TargetRPS       float64 `json:"targetRps"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	AchievedRPS     float64 `json:"achievedRps"`
+	AvgRequestBytes float64 `json:"avgRequestBytes"`
+	Latency         LatQ    `json:"latencyMs"`
+	// ErrorSamples holds the first few distinct error envelopes seen on
+	// non-success answers (capped at maxErrorSamples; empty on a clean run).
+	ErrorSamples []ErrorSample `json:"errorSamples,omitempty"`
+	Server       *ServerStats  `json:"server,omitempty"`
+	Cluster      *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ErrorSample is one distinct error answer: the unified envelope's code and
+// message when the body parses as {"error":{code,message}}, otherwise the
+// raw body (truncated) so even a non-envelope failure is diagnosable.
+type ErrorSample struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+	Body    string `json:"body,omitempty"`
+}
+
+// maxErrorSamples caps the distinct envelopes a summary retains.
+const maxErrorSamples = 5
+
+// errSink collects the first maxErrorSamples distinct error answers across
+// all workers. Distinctness is (status, code, message, body) — repeats of
+// the same refusal do not crowd out a second failure mode.
+type errSink struct {
+	mu      sync.Mutex
+	seen    map[string]bool
+	samples []ErrorSample
+}
+
+func (s *errSink) add(status int, body []byte) {
+	smp := ErrorSample{Status: status}
+	var eb service.ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && (eb.Error.Code != "" || eb.Error.Message != "") {
+		smp.Code, smp.Message = eb.Error.Code, eb.Error.Message
+	} else {
+		raw := string(body)
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		smp.Body = raw
+	}
+	key := fmt.Sprintf("%d\x00%s\x00%s\x00%s", smp.Status, smp.Code, smp.Message, smp.Body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen == nil {
+		s.seen = make(map[string]bool)
+	}
+	if s.seen[key] || len(s.samples) >= maxErrorSamples {
+		return
+	}
+	s.seen[key] = true
+	s.samples = append(s.samples, smp)
 }
 
 // ClusterStats are the router-side counter deltas across the measurement
@@ -138,7 +197,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	baseURL := fs.String("url", "", "base URL of the service (required), e.g. http://localhost:8080")
-	endpoint := fs.String("endpoint", "evaluate", "endpoint to drive: evaluate, batch or search")
+	endpoint := fs.String("endpoint", "evaluate", "endpoint to drive: evaluate, batch, search or jobs (async submit-poll-result cycles)")
 	workers := fs.Int("workers", 4, "concurrent closed-loop clients")
 	rps := fs.Float64("rps", 0, "target aggregate requests/second (0 = unthrottled)")
 	duration := fs.Duration("duration", 10*time.Second, "measurement window")
@@ -183,8 +242,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		path = "/v1/batch"
 	case "search":
 		path = "/v1/search"
+	case "jobs":
+		path = "/v1/jobs"
 	default:
-		return fmt.Errorf("unknown -endpoint %q (want evaluate, batch or search)", *endpoint)
+		return fmt.Errorf("unknown -endpoint %q (want evaluate, batch, search or jobs)", *endpoint)
 	}
 	switch *algo {
 	case "best", "greedy", "random", "anneal", "exhaustive", "bnb":
@@ -194,8 +255,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	switch *via {
 	case "inline":
 	case "store":
-		if *endpoint == "search" {
-			return fmt.Errorf("-via store applies to evaluate/batch only (search carries no instance)")
+		if *endpoint == "search" || *endpoint == "jobs" {
+			return fmt.Errorf("-via store applies to evaluate/batch only (%s carries no instance)", *endpoint)
 		}
 	default:
 		return fmt.Errorf("unknown -via %q (want inline or store)", *via)
@@ -248,6 +309,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	url := base + path
+	jobsMode := *endpoint == "jobs"
+	sink := &errSink{}
 	type workerStats struct {
 		lats []time.Duration
 		errs int
@@ -271,7 +334,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 					return
 				}
 				t0 := time.Now()
-				ok := post(ctx, client, url, payloads[i%len(payloads)])
+				var ok bool
+				if jobsMode {
+					ok = jobCycle(ctx, client, base, payloads[i%len(payloads)], sink)
+				} else {
+					body, status := post(ctx, client, url, payloads[i%len(payloads)])
+					ok = status == http.StatusOK
+					if !ok && ctx.Err() == nil {
+						sink.add(status, body)
+					}
+				}
 				if ctx.Err() != nil {
 					return // a cut-off request measures the deadline, not the service
 				}
@@ -304,6 +376,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		AchievedRPS:     float64(len(all)) / elapsed.Seconds(),
 		AvgRequestBytes: float64(payloadBytes) / float64(len(payloads)),
 		Latency:         quantiles(all),
+		ErrorSamples:    sink.samples,
 	}
 	// The measurement deadline has expired; scrape the post-window counters
 	// on a fresh context.
@@ -344,21 +417,88 @@ func newLoadClient(workers int) *http.Client {
 	return &http.Client{Transport: transport}
 }
 
-// post sends one request and reports success (HTTP 200). The body is
-// drained so the client can reuse the connection.
-func post(ctx context.Context, client *http.Client, url string, payload []byte) bool {
+// post sends one request and answers the response body and status (status
+// 0 on a transport failure). Reading the body to completion lets the client
+// reuse the connection.
+func post(ctx context.Context, client *http.Client, url string, payload []byte) ([]byte, int) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
-		return false
+		return nil, 0
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return nil, 0
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK
+	body, _ := io.ReadAll(resp.Body)
+	return body, resp.StatusCode
+}
+
+// get fetches one URL with the same transport discipline as post.
+func get(ctx context.Context, client *http.Client, url string) ([]byte, int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return body, resp.StatusCode
+}
+
+// jobCycle runs one full async round trip: submit the job, poll its status
+// until it reports a terminal state, fetch the result. Success is a fetched
+// result of a done job; everything else (refusal, failed job, canceled job,
+// transport error) counts as an error, with any error envelope recorded.
+func jobCycle(ctx context.Context, client *http.Client, base string, payload []byte, sink *errSink) bool {
+	body, status := post(ctx, client, base+"/v1/jobs", payload)
+	if ctx.Err() != nil {
+		return false
+	}
+	if status != http.StatusAccepted {
+		sink.add(status, body)
+		return false
+	}
+	var j service.Job
+	if err := json.Unmarshal(body, &j); err != nil || j.ID == "" {
+		return false
+	}
+	for {
+		body, status = get(ctx, client, base+"/v1/jobs/"+j.ID)
+		if ctx.Err() != nil {
+			return false
+		}
+		if status != http.StatusOK {
+			sink.add(status, body)
+			return false
+		}
+		if err := json.Unmarshal(body, &j); err != nil {
+			return false
+		}
+		switch j.State {
+		case "done":
+			rb, rs := get(ctx, client, base+"/v1/jobs/"+j.ID+"/result")
+			if ctx.Err() != nil {
+				return false
+			}
+			if rs != http.StatusOK {
+				sink.add(rs, rb)
+				return false
+			}
+			return true
+		case "failed", "canceled":
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // parseReps parses "2,3" into a replication vector.
@@ -378,22 +518,29 @@ func parseReps(s string) ([]int, error) {
 // buildPayloads pre-marshals the request bodies so the measurement loop
 // does no JSON work of its own.
 func buildPayloads(endpoint string, rng *rand.Rand, reps []int, instances, batchSize int, algo string, cm model.CommModel, backend cycles.Backend) ([][]byte, error) {
-	if endpoint == "search" {
+	if endpoint == "search" || endpoint == "jobs" {
 		// The search population: small heterogeneous problems whose exact
 		// tree (a few thousand leaves) makes every request a real solve, not
-		// a cache hit.
+		// a cache hit. The jobs endpoint drives the identical population
+		// wrapped in the async submission envelope, so a search-vs-jobs run
+		// pair measures exactly the surface overhead.
 		var payloads [][]byte
 		for k := 0; k < instances; k++ {
 			pipe := pipeline.Random(rng, 3, 50, 500)
 			plat := platform.Random(rng, 5, 5, 25, 20, 200)
-			b, err := json.Marshal(service.SearchRequest{
+			sr := &service.SearchRequest{
 				Pipeline: pipe,
 				Platform: plat,
 				Model:    cm.String(),
 				Algo:     algo,
 				Backend:  backend.String(),
 				Seed:     int64(k),
-			})
+			}
+			var body any = sr
+			if endpoint == "jobs" {
+				body = service.JobSubmitRequest{Kind: "search", Search: sr}
+			}
+			b, err := json.Marshal(body)
 			if err != nil {
 				return nil, err
 			}

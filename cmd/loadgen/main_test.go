@@ -284,3 +284,88 @@ func TestLoadgenStoreMode(t *testing.T) {
 		t.Fatalf("inline avgRequestBytes %.0f vs by-ID %.0f: inline should dwarf the ID form", inline.AvgRequestBytes, sum.AvgRequestBytes)
 	}
 }
+
+// TestLoadgenJobsEndpoint runs full async cycles — submit, poll, result —
+// against an in-process server: every cycle must complete inside the
+// window with zero errors, and the summary must attribute the run to the
+// jobs endpoint.
+func TestLoadgenJobsEndpoint(t *testing.T) {
+	sum := runAgainst(t, "-endpoint", "jobs", "-algo", "greedy", "-model", "overlap", "-instances", "4", "-workers", "2")
+	if sum.Requests == 0 {
+		t.Fatal("no job cycles completed in the window")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d/%d job cycles failed: %+v", sum.Errors, sum.Requests, sum.ErrorSamples)
+	}
+	if sum.Endpoint != "jobs" {
+		t.Fatalf("summary endpoint %q", sum.Endpoint)
+	}
+	if len(sum.ErrorSamples) != 0 {
+		t.Fatalf("clean run carries error samples: %+v", sum.ErrorSamples)
+	}
+}
+
+func TestLoadgenJobsViaStoreRefused(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-url", "http://x", "-endpoint", "jobs", "-via", "store"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-via store applies to evaluate/batch only") {
+		t.Fatalf("jobs -via store error = %v", err)
+	}
+}
+
+// TestLoadgenErrorSamples drives the generator at a server that refuses
+// everything with the unified envelope and checks the summary surfaces the
+// decoded envelope — once, despite every request failing.
+func TestLoadgenErrorSamples(t *testing.T) {
+	refusals := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		refusals++
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(service.ErrorBody{Error: service.ErrorInfo{
+			Code: "unavailable", Message: "draining",
+		}})
+	}))
+	t.Cleanup(ts.Close)
+	var stdout, stderr bytes.Buffer
+	args := []string{"-url", ts.URL, "-duration", "100ms", "-workers", "2", "-instances", "2", "-model", "overlap"}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, stdout.String())
+	}
+	if sum.Errors == 0 || sum.Errors != sum.Requests {
+		t.Fatalf("refusing server: %d errors of %d requests", sum.Errors, sum.Requests)
+	}
+	if len(sum.ErrorSamples) != 1 {
+		t.Fatalf("error samples = %+v, want exactly one distinct envelope", sum.ErrorSamples)
+	}
+	s := sum.ErrorSamples[0]
+	if s.Status != http.StatusServiceUnavailable || s.Code != "unavailable" || s.Message != "draining" || s.Body != "" {
+		t.Fatalf("sample %+v: want decoded envelope, not raw body", s)
+	}
+}
+
+// TestErrSinkDistinctAndCapped exercises the collector directly: repeats
+// collapse, non-envelope bodies are kept raw, and the cap holds.
+func TestErrSinkDistinctAndCapped(t *testing.T) {
+	var s errSink
+	for i := 0; i < 3; i++ {
+		s.add(503, []byte(`{"error":{"code":"unavailable","message":"draining"}}`))
+	}
+	if len(s.samples) != 1 {
+		t.Fatalf("repeat envelope kept %d samples", len(s.samples))
+	}
+	s.add(500, []byte("not json at all"))
+	if len(s.samples) != 2 || s.samples[1].Body != "not json at all" || s.samples[1].Code != "" {
+		t.Fatalf("raw-body sample wrong: %+v", s.samples)
+	}
+	for i := 0; i < 2*maxErrorSamples; i++ {
+		s.add(400, []byte(fmt.Sprintf(`{"error":{"code":"invalid_request","message":"case %d"}}`, i)))
+	}
+	if len(s.samples) != maxErrorSamples {
+		t.Fatalf("cap: kept %d samples, want %d", len(s.samples), maxErrorSamples)
+	}
+}

@@ -1,0 +1,327 @@
+// Command reproctl is the admin CLI for a running serve node (or a
+// cmd/router front end — every command speaks the public HTTP surface, so
+// pointing -url at a router administers the whole cluster): inspect and
+// cancel async jobs, dump the metrics and health snapshots, and drain the
+// job queue before a restart.
+//
+// Usage:
+//
+//	reproctl -url http://localhost:8080 <command> [args]
+//
+// Commands:
+//
+//	jobs [-kind search|sweep] [-state pending|running|done|failed|canceled]
+//	        list jobs, optionally filtered
+//	job <id>
+//	        show one job's status and live progress
+//	result <id>
+//	        print a finished job's result body (raw JSON, exactly the
+//	        bytes the synchronous endpoint would have answered)
+//	cancel <id>
+//	        request cooperative cancellation; prints the job's status
+//	drain [-wait 30s]
+//	        cancel every pending and running job, then wait until none
+//	        remain active
+//	metrics
+//	        dump the /metrics snapshot (cache, store, response memo, jobs)
+//	health
+//	        dump the /healthz snapshot
+//
+// Every failure is reported through the service's unified error envelope:
+// reproctl decodes {"error":{code,message}} and exits nonzero with
+// "code: message".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed
+		}
+		fmt.Fprintln(os.Stderr, "reproctl:", err)
+		os.Exit(1)
+	}
+}
+
+// client is the admin connection: base URL plus the HTTP client every
+// command goes through.
+type client struct {
+	base string
+	http *http.Client
+}
+
+// run parses the global flags, dispatches the subcommand and writes its
+// output to stdout. Errors (usage, transport, server refusals) are
+// returned, not printed, so tests can assert on them.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("reproctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseURL := fs.String("url", "", "base URL of the serve node or router (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request ceiling")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: reproctl -url URL <command> [args]")
+		fmt.Fprintln(stderr, "commands: jobs, job <id>, result <id>, cancel <id>, drain, metrics, health")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseURL == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("missing command (want jobs, job, result, cancel, drain, metrics or health)")
+	}
+	c := &client{base: strings.TrimRight(*baseURL, "/"), http: &http.Client{Timeout: *timeout}}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "jobs":
+		return c.cmdJobs(ctx, rest, stdout, stderr)
+	case "job":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: reproctl job <id>")
+		}
+		return c.cmdJob(ctx, rest[0], stdout)
+	case "result":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: reproctl result <id>")
+		}
+		return c.cmdResult(ctx, rest[0], stdout)
+	case "cancel":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: reproctl cancel <id>")
+		}
+		return c.cmdCancel(ctx, rest[0], stdout)
+	case "drain":
+		return c.cmdDrain(ctx, rest, stdout, stderr)
+	case "metrics":
+		return c.dump(ctx, "/metrics", stdout)
+	case "health":
+		return c.dump(ctx, "/healthz", stdout)
+	default:
+		return fmt.Errorf("unknown command %q (want jobs, job, result, cancel, drain, metrics or health)", cmd)
+	}
+}
+
+// do sends one request and returns the body of a success answer. A non-2xx
+// answer is decoded through the unified error envelope and turned into an
+// error ("code: message"), falling back to the raw body for non-envelope
+// answers (a proxy in the path, a panic page).
+func (c *client) do(ctx context.Context, method, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb service.ErrorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error.Message != "" {
+			return nil, fmt.Errorf("%s: %s", eb.Error.Code, eb.Error.Message)
+		}
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// dump passes a snapshot endpoint's body through verbatim.
+func (c *client) dump(ctx context.Context, path string, stdout io.Writer) error {
+	body, err := c.do(ctx, http.MethodGet, path)
+	if err != nil {
+		return err
+	}
+	_, err = stdout.Write(body)
+	return err
+}
+
+// listJobs fetches one filtered listing.
+func (c *client) listJobs(ctx context.Context, kind, state string) (service.JobListResponse, error) {
+	path := "/v1/jobs"
+	q := make([]string, 0, 2)
+	if kind != "" {
+		q = append(q, "kind="+kind)
+	}
+	if state != "" {
+		q = append(q, "state="+state)
+	}
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
+	var list service.JobListResponse
+	body, err := c.do(ctx, http.MethodGet, path)
+	if err != nil {
+		return list, err
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return list, fmt.Errorf("malformed job listing: %v", err)
+	}
+	return list, nil
+}
+
+// cmdJobs lists jobs as a fixed-width table: one row per job, the listing
+// order (sorted by ID) preserved.
+func (c *client) cmdJobs(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("reproctl jobs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "", "filter by kind: search or sweep")
+	state := fs.String("state", "", "filter by state: pending, running, done, failed or canceled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	list, err := c.listJobs(ctx, *kind, *state)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-22s %-7s %-9s %s\n", "ID", "KIND", "STATE", "PROGRESS")
+	for _, j := range list.Jobs {
+		fmt.Fprintf(stdout, "%-22s %-7s %-9s %s\n", j.ID, j.Kind, j.State, progressLine(j))
+	}
+	fmt.Fprintf(stdout, "%d job(s)\n", len(list.Jobs))
+	return nil
+}
+
+// progressLine compresses a job's progress block to one cell.
+func progressLine(j service.Job) string {
+	p := j.Progress
+	if p == nil {
+		return "-"
+	}
+	if p.PointsTotal != nil {
+		var done int64
+		if p.PointsDone != nil {
+			done = *p.PointsDone
+		}
+		return fmt.Sprintf("points %d/%d", done, *p.PointsTotal)
+	}
+	if p.Nodes != nil {
+		line := fmt.Sprintf("nodes %d", *p.Nodes)
+		if p.Leaves != nil {
+			line += fmt.Sprintf(" leaves %d", *p.Leaves)
+		}
+		if p.Pruned != nil {
+			line += fmt.Sprintf(" pruned %d", *p.Pruned)
+		}
+		return line
+	}
+	return "-"
+}
+
+// cmdJob prints one job's status document, indented.
+func (c *client) cmdJob(ctx context.Context, id string, stdout io.Writer) error {
+	body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id)
+	if err != nil {
+		return err
+	}
+	return writeIndented(stdout, body)
+}
+
+// cmdResult prints a finished job's result verbatim — the exact bytes the
+// synchronous endpoint would have answered, suitable for piping.
+func (c *client) cmdResult(ctx context.Context, id string, stdout io.Writer) error {
+	body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result")
+	if err != nil {
+		return err
+	}
+	_, err = stdout.Write(body)
+	return err
+}
+
+// cmdCancel requests cancellation and prints the job's resulting status.
+func (c *client) cmdCancel(ctx context.Context, id string, stdout io.Writer) error {
+	body, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id)
+	if err != nil {
+		return err
+	}
+	return writeIndented(stdout, body)
+}
+
+// cmdDrain cancels every pending and running job, then polls until no job
+// remains active (or -wait expires). Terminal jobs are untouched — drain
+// stops work, it does not clear history.
+func (c *client) cmdDrain(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("reproctl drain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wait := fs.Duration("wait", 30*time.Second, "how long to wait for active jobs to stop")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	canceled := 0
+	for _, state := range []string{"pending", "running"} {
+		list, err := c.listJobs(ctx, "", state)
+		if err != nil {
+			return err
+		}
+		for _, j := range list.Jobs {
+			if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+j.ID); err != nil {
+				return fmt.Errorf("canceling %s: %v", j.ID, err)
+			}
+			canceled++
+		}
+	}
+	deadline := time.Now().Add(*wait)
+	for {
+		active := 0
+		for _, state := range []string{"pending", "running"} {
+			list, err := c.listJobs(ctx, "", state)
+			if err != nil {
+				return err
+			}
+			active += len(list.Jobs)
+		}
+		if active == 0 {
+			fmt.Fprintf(stdout, "drained: %d job(s) canceled, none active\n", canceled)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain: %d job(s) still active after %v", active, *wait)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// writeIndented re-indents a JSON body for human eyes. The raw bytes are
+// already a complete document; indentation is display-only.
+func writeIndented(stdout io.Writer, body []byte) error {
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		_, werr := stdout.Write(body)
+		return werr
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

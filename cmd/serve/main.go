@@ -9,6 +9,7 @@
 //	serve [-addr :8080] [-workers 0] [-cache-entries 0] [-inflight 0]
 //	      [-timeout 60s] [-maxrows 0] [-backend auto]
 //	      [-store-entries 0] [-respmemo-entries 0]
+//	      [-job-entries 0] [-job-active 0] [-job-timeout 0]
 //
 // -workers sizes each backend's engine pool (0 = GOMAXPROCS).
 // -cache-entries bounds each engine's memo cache (0 = default 32768,
@@ -18,7 +19,10 @@
 // -store-entries bounds the content-addressed instance store behind
 // POST /v1/instances (0 = default 4096). -respmemo-entries bounds the
 // encoded-response memo that serves repeat evaluate hits without touching
-// a solver or encoder (0 = default 8192, negative disables).
+// a solver or encoder (0 = default 8192, negative disables). -job-entries
+// bounds retained terminal async jobs (0 = default 1024), -job-active caps
+// concurrently running async jobs (0 = default 256) and -job-timeout sets
+// the per-job wall-clock ceiling (0 = default 15m).
 //
 // Example:
 //
@@ -72,6 +76,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	backendName := fs.String("backend", "auto", "default cycle-ratio backend for requests that omit one: auto, karp, howard or float-screen")
 	storeEntries := fs.Int("store-entries", 0, "instance-store bound for POST /v1/instances (0 = default 4096)")
 	respEntries := fs.Int("respmemo-entries", 0, "encoded-response memo bound (0 = default 8192, negative disables)")
+	jobEntries := fs.Int("job-entries", 0, "terminal-job retention bound for /v1/jobs (0 = default 1024)")
+	jobActive := fs.Int("job-active", 0, "max concurrently active async jobs (0 = default 256)")
+	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock ceiling per async job (0 = default 15m)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +98,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultBackend:   backend,
 		StoreEntries:     *storeEntries,
 		RespCacheEntries: *respEntries,
+		JobEntries:       *jobEntries,
+		JobActive:        *jobActive,
+		JobTimeout:       *jobTimeout,
 	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 	if err := service.Serve(ctx, *addr, opts, logf); err != nil {

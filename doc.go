@@ -55,6 +55,14 @@
 //
 //	exact, _ := eng.SearchMappingsExact(ctx, pipe, plat, repro.Overlap)
 //
+// The same solves are reachable over HTTP: Serve (or cmd/serve) exposes
+// evaluate/batch/search/sweep endpoints plus the async job surface
+// /v1/jobs, where long-running searches run as first-class jobs with
+// deterministic IDs, pollable progress and cooperative cancellation (see
+// the Job, JobProgress, JobSubmitRequest and JobListResponse aliases, and
+// ErrorInfo/ErrorBody for the unified error envelope every non-2xx answer
+// uses).
+//
 // See the examples/ directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 package repro

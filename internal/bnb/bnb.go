@@ -81,6 +81,15 @@ type Options struct {
 	// returned when nothing better exists.
 	Incumbent       *mapping.Mapping
 	IncumbentPeriod rat.Rat
+	// OnProgress, when non-nil, receives incremental Stats deltas as the
+	// search runs: each walker reports the counters it accumulated since its
+	// previous report after every engine batch and once when it finishes, so
+	// summing the deltas at any moment approximates the work done so far.
+	// Deltas never overlap or go missing — the sum over a completed search
+	// equals Result.Stats (minus Frontier, which is not a counter). The
+	// callback runs on walker goroutines and must be safe for concurrent use
+	// and cheap (it sits between engine batches).
+	OnProgress func(Stats)
 }
 
 const (
@@ -153,14 +162,15 @@ type class struct {
 
 // problem is the read-only search context shared by all walkers.
 type problem struct {
-	pipe      *pipeline.Pipeline
-	plat      *platform.Platform
-	cm        model.CommModel
-	n         int
-	classes   []class // enumeration order: decreasing speed, then lowest id
-	maxWork   []int64 // maxWork[i] = max work of stages i..n-1; maxWork[n] = 0
-	chunkSize int
-	warm      *incumbent
+	pipe       *pipeline.Pipeline
+	plat       *platform.Platform
+	cm         model.CommModel
+	n          int
+	classes    []class // enumeration order: decreasing speed, then lowest id
+	maxWork    []int64 // maxWork[i] = max work of stages i..n-1; maxWork[n] = 0
+	chunkSize  int
+	warm       *incumbent
+	onProgress func(Stats)
 }
 
 func (p *problem) work(stage int) int64 { return p.pipe.Stages[stage].Work }
@@ -187,13 +197,14 @@ func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, pl
 		opts.ChunkSize = defaultChunkSize
 	}
 	pr := &problem{
-		pipe:      pipe,
-		plat:      plat,
-		cm:        cm,
-		n:         n,
-		classes:   classesOf(plat),
-		maxWork:   make([]int64, n+1),
-		chunkSize: opts.ChunkSize,
+		pipe:       pipe,
+		plat:       plat,
+		cm:         cm,
+		n:          n,
+		classes:    classesOf(plat),
+		maxWork:    make([]int64, n+1),
+		chunkSize:  opts.ChunkSize,
+		onProgress: opts.OnProgress,
 	}
 	for i := n - 1; i >= 0; i-- {
 		pr.maxWork[i] = pr.maxWork[i+1]
@@ -225,6 +236,7 @@ func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, pl
 			if err := w.dfs(depth, nd.lb); err != nil {
 				interrupted = true
 			}
+			w.publish()
 			stats.add(w.st)
 			if interrupted {
 				break
@@ -268,6 +280,7 @@ func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, pl
 					if err == nil {
 						err = w.flush()
 					}
+					w.publish()
 					results[i] = subResult{best: w.best, st: w.st, complete: err == nil}
 				}
 			}()
@@ -325,6 +338,26 @@ type walker struct {
 
 	chunk []*mapping.Mapping
 	st    Stats
+	pub   Stats // counters already reported through problem.onProgress
+}
+
+// publish reports the counters accumulated since the previous publish to
+// the progress callback, if any.
+func (w *walker) publish() {
+	if w.pr.onProgress == nil {
+		return
+	}
+	d := Stats{
+		Nodes:      w.st.Nodes - w.pub.Nodes,
+		Leaves:     w.st.Leaves - w.pub.Leaves,
+		Pruned:     w.st.Pruned - w.pub.Pruned,
+		Infeasible: w.st.Infeasible - w.pub.Infeasible,
+		Screened:   w.st.Screened - w.pub.Screened,
+	}
+	w.pub = w.st
+	if d != (Stats{}) {
+		w.pr.onProgress(d)
+	}
 }
 
 func newWalker(pr *problem, ctx context.Context, eng *engine.Engine, nd *node, depth, depthLimit int, out *[]*node) *walker {
@@ -467,6 +500,7 @@ func (w *walker) leaf() error {
 // flush evaluates the queued mappings as one engine batch and folds the
 // outcomes into the subtree incumbent.
 func (w *walker) flush() error {
+	defer w.publish() // one progress delta per engine batch
 	if len(w.chunk) == 0 {
 		return nil
 	}

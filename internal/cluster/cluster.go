@@ -225,7 +225,9 @@ func NewRouter(opts Options) (*Router, error) {
 	rt.mux.HandleFunc("/v1/evaluate", rt.handleEvaluate)
 	rt.mux.HandleFunc("/v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("/v1/sweep", rt.handleSweep)
-	rt.mux.HandleFunc("/v1/search", rt.handleOpaque("search"))
+	rt.mux.HandleFunc("/v1/search", rt.handleSearch)
+	rt.mux.HandleFunc("/v1/jobs", rt.handleJobs)
+	rt.mux.HandleFunc("/v1/jobs/", rt.handleJobByID)
 	rt.mux.HandleFunc("/v1/instances", rt.handleInstancePost)
 	rt.mux.HandleFunc("/v1/instances/", rt.handleInstanceGet)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)

@@ -527,10 +527,13 @@ func TestRouterUnknownIDIsTruthful404(t *testing.T) {
 		t.Fatalf("status %d, want 404 (%s)", status, body)
 	}
 	var e struct {
-		Error string `json:"error"`
+		Error service.ErrorInfo `json:"error"`
 	}
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 		t.Fatalf("want node error body, got %s", body)
+	}
+	if e.Error.Code != service.CodeUnknownInstance {
+		t.Fatalf("pass-through 404 code %q, want %q", e.Error.Code, service.CodeUnknownInstance)
 	}
 }
 

@@ -65,6 +65,11 @@ func TestRouterRequestValidation(t *testing.T) {
 		{"sweep bad backend", "/v1/sweep", `{"backend":"nope"}`, http.StatusBadRequest, "unknown backend"},
 		{"instances bad JSON", "/v1/instances", "{", http.StatusBadRequest, "bad request body"},
 		{"instances missing instance", "/v1/instances", `{}`, http.StatusBadRequest, `missing "instance"`},
+		{"instances two kinds", "/v1/instances",
+			`{"pipeline":{"stages":[{"work":5}],"fileSizes":[]},"platform":{"speeds":[1],"bandwidths":[[0]]}}`,
+			http.StatusBadRequest, `"instance", "pipeline" and "platform" are mutually exclusive`},
+		{"jobs bad JSON", "/v1/jobs", "{", http.StatusBadRequest, "bad request body"},
+		{"jobs trailing data", "/v1/jobs", `{"kind":"sweep","sweep":{}} x`, http.StatusBadRequest, "trailing data"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -72,11 +77,14 @@ func TestRouterRequestValidation(t *testing.T) {
 			// Match on the decoded error message: the raw body JSON-escapes
 			// any quotes the phrasing contains.
 			var e struct {
-				Error string `json:"error"`
+				Error service.ErrorInfo `json:"error"`
 			}
 			_ = json.Unmarshal(body, &e)
-			if status != c.status || !strings.Contains(e.Error, c.want) {
+			if status != c.status || !strings.Contains(e.Error.Message, c.want) {
 				t.Fatalf("%s: status %d body %s, want %d containing %q", c.path, status, body, c.status, c.want)
+			}
+			if e.Error.Code != service.DefaultErrorCode(c.status) {
+				t.Fatalf("%s: code %q, want the status default %q", c.path, e.Error.Code, service.DefaultErrorCode(c.status))
 			}
 		})
 	}
@@ -102,6 +110,45 @@ func TestRouterRequestValidation(t *testing.T) {
 		body, status := getRaw(t, base+"/v1/instances/a/b")
 		if status != http.StatusBadRequest || !strings.Contains(string(body), "bad instance path") {
 			t.Fatalf("status %d body %s", status, body)
+		}
+	})
+
+	t.Run("job routes", func(t *testing.T) {
+		if body, status := getRaw(t, base+"/v1/jobs/a/b/c"); status != http.StatusBadRequest ||
+			!strings.Contains(string(body), "bad job path") {
+			t.Fatalf("bad job path: status %d body %s", status, body)
+		}
+		if body, status := getRaw(t, base+"/v1/jobs?kind=polka"); status != http.StatusBadRequest ||
+			!strings.Contains(string(body), "unknown job kind") {
+			t.Fatalf("bad kind filter: status %d body %s", status, body)
+		}
+		if body, status := getRaw(t, base+"/v1/jobs?state=paused"); status != http.StatusBadRequest ||
+			!strings.Contains(string(body), "unknown state") {
+			t.Fatalf("bad state filter: status %d body %s", status, body)
+		}
+		req, err := http.NewRequest(http.MethodPut, base+"/v1/jobs", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("PUT /v1/jobs: status %d, want 405", resp.StatusCode)
+		}
+		// Unknown job ID routes to a node and passes its 404 through with
+		// the node's code — error-surface parity on the job routes too.
+		body, status := getRaw(t, base+"/v1/jobs/feedface00000000-1")
+		if status != http.StatusNotFound {
+			t.Fatalf("unknown job via router: status %d body %s", status, body)
+		}
+		var e struct {
+			Error service.ErrorInfo `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "unknown_job" {
+			t.Fatalf("unknown job envelope %s (decode err %v)", body, err)
 		}
 	})
 }

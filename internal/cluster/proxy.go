@@ -35,9 +35,19 @@ func badReq(format string, args ...any) error {
 // no candidate list exists for any key.
 var errNoNodes = &httpErr{status: http.StatusServiceUnavailable, msg: "no cluster nodes available"}
 
+// fail writes a router-originated failure in the service's unified error
+// envelope with the status's default code.
 func (rt *Router) fail(w http.ResponseWriter, name string, status int, msg string) {
+	rt.failCode(w, name, status, service.DefaultErrorCode(status), msg)
+}
+
+// failCode writes a failure with an explicit code — used when the router
+// relays a node verdict whose code is more specific than the status default
+// (an unknown_instance 404 inside a rewritten batch message, say), so the
+// router-fronted envelope matches the node's code for code.
+func (rt *Router) failCode(w http.ResponseWriter, name string, status int, code, msg string) {
 	rt.met.errors.Add(name, 1)
-	writeJSON(w, status, map[string]string{"error": msg})
+	writeJSON(w, status, service.ErrorBody{Error: service.ErrorInfo{Code: code, Message: msg}})
 }
 
 // failErr maps an error to its status: httpErr carries its own, context
@@ -330,11 +340,31 @@ func (rt *Router) handleInstancePost(w http.ResponseWriter, r *http.Request) {
 		rt.failErr(w, name, err)
 		return
 	}
-	if req.Instance == nil {
-		rt.fail(w, name, http.StatusBadRequest, "missing \"instance\"")
+	set := 0
+	for _, present := range []bool{req.Instance != nil, req.Pipeline != nil, req.Platform != nil} {
+		if present {
+			set++
+		}
+	}
+	if set == 0 {
+		rt.fail(w, name, http.StatusBadRequest, "missing \"instance\" (or \"pipeline\"/\"platform\" to register a description)")
 		return
 	}
-	id := store.ContentID(req.Instance)
+	if set > 1 {
+		rt.fail(w, name, http.StatusBadRequest, "\"instance\", \"pipeline\" and \"platform\" are mutually exclusive")
+		return
+	}
+	// The ring key is the same content ID the home node will answer, for any
+	// of the three document kinds; deeper validation stays with the node.
+	var id string
+	switch {
+	case req.Pipeline != nil:
+		id = store.PipelineID(req.Pipeline)
+	case req.Platform != nil:
+		id = store.PlatformID(req.Platform)
+	default:
+		id = store.ContentID(req.Instance)
+	}
 	rt.replay.put(id, body)
 	res, err := rt.forward(r.Context(), id, http.MethodPost, "/v1/instances", body, nil)
 	if err != nil {
@@ -366,30 +396,43 @@ func (rt *Router) handleInstanceGet(w http.ResponseWriter, r *http.Request) {
 	rt.passthrough(w, name, res)
 }
 
-// ---- opaque routes (/v1/search) ----
+// ---- /v1/search ----
 
-// handleOpaque proxies a whole-request endpoint with no shardable key: the
-// request body itself is the ring key, so identical requests route stably
-// (and hit the same node's caches) while distinct ones spread.
-func (rt *Router) handleOpaque(name string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		rt.met.requests.Add(name, 1)
-		if r.Method != http.MethodPost {
-			rt.fail(w, name, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires POST", r.URL.Path))
-			return
-		}
-		body, err := rt.readBody(w, r)
-		if err != nil {
-			rt.failErr(w, name, err)
-			return
-		}
-		res, err := rt.forward(r.Context(), string(body), http.MethodPost, r.URL.Path, body, nil)
-		if err != nil {
-			rt.failErr(w, name, err)
-			return
-		}
-		rt.passthrough(w, name, res)
+// handleSearch proxies a search whole: the request body itself is the ring
+// key, so identical requests route stably (and hit the same node's caches)
+// while distinct ones spread. The body is parsed only to collect the
+// pipelineId/platformId references for replay-on-miss; validation verdicts
+// stay with the node.
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	const name = "search"
+	rt.met.requests.Add(name, 1)
+	if r.Method != http.MethodPost {
+		rt.fail(w, name, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires POST", r.URL.Path))
+		return
 	}
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		rt.failErr(w, name, err)
+		return
+	}
+	var req service.SearchRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		rt.failErr(w, name, err)
+		return
+	}
+	var ids []string
+	if req.PipelineID != "" {
+		ids = append(ids, req.PipelineID)
+	}
+	if req.PlatformID != "" {
+		ids = append(ids, req.PlatformID)
+	}
+	res, err := rt.forward(r.Context(), string(body), http.MethodPost, "/v1/search", body, ids)
+	if err != nil {
+		rt.failErr(w, name, err)
+		return
+	}
+	rt.passthrough(w, name, res)
 }
 
 // ---- /v1/batch ----
@@ -512,10 +555,14 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	backendAt := len(req.Tasks)
 	failAt := len(req.Tasks) + 1
 	var failStatus int
+	var failCode string
 	var failMsg string
-	recordFail := func(at, status int, msg string) {
+	recordFail := func(at, status int, code, msg string) {
+		if code == "" {
+			code = service.DefaultErrorCode(status)
+		}
 		if at < failAt {
-			failAt, failStatus, failMsg = at, status, msg
+			failAt, failStatus, failCode, failMsg = at, status, code, msg
 		}
 	}
 	for gi, owner := range order {
@@ -527,17 +574,18 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if errors.As(sr.err, &he) {
 				status, msg = he.status, he.msg
 			}
-			recordFail(g.idxs[0], status, msg)
+			recordFail(g.idxs[0], status, "", msg)
 			continue
 		}
 		if sr.res.status != http.StatusOK {
-			at, msg := rewriteTaskIndex(errorMsgOf(sr.res.body), g.idxs)
-			recordFail(at, sr.res.status, msg)
+			info := errorInfoOf(sr.res.body)
+			at, msg := rewriteTaskIndex(info.Message, g.idxs)
+			recordFail(at, sr.res.status, info.Code, msg)
 			continue
 		}
 		var sub service.BatchResponse
 		if err := json.Unmarshal(sr.res.body, &sub); err != nil || len(sub.Outcomes) != len(g.idxs) {
-			recordFail(g.idxs[0], http.StatusBadGateway,
+			recordFail(g.idxs[0], http.StatusBadGateway, "",
 				fmt.Sprintf("node %s answered a malformed batch response", sr.res.node))
 			continue
 		}
@@ -552,7 +600,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if failAt <= len(req.Tasks) {
-		rt.fail(w, name, failStatus, failMsg)
+		rt.failCode(w, name, failStatus, failCode, failMsg)
 		return
 	}
 	out, err := encodeBody(merged)
@@ -563,16 +611,25 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeRaw(w, http.StatusOK, out)
 }
 
-// errorMsgOf extracts the "error" field of a node's failure body, falling
-// back to the raw body.
-func errorMsgOf(body []byte) string {
+// errorInfoOf extracts the error envelope of a node's failure body: the
+// {"error":{"code","message"}} object, with fallbacks for a legacy string
+// "error" field and for a non-JSON body (code left empty — the caller
+// substitutes the status default).
+func errorInfoOf(body []byte) service.ErrorInfo {
 	var e struct {
-		Error string `json:"error"`
+		Error json.RawMessage `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return e.Error
+	if json.Unmarshal(body, &e) == nil && len(e.Error) > 0 {
+		var info service.ErrorInfo
+		if json.Unmarshal(e.Error, &info) == nil && info.Message != "" {
+			return info
+		}
+		var legacy string
+		if json.Unmarshal(e.Error, &legacy) == nil && legacy != "" {
+			return service.ErrorInfo{Message: legacy}
+		}
 	}
-	return strings.TrimSpace(string(body))
+	return service.ErrorInfo{Message: strings.TrimSpace(string(body))}
 }
 
 // rewriteTaskIndex maps a node's "task %d: ..." message from sub-batch
@@ -626,6 +683,19 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 			rt.fail(w, name, http.StatusBadRequest, err.Error())
 			return
 		}
+	}
+	if len(req.Instances) > 0 || len(req.InstanceIDs) > 0 {
+		// Explicit instance population: route the sweep whole by body, with
+		// the by-ID references as replay candidates. (Scattering by instance
+		// would be possible, but explicit populations are small and the
+		// exclusivity rules stay a node verdict this way.)
+		res, err := rt.forward(r.Context(), string(body), http.MethodPost, "/v1/sweep", body, req.InstanceIDs)
+		if err != nil {
+			rt.failErr(w, name, err)
+			return
+		}
+		rt.passthrough(w, name, res)
+		return
 	}
 	if req.Only != nil {
 		// Already a subset request (another router's scatter, or a client
@@ -694,7 +764,16 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	backendAt := len(pairs)
 	failAt := len(pairs) + 1
 	var failStatus int
+	var failCode string
 	var failMsg string
+	recordFail := func(at, status int, code, msg string) {
+		if code == "" {
+			code = service.DefaultErrorCode(status)
+		}
+		if at < failAt {
+			failAt, failStatus, failCode, failMsg = at, status, code, msg
+		}
+	}
 	for gi, owner := range order {
 		idxs := groups[owner]
 		sr := results[gi]
@@ -704,23 +783,18 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if errors.As(sr.err, &he) {
 				status, msg = he.status, he.msg
 			}
-			if idxs[0] < failAt {
-				failAt, failStatus, failMsg = idxs[0], status, msg
-			}
+			recordFail(idxs[0], status, "", msg)
 			continue
 		}
 		if sr.res.status != http.StatusOK {
-			if idxs[0] < failAt {
-				failAt, failStatus, failMsg = idxs[0], sr.res.status, errorMsgOf(sr.res.body)
-			}
+			info := errorInfoOf(sr.res.body)
+			recordFail(idxs[0], sr.res.status, info.Code, info.Message)
 			continue
 		}
 		var sub service.SweepResponse
 		if err := json.Unmarshal(sr.res.body, &sub); err != nil || len(sub.Points) != len(idxs) {
-			if idxs[0] < failAt {
-				failAt, failStatus = idxs[0], http.StatusBadGateway
-				failMsg = fmt.Sprintf("node %s answered a malformed sweep response", sr.res.node)
-			}
+			recordFail(idxs[0], http.StatusBadGateway, "",
+				fmt.Sprintf("node %s answered a malformed sweep response", sr.res.node))
 			continue
 		}
 		if idxs[0] < backendAt {
@@ -731,7 +805,7 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if failAt <= len(pairs) {
-		rt.fail(w, name, failStatus, failMsg)
+		rt.failCode(w, name, failStatus, failCode, failMsg)
 		return
 	}
 	out, err := encodeBody(merged)

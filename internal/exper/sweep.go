@@ -64,6 +64,12 @@ func RuntimeSweepEngine(ctx context.Context, eng *engine.Engine, seed int64, pai
 // (cheap) population but solves only the pairs it is home to, and the
 // gathered points merge back into exactly the single-node sweep.
 func RuntimeSweepEngineSubset(ctx context.Context, eng *engine.Engine, seed int64, pairs [][]int, only []int) ([]SweepPoint, error) {
+	return RuntimeSweepEngineSubsetProgress(ctx, eng, seed, pairs, only, nil)
+}
+
+// RuntimeSweepEngineSubsetProgress is RuntimeSweepEngineSubset with a
+// per-point progress callback — see RuntimeSweepInstances for the contract.
+func RuntimeSweepEngineSubsetProgress(ctx context.Context, eng *engine.Engine, seed int64, pairs [][]int, only []int, onPoint func()) ([]SweepPoint, error) {
 	rng := rand.New(rand.NewSource(seed))
 	insts := make([]*model.Instance, len(pairs))
 	for k, reps := range pairs {
@@ -73,22 +79,42 @@ func RuntimeSweepEngineSubset(ctx context.Context, eng *engine.Engine, seed int6
 		}
 		insts[k] = inst
 	}
+	return RuntimeSweepInstances(ctx, eng, insts, only, onPoint)
+}
+
+// RuntimeSweepInstances runs the sweep over an explicit instance
+// population instead of a generated one — the path behind sweep requests
+// that name registered instances ("instanceIds") or carry them inline. The
+// replication vector of each point is read off the instance. only selects
+// the indices to evaluate (nil = all), in the order given; onPoint (when
+// non-nil) is called once per completed point from the engine's worker
+// goroutines — the jobs layer counts these calls into a poller-visible
+// progress gauge — and must be concurrency-safe and cheap.
+func RuntimeSweepInstances(ctx context.Context, eng *engine.Engine, insts []*model.Instance, only []int, onPoint func()) ([]SweepPoint, error) {
 	if only == nil {
-		only = make([]int, len(pairs))
+		only = make([]int, len(insts))
 		for k := range only {
 			only[k] = k
 		}
 	}
 	for _, k := range only {
-		if k < 0 || k >= len(pairs) {
-			return nil, fmt.Errorf("exper: sweep index %d out of range [0, %d)", k, len(pairs))
+		if k < 0 || k >= len(insts) {
+			return nil, fmt.Errorf("exper: sweep index %d out of range [0, %d)", k, len(insts))
 		}
 	}
 	out := make([]SweepPoint, len(only))
 	errs := make([]error, len(only))
 	if err := eng.ForEach(ctx, len(only), func(i int) {
 		k := only[i]
-		out[i], errs[i] = sweepPoint(insts[k], pairs[k])
+		rc := insts[k].ReplicationCounts()
+		reps := make([]int, len(rc))
+		for j, r := range rc {
+			reps[j] = int(r)
+		}
+		out[i], errs[i] = sweepPoint(insts[k], reps)
+		if onPoint != nil {
+			onPoint()
+		}
 	}); err != nil {
 		return nil, err
 	}

@@ -38,7 +38,17 @@ func BranchAndBound(pipe *pipeline.Pipeline, plat *platform.Platform, cm model.C
 // sparse platform where the fastest-first seed needs a missing link) is not
 // fatal: the search simply starts without a warm start.
 func BranchAndBoundEngine(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel) (ExactResult, error) {
-	opts := bnb.Options{}
+	return BranchAndBoundEngineProgress(ctx, eng, pipe, plat, cm, nil)
+}
+
+// BranchAndBoundEngineProgress is BranchAndBoundEngine with a live progress
+// feed: onProgress (when non-nil) receives incremental bnb.Stats deltas
+// from the search's walker goroutines — see bnb.Options.OnProgress for the
+// delivery contract. The serving layer points the deltas at a job's atomic
+// counters so pollers watch the tree walk advance; the returned result is
+// unchanged by observation.
+func BranchAndBoundEngineProgress(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, onProgress func(bnb.Stats)) (ExactResult, error) {
+	opts := bnb.Options{OnProgress: onProgress}
 	if warm, err := GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
 		opts.Incumbent, opts.IncumbentPeriod = warm.Mapping, warm.Period
 	}

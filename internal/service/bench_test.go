@@ -7,7 +7,11 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/platform"
 )
 
 // benchResponseWriter is a minimal ResponseWriter so the benchmark measures
@@ -103,3 +107,139 @@ func BenchmarkServeHitPath(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkJobSubmitPollOverhead measures what the async surface costs on
+// top of the solve itself, in-process through the full handler stack:
+//
+//   - poll: one status poll plus one result fetch of an already-terminal
+//     job — the steady-state overhead every async client pays per poll
+//     cycle, with no solver in the path. Deterministic, so its allocs/op
+//     are gated in scripts/benchjson.awk (JOBALLOC_GATE).
+//   - cycle: the full submit → poll-until-done → fetch-result round trip
+//     of a tiny greedy search. Reported for the sync-vs-async comparison
+//     in EXPERIMENTS.md but ungated: the number of polls a cycle needs is
+//     scheduling-dependent.
+func BenchmarkJobSubmitPollOverhead(b *testing.B) {
+	pipe := mustBenchPipeline(b)
+	s := NewServer(Options{Workers: 1, JobEntries: 64})
+	handler := s.Handler()
+
+	searchReq := &SearchRequest{
+		Pipeline: pipe, Platform: benchPlatform(), Model: "overlap", Algo: "greedy",
+	}
+	syncPayload, err := json.Marshal(searchReq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	submitPayload, err := json.Marshal(JobSubmitRequest{Kind: "search", Search: searchReq})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	do := func(method, path string, payload []byte) (int, []byte) {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes()
+	}
+	await := func(id string) {
+		for {
+			status, body := do(http.MethodGet, "/v1/jobs/"+id, nil)
+			if status != http.StatusOK {
+				b.Fatalf("poll %s: status %d body %s", id, status, body)
+			}
+			var j Job
+			if err := json.Unmarshal(body, &j); err != nil {
+				b.Fatal(err)
+			}
+			switch j.State {
+			case "done":
+				return
+			case "failed", "canceled":
+				b.Fatalf("job %s reached %q", id, j.State)
+			}
+			// Yield between polls: in-process hot polling would otherwise
+			// compete with the solver goroutine for the benchmark's Ps and
+			// measure scheduler contention instead of surface overhead.
+			runtime.Gosched()
+		}
+	}
+
+	// One terminal job for the poll benchmark.
+	status, body := do(http.MethodPost, "/v1/jobs", submitPayload)
+	if status != http.StatusAccepted {
+		b.Fatalf("seed submit: status %d body %s", status, body)
+	}
+	var seed Job
+	if err := json.Unmarshal(body, &seed); err != nil {
+		b.Fatal(err)
+	}
+	await(seed.ID)
+
+	b.Run("poll", func(b *testing.B) {
+		statusPath := "/v1/jobs/" + seed.ID
+		resultPath := statusPath + "/result"
+		req := httptest.NewRequest(http.MethodGet, statusPath, nil)
+		w := &benchResponseWriter{h: make(http.Header)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req.URL.Path = statusPath
+			w.status, w.n = 0, 0
+			handler.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("status poll: %d", w.status)
+			}
+			req.URL.Path = resultPath
+			w.status, w.n = 0, 0
+			handler.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Fatalf("result fetch: %d", w.status)
+			}
+		}
+	})
+
+	b.Run("cycle", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			status, body := do(http.MethodPost, "/v1/jobs", submitPayload)
+			if status != http.StatusAccepted {
+				b.Fatalf("iteration %d: submit status %d body %s", i, status, body)
+			}
+			var j Job
+			if err := json.Unmarshal(body, &j); err != nil {
+				b.Fatal(err)
+			}
+			await(j.ID)
+			if rs, rb := do(http.MethodGet, "/v1/jobs/"+j.ID+"/result", nil); rs != http.StatusOK {
+				b.Fatalf("iteration %d: result status %d body %s", i, rs, rb)
+			}
+		}
+	})
+
+	b.Run("sync", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if status, _ := do(http.MethodPost, "/v1/search", syncPayload); status != http.StatusOK {
+				b.Fatalf("iteration %d: status %d", i, status)
+			}
+		}
+	})
+}
+
+func mustBenchPipeline(b *testing.B) *pipeline.Pipeline {
+	b.Helper()
+	p, err := pipeline.New([]int64{100, 200, 100}, []int64{50, 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchPlatform() *platform.Platform { return platform.Uniform(4, 100, 100) }

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// ErrorInfo is the unified error payload every /v1/* failure carries:
+// a stable machine-readable code plus the human-readable message that used
+// to be the whole body. Clients branch on Code; Message keeps the legacy
+// text (error-message parity across router and node is asserted against
+// it).
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is the wire envelope: {"error": {"code": ..., "message": ...}}.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// Error codes more specific than their HTTP status. Everything else uses
+// DefaultErrorCode.
+const (
+	// CodeUnknownInstance: a by-ID reference named no registered document.
+	CodeUnknownInstance = "unknown_instance"
+	// CodeUnknownJob: no job with the requested ID is registered.
+	CodeUnknownJob = "unknown_job"
+	// CodeJobNotFinished: the job result was requested before the job
+	// reached a terminal state.
+	CodeJobNotFinished = "job_not_finished"
+	// CodeJobCanceled: the job was canceled before it produced a result.
+	CodeJobCanceled = "job_canceled"
+	// CodeJobCapacity: the detached-job registry is at its active cap.
+	CodeJobCapacity = "job_capacity"
+)
+
+// DefaultErrorCode maps an HTTP status to the generic code used when no
+// more specific one applies. Exported so the cluster router emits
+// code-identical envelopes for the failures it originates.
+func DefaultErrorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusInternalServerError:
+		return "internal"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "http_" + strconv.Itoa(status)
+	}
+}

@@ -5,14 +5,22 @@ import (
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
 	"repro/internal/store"
 )
 
 // ---- /v1/instances ----
 
-// InstanceRequest registers an instance with the content-addressed store.
+// InstanceRequest registers a document with the content-addressed store:
+// exactly one of Instance, Pipeline and Platform. (The route name predates
+// the two description kinds; all three share the registry and the ID
+// space, so search requests can reference a pipeline and a platform by ID
+// the same way evaluate references an instance.)
 type InstanceRequest struct {
-	Instance *model.Instance `json:"instance"`
+	Instance *model.Instance    `json:"instance,omitempty"`
+	Pipeline *pipeline.Pipeline `json:"pipeline,omitempty"`
+	Platform *platform.Platform `json:"platform,omitempty"`
 }
 
 // InstanceResponse answers a registration (POST) or lookup (GET). The ID is
@@ -27,13 +35,21 @@ type InstanceResponse struct {
 	// CanonicalKey is the model-independent canonical serialization the ID
 	// addresses (replication structure plus exact operation times) — returned
 	// on registration so a client can verify what it registered; omitted on
-	// GET, where Instance carries the content itself.
+	// GET, where Instance carries the content itself. Instance kind only.
 	CanonicalKey string `json:"canonicalKey,omitempty"`
-	// Stages and PathCount summarize the registered structure.
-	Stages    int   `json:"stages"`
-	PathCount int64 `json:"pathCount"`
-	// Instance echoes the stored content on GET lookups.
-	Instance *model.Instance `json:"instance,omitempty"`
+	// Kind names the registered document kind for pipeline and platform
+	// documents; omitted for instances (the original, default kind — its
+	// responses predate Kind and keep their exact shape).
+	Kind string `json:"kind,omitempty"`
+	// Stages and PathCount summarize instance structure (Stages also counts
+	// a pipeline's stages); Procs summarizes a platform.
+	Stages    int   `json:"stages,omitempty"`
+	PathCount int64 `json:"pathCount,omitempty"`
+	Procs     int   `json:"procs,omitempty"`
+	// Instance/Pipeline/Platform echo the stored content on GET lookups.
+	Instance *model.Instance    `json:"instance,omitempty"`
+	Pipeline *pipeline.Pipeline `json:"pipeline,omitempty"`
+	Platform *platform.Platform `json:"platform,omitempty"`
 }
 
 // handleInstancePost registers an instance: POST /v1/instances with
@@ -58,11 +74,41 @@ func (s *Server) handleInstancePost(w http.ResponseWriter, r *http.Request) {
 		s.failErr(w, name, err)
 		return
 	}
-	if req.Instance == nil {
-		s.failErr(w, name, badRequest("missing \"instance\""))
+	set := 0
+	for _, present := range []bool{req.Instance != nil, req.Pipeline != nil, req.Platform != nil} {
+		if present {
+			set++
+		}
+	}
+	if set == 0 {
+		s.failErr(w, name, badRequest("missing \"instance\" (or \"pipeline\"/\"platform\" to register a description)"))
 		return
 	}
-	ent, created, err := s.store.Put(req.Instance)
+	if set > 1 {
+		s.failErr(w, name, badRequest("\"instance\", \"pipeline\" and \"platform\" are mutually exclusive"))
+		return
+	}
+	var (
+		ent     *store.Entry
+		created bool
+		err     error
+	)
+	switch {
+	case req.Pipeline != nil:
+		if verr := req.Pipeline.Validate(); verr != nil {
+			s.failErr(w, name, badRequest("%v", verr))
+			return
+		}
+		ent, created, err = s.store.PutPipeline(req.Pipeline)
+	case req.Platform != nil:
+		if verr := req.Platform.Validate(); verr != nil {
+			s.failErr(w, name, badRequest("%v", verr))
+			return
+		}
+		ent, created, err = s.store.PutPlatform(req.Platform)
+	default:
+		ent, created, err = s.store.Put(req.Instance)
+	}
 	if err != nil {
 		// ErrFull: every resident entry is pinned by an in-flight request —
 		// a transient overload, so tell the client to retry, like a full
@@ -70,17 +116,24 @@ func (s *Server) handleInstancePost(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, name, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	inst := ent.Instance()
-	_, content := ent.TaskKey(model.Overlap)
-	writeJSON(w, http.StatusOK, InstanceResponse{
-		ID:      ent.ID(),
-		Created: created,
+	resp := InstanceResponse{ID: ent.ID(), Created: created}
+	switch ent.Kind() {
+	case store.KindPipeline:
+		resp.Kind = string(store.KindPipeline)
+		resp.Stages = len(ent.Pipeline().Stages)
+	case store.KindPlatform:
+		resp.Kind = string(store.KindPlatform)
+		resp.Procs = ent.Platform().NumProcs()
+	default:
+		inst := ent.Instance()
+		_, content := ent.TaskKey(model.Overlap)
 		// The overlap task key is model prefix + content; strip the prefix to
 		// hand back the model-free canonical serialization the ID hashes.
-		CanonicalKey: strings.TrimPrefix(content, overlapKeyPrefix),
-		Stages:       inst.NumStages(),
-		PathCount:    inst.PathCount(),
-	})
+		resp.CanonicalKey = strings.TrimPrefix(content, overlapKeyPrefix)
+		resp.Stages = inst.NumStages()
+		resp.PathCount = inst.PathCount()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // overlapKeyPrefix is the model prefix engine.CanonicalKey prepends to the
@@ -104,27 +157,49 @@ func (s *Server) handleInstanceGet(w http.ResponseWriter, r *http.Request) {
 	}
 	ent, ok := s.store.Resolve(id)
 	if !ok {
-		s.failErr(w, name, notFound("unknown instance ID %q (expired or never registered; POST /v1/instances to register)", id))
+		s.failErr(w, name, codedError(http.StatusNotFound, CodeUnknownInstance,
+			"unknown instance ID %q (expired or never registered; POST /v1/instances to register)", id))
 		return
 	}
 	defer ent.Release()
-	inst := ent.Instance()
-	writeJSON(w, http.StatusOK, InstanceResponse{
-		ID:        ent.ID(),
-		Created:   false,
-		Stages:    inst.NumStages(),
-		PathCount: inst.PathCount(),
-		Instance:  inst,
-	})
+	resp := InstanceResponse{ID: ent.ID(), Created: false}
+	switch ent.Kind() {
+	case store.KindPipeline:
+		resp.Kind = string(store.KindPipeline)
+		resp.Stages = len(ent.Pipeline().Stages)
+		resp.Pipeline = ent.Pipeline()
+	case store.KindPlatform:
+		resp.Kind = string(store.KindPlatform)
+		resp.Procs = ent.Platform().NumProcs()
+		resp.Platform = ent.Platform()
+	default:
+		inst := ent.Instance()
+		resp.Stages = inst.NumStages()
+		resp.PathCount = inst.PathCount()
+		resp.Instance = inst
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // resolveInstance resolves a by-ID reference for a solve request: the entry
 // comes back pinned (the caller owes one Release once the request finishes)
 // so store eviction cannot recycle it mid-solve.
 func (s *Server) resolveInstance(id string) (*store.Entry, error) {
+	return s.resolveDoc(id, store.KindInstance)
+}
+
+// resolveDoc resolves a by-ID reference of the expected document kind,
+// pinned like resolveInstance. A registered ID of the wrong kind is a 400
+// naming both kinds — truthfully distinct from an unknown ID's 404.
+func (s *Server) resolveDoc(id string, kind store.Kind) (*store.Entry, error) {
 	ent, ok := s.store.Resolve(id)
 	if !ok {
-		return nil, notFound("unknown instance ID %q (expired or never registered; POST /v1/instances to register)", id)
+		return nil, codedError(http.StatusNotFound, CodeUnknownInstance,
+			"unknown %s ID %q (expired or never registered; POST /v1/instances to register)", kind, id)
+	}
+	if ent.Kind() != kind {
+		ent.Release()
+		return nil, badRequest("ID %q names a registered %s, not a %s", id, ent.Kind(), kind)
 	}
 	return ent, nil
 }

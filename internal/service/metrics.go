@@ -138,7 +138,8 @@ func (h *latencyHist) String() string {
 // bounded cache holds), and the per-endpoint/backend latency histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "metrics requires GET"})
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: ErrorInfo{
+			Code: DefaultErrorCode(http.StatusMethodNotAllowed), Message: "metrics requires GET"}})
 		return
 	}
 	var b strings.Builder
@@ -161,6 +162,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sm := s.store.Metrics()
 	fmt.Fprintf(&b, "\"store\": {\"puts\":%d,\"dedups\":%d,\"resolves\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"pinned\":%d,\"capacity\":%d},\n",
 		sm.Puts, sm.Dedups, sm.Resolves, sm.Misses, sm.Evictions, sm.Entries, sm.Pinned, sm.Capacity)
+	jm := s.jobs.Metrics()
+	fmt.Fprintf(&b, "\"jobs\": {\"submitted\":%d,\"done\":%d,\"failed\":%d,\"canceled\":%d,\"rejected\":%d,\"evictions\":%d,\"active\":%d,\"terminal\":%d,\"activeCapacity\":%d,\"terminalCapacity\":%d},\n",
+		jm.Submitted, jm.Done, jm.Failed, jm.Canceled, jm.Rejected, jm.Evictions, jm.Active, jm.Terminal, jm.ActiveCapacity, jm.TerminalCapacity)
 	b.WriteString("\"respMemo\": ")
 	if s.resp != nil {
 		rm := s.resp.metrics()
@@ -211,7 +215,8 @@ type HealthzResponse struct {
 // handleHealthz reports liveness plus the load numbers a balancer wants.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "healthz requires GET"})
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: ErrorInfo{
+			Code: DefaultErrorCode(http.StatusMethodNotAllowed), Message: "healthz requires GET"}})
 		return
 	}
 	writeJSON(w, http.StatusOK, HealthzResponse{

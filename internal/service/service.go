@@ -57,10 +57,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bnb"
 	"repro/internal/core"
 	"repro/internal/cycles"
 	"repro/internal/engine"
 	"repro/internal/exper"
+	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/platform"
@@ -106,6 +108,18 @@ type Options struct {
 	// /v1/evaluate hits as pre-encoded bytes (0 = the package default,
 	// negative disables the memo — every response is encoded fresh).
 	RespCacheEntries int
+	// JobEntries bounds retained terminal jobs in the async-job registry
+	// (0 = jobs.DefaultTerminalEntries). Terminal jobs past the bound are
+	// recycled CLOCK-style, coldest first.
+	JobEntries int
+	// JobActive caps concurrently resident detached jobs (POST /v1/jobs);
+	// past it submissions are refused with 503. 0 = jobs.DefaultMaxActive.
+	// Synchronous requests are exempt — their lifetime is the request's.
+	JobActive int
+	// JobTimeout bounds a detached job's run (0 = 15 min). Synchronous
+	// requests keep RequestTimeout; this ceiling exists because an async job
+	// outlives its submitting request and would otherwise run forever.
+	JobTimeout time.Duration
 }
 
 func (o *Options) defaults() {
@@ -120,6 +134,9 @@ func (o *Options) defaults() {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 15 * time.Minute
 	}
 }
 
@@ -137,8 +154,9 @@ type Server struct {
 	sem     chan struct{}                // in-flight solve budget
 	met     *metrics
 	flights flightGroup
-	store   *store.Store // content-addressed instances (POST /v1/instances)
-	resp    *respCache   // pre-encoded /v1/evaluate bodies; nil when disabled
+	store   *store.Store  // content-addressed documents (POST /v1/instances)
+	resp    *respCache    // pre-encoded /v1/evaluate bodies; nil when disabled
+	jobs    *jobs.Manager // the job registry every solve runs under
 }
 
 // NewServer builds a server and its routes.
@@ -150,6 +168,10 @@ func NewServer(opts Options) *Server {
 		sem:   make(chan struct{}, opts.MaxInFlight),
 		met:   newMetrics(),
 		store: store.New(opts.StoreEntries),
+		jobs: jobs.New(jobs.Options{
+			TerminalEntries: opts.JobEntries,
+			MaxActive:       opts.JobActive,
+		}),
 	}
 	if opts.RespCacheEntries >= 0 {
 		s.resp = newRespCache(opts.RespCacheEntries)
@@ -166,6 +188,8 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/v1/batch", s.solveEndpoint("batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/search", s.solveEndpoint("search", s.handleSearch))
 	s.mux.HandleFunc("/v1/sweep", s.solveEndpoint("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/instances", s.handleInstancePost)
 	s.mux.HandleFunc("/v1/instances/", s.handleInstanceGet)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -186,9 +210,11 @@ func (s *Server) engine(b cycles.Backend) *engine.Engine { return s.engines[b] }
 // through it; cmd/serve reports its capacity).
 func (s *Server) Store() *store.Store { return s.store }
 
-// httpError is an error with a dedicated HTTP status.
+// httpError is an error with a dedicated HTTP status and, optionally, a
+// machine-readable error code more specific than the status default.
 type httpError struct {
 	status int
+	code   string // "" = DefaultErrorCode(status)
 	msg    string
 }
 
@@ -200,6 +226,10 @@ func badRequest(format string, args ...any) error {
 
 func notFound(format string, args ...any) error {
 	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func codedError(status int, code, format string, args ...any) error {
+	return &httpError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 // solveFunc is the compute half of a solve request, produced by a handler
@@ -336,7 +366,11 @@ func (s *Server) failErr(w http.ResponseWriter, name string, err error) {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		s.fail(w, name, he.status, he.msg)
+		code := he.code
+		if code == "" {
+			code = DefaultErrorCode(he.status)
+		}
+		s.failCode(w, name, he.status, code, he.msg)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.fail(w, name, http.StatusServiceUnavailable, "request deadline exceeded")
 	default:
@@ -345,8 +379,14 @@ func (s *Server) failErr(w http.ResponseWriter, name string, err error) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, name string, status int, msg string) {
+	s.failCode(w, name, status, DefaultErrorCode(status), msg)
+}
+
+// failCode writes the unified error envelope — the one JSON error shape
+// every /v1/* failure uses — and counts the error against the endpoint.
+func (s *Server) failCode(w http.ResponseWriter, name string, status int, code, msg string) {
 	s.met.errors.Add(name, 1)
-	writeJSON(w, status, map[string]string{"error": msg})
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: msg}})
 }
 
 // encScratch is a pooled JSON encoder bound to its scratch buffer: every
@@ -668,7 +708,7 @@ func (s *Server) handleBatch(r *http.Request) (rep reply, err error) {
 		case bt.InstanceID != "":
 			ent, err := s.resolveInstance(bt.InstanceID)
 			if err != nil {
-				return rep, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("task %d: %v", i, err)}
+				return rep, codedError(http.StatusNotFound, CodeUnknownInstance, "task %d: %v", i, err)
 			}
 			pinned = append(pinned, ent)
 			inst = ent.Instance()
@@ -703,7 +743,13 @@ func (s *Server) handleBatch(r *http.Request) (rep reply, err error) {
 type SearchRequest struct {
 	Pipeline *pipeline.Pipeline `json:"pipeline"`
 	Platform *platform.Platform `json:"platform"`
-	Model    string             `json:"model"`
+	// PipelineID/PlatformID reference documents registered via
+	// POST /v1/instances ({"pipeline": ...} / {"platform": ...}), each
+	// mutually exclusive with its inline field — the same by-ID contract
+	// evaluate and batch follow for instances.
+	PipelineID string `json:"pipelineId,omitempty"`
+	PlatformID string `json:"platformId,omitempty"`
+	Model      string `json:"model"`
 	// Algo selects the search: "best" (default; greedy + random restarts
 	// + annealing), "greedy", "random", "anneal", "exhaustive" (one-to-one
 	// mappings, small platforms only) or "bnb" — the exact branch-and-bound
@@ -757,12 +803,59 @@ func (s *Server) handleSearch(r *http.Request) (reply, error) {
 	if err := decode(r, &req); err != nil {
 		return reply{}, err
 	}
-	if req.Pipeline == nil || req.Platform == nil {
-		return reply{}, badRequest("missing \"pipeline\" or \"platform\"")
+	run, cleanup, err := s.searchPlan(&req)
+	if err != nil {
+		return reply{}, err
+	}
+	return s.inlineJob("search", r, run, cleanup)
+}
+
+// searchPlan validates a search request and compiles it into the runner the
+// job engine executes — the one execution path behind both the synchronous
+// /v1/search handler and the "search" job kind. On success the returned
+// cleanup releases the store pins the plan took (the caller owes exactly
+// one invocation once the run is over); on error the plan has already
+// released everything.
+func (s *Server) searchPlan(req *SearchRequest) (jobRunner, func(), error) {
+	var pinned []*store.Entry
+	cleanup := func() {
+		for _, e := range pinned {
+			e.Release()
+		}
+	}
+	fail := func(err error) (jobRunner, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+	if (req.Pipeline == nil && req.PipelineID == "") || (req.Platform == nil && req.PlatformID == "") {
+		return fail(badRequest("missing \"pipeline\" or \"platform\""))
+	}
+	if req.Pipeline != nil && req.PipelineID != "" {
+		return fail(badRequest("\"pipeline\" and \"pipelineId\" are mutually exclusive"))
+	}
+	if req.Platform != nil && req.PlatformID != "" {
+		return fail(badRequest("\"platform\" and \"platformId\" are mutually exclusive"))
+	}
+	pipe, plat := req.Pipeline, req.Platform
+	if req.PipelineID != "" {
+		ent, err := s.resolveDoc(req.PipelineID, store.KindPipeline)
+		if err != nil {
+			return fail(err)
+		}
+		pinned = append(pinned, ent)
+		pipe = ent.Pipeline()
+	}
+	if req.PlatformID != "" {
+		ent, err := s.resolveDoc(req.PlatformID, store.KindPlatform)
+		if err != nil {
+			return fail(err)
+		}
+		pinned = append(pinned, ent)
+		plat = ent.Platform()
 	}
 	cm, b, err := s.parseSelectors(req.Model, req.Backend)
 	if err != nil {
-		return reply{}, err
+		return fail(err)
 	}
 	restarts, moves, steps := req.Restarts, req.Moves, req.AnnealSteps
 	if restarts <= 0 {
@@ -781,34 +874,45 @@ func (s *Server) handleSearch(r *http.Request) (reply, error) {
 	switch algo {
 	case "best", "greedy", "random", "anneal", "exhaustive", "bnb":
 	default:
-		return reply{}, badRequest("unknown algo %q (want best, greedy, random, anneal, exhaustive or bnb)", algo)
+		return fail(badRequest("unknown algo %q (want best, greedy, random, anneal, exhaustive or bnb)", algo))
 	}
-	return reply{solve: func(outer context.Context) (any, error) {
+	budgetMs := req.BudgetMs
+	seed := req.Seed
+	run := func(outer context.Context, prog *jobs.Progress) (any, error) {
 		ctx := outer
-		if req.BudgetMs > 0 {
+		if budgetMs > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(outer, time.Duration(req.BudgetMs)*time.Millisecond)
+			ctx, cancel = context.WithTimeout(outer, time.Duration(budgetMs)*time.Millisecond)
 			defer cancel()
 		}
 		eng := s.engine(b)
-		rng := rand.New(rand.NewSource(req.Seed))
+		rng := rand.New(rand.NewSource(seed))
 		var res sched.Result
 		var exact *sched.ExactResult
 		var err error
 		switch algo {
 		case "best":
-			res, err = sched.BestOfEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng)
+			res, err = sched.BestOfEngine(ctx, eng, pipe, plat, cm, rng)
 		case "greedy":
-			res, err = sched.GreedyEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+			res, err = sched.GreedyEngine(ctx, eng, pipe, plat, cm)
 		case "random":
-			res, err = sched.RandomSearchEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng, restarts, moves)
+			res, err = sched.RandomSearchEngine(ctx, eng, pipe, plat, cm, rng, restarts, moves)
 		case "anneal":
-			res, err = sched.AnnealEngine(ctx, eng, req.Pipeline, req.Platform, cm, rng, sched.AnnealOptions{Steps: steps})
+			res, err = sched.AnnealEngine(ctx, eng, pipe, plat, cm, rng, sched.AnnealOptions{Steps: steps})
 		case "exhaustive":
-			res, err = sched.ExhaustiveOneToOneEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+			res, err = sched.ExhaustiveOneToOneEngine(ctx, eng, pipe, plat, cm)
 		case "bnb":
+			// The walkers stream their counter deltas into the job's atomic
+			// progress gauges; pollers of GET /v1/jobs/{id} watch the tree
+			// walk advance. Observation never changes the result.
+			onProg := func(d bnb.Stats) {
+				prog.Nodes.Add(d.Nodes)
+				prog.Leaves.Add(d.Leaves)
+				prog.Pruned.Add(d.Pruned)
+				prog.Screened.Add(d.Screened)
+			}
 			var x sched.ExactResult
-			x, err = sched.BranchAndBoundEngine(ctx, eng, req.Pipeline, req.Platform, cm)
+			x, err = sched.BranchAndBoundEngineProgress(ctx, eng, pipe, plat, cm, onProg)
 			if err == nil {
 				res, exact = x.Result, &x
 			}
@@ -820,9 +924,9 @@ func (s *Server) handleSearch(r *http.Request) (reply, error) {
 			// still being alive is what distinguishes them. Everything else
 			// flows to solveEndpoint's status mapping (503 for deadlines,
 			// 500 otherwise).
-			if req.BudgetMs > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) &&
+			if budgetMs > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) &&
 				outer.Err() == nil {
-				return nil, badRequest("search budget of %d ms expired before a feasible mapping was found", req.BudgetMs)
+				return nil, badRequest("search budget of %d ms expired before a feasible mapping was found", budgetMs)
 			}
 			return nil, err
 		}
@@ -842,16 +946,27 @@ func (s *Server) handleSearch(r *http.Request) (reply, error) {
 			resp.Screened = &screened
 		}
 		return resp, nil
-	}}, nil
+	}
+	return run, cleanup, nil
 }
 
 // ---- /v1/sweep ----
 
-// SweepRequest runs the runtime-vs-duplication sweep.
+// SweepRequest runs the runtime-vs-duplication sweep. The point population
+// is either generated — (Seed, Pairs) drawn from one serial rng stream, the
+// default — or explicit: Instances inline or InstanceIDs referencing
+// registered content (POST /v1/instances), one point per instance in order.
+// The three population sources are mutually exclusive.
 type SweepRequest struct {
 	Seed    int64   `json:"seed,omitempty"`
 	Pairs   [][]int `json:"pairs,omitempty"` // empty = exper.DefaultSweepPairs
 	Backend string  `json:"backend,omitempty"`
+	// Instances is an explicit inline population; each point's replication
+	// vector is the instance's own.
+	Instances []*model.Instance `json:"instances,omitempty"`
+	// InstanceIDs is an explicit by-ID population (content IDs from
+	// POST /v1/instances).
+	InstanceIDs []string `json:"instanceIds,omitempty"`
 	// Only restricts evaluation to the pair indices listed (nil = all),
 	// answering one point per index in the order given. The instance
 	// population is still drawn from the full (seed, pairs) rng stream, so
@@ -893,9 +1008,71 @@ func (s *Server) handleSweep(r *http.Request) (reply, error) {
 	if err := decode(r, &req); err != nil {
 		return reply{}, err
 	}
-	_, b, err := s.parseSelectors("overlap", req.Backend)
+	run, cleanup, err := s.sweepPlan(&req)
 	if err != nil {
 		return reply{}, err
+	}
+	return s.inlineJob("sweep", r, run, cleanup)
+}
+
+// sweepPlan validates a sweep request and compiles it into the runner the
+// job engine executes — shared by the synchronous /v1/sweep handler and the
+// "sweep" job kind, like searchPlan. On error every pin the plan took has
+// been released; on success the caller owes one cleanup invocation.
+func (s *Server) sweepPlan(req *SweepRequest) (jobRunner, func(), error) {
+	var pinned []*store.Entry
+	cleanup := func() {
+		for _, e := range pinned {
+			e.Release()
+		}
+	}
+	fail := func(err error) (jobRunner, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+	_, b, err := s.parseSelectors("overlap", req.Backend)
+	if err != nil {
+		return fail(err)
+	}
+	if len(req.Instances) > 0 && len(req.InstanceIDs) > 0 {
+		return fail(badRequest("\"instances\" and \"instanceIds\" are mutually exclusive"))
+	}
+	if explicit := len(req.Instances) > 0 || len(req.InstanceIDs) > 0; explicit {
+		if len(req.Pairs) > 0 {
+			return fail(badRequest("\"pairs\" and an explicit instance population (\"instances\"/\"instanceIds\") are mutually exclusive"))
+		}
+		insts := req.Instances
+		if len(req.InstanceIDs) > 0 {
+			insts = make([]*model.Instance, len(req.InstanceIDs))
+			for i, id := range req.InstanceIDs {
+				ent, err := s.resolveInstance(id)
+				if err != nil {
+					return fail(codedError(http.StatusNotFound, CodeUnknownInstance, "instanceIds[%d]: %v", i, err))
+				}
+				pinned = append(pinned, ent)
+				insts[i] = ent.Instance()
+			}
+		}
+		for _, k := range req.Only {
+			if k < 0 || k >= len(insts) {
+				return fail(badRequest("only index %d out of range [0, %d)", k, len(insts)))
+			}
+		}
+		only := req.Only
+		total := len(only)
+		if only == nil {
+			total = len(insts)
+		}
+		run := func(ctx context.Context, prog *jobs.Progress) (any, error) {
+			prog.PointsTotal.Store(int64(total))
+			pts, err := exper.RuntimeSweepInstances(ctx, s.engine(b), insts, only,
+				func() { prog.PointsDone.Add(1) })
+			if err != nil {
+				return nil, err
+			}
+			return sweepResponse(b, pts), nil
+		}
+		return run, cleanup, nil
 	}
 	pairs := req.Pairs
 	if len(pairs) == 0 {
@@ -903,7 +1080,7 @@ func (s *Server) handleSweep(r *http.Request) (reply, error) {
 	}
 	for i, reps := range pairs {
 		if len(reps) == 0 {
-			return reply{}, badRequest("pairs[%d] is empty", i)
+			return fail(badRequest("pairs[%d] is empty", i))
 		}
 		// The sweep materializes the instance server-side (comp vectors
 		// plus one reps[j] x reps[j+1] matrix per file), so a few small
@@ -916,10 +1093,10 @@ func (s *Server) handleSweep(r *http.Request) (reply, error) {
 		// 60-byte request demand gigabytes).
 		for _, m := range reps {
 			if m < 1 {
-				return reply{}, badRequest("pairs[%d] holds non-positive replication %d", i, m)
+				return fail(badRequest("pairs[%d] holds non-positive replication %d", i, m))
 			}
 			if int64(m) > maxSweepCells {
-				return reply{}, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
+				return fail(badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells)))
 			}
 		}
 		cells := int64(0)
@@ -929,34 +1106,49 @@ func (s *Server) handleSweep(r *http.Request) (reply, error) {
 				cells += int64(m) * int64(reps[j+1])
 			}
 			if cells > maxSweepCells {
-				return reply{}, badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells))
+				return fail(badRequest("pairs[%d] implies more than %d operation cells", i, int64(maxSweepCells)))
 			}
 		}
 	}
 	for _, k := range req.Only {
 		if k < 0 || k >= len(pairs) {
-			return reply{}, badRequest("only index %d out of range [0, %d)", k, len(pairs))
+			return fail(badRequest("only index %d out of range [0, %d)", k, len(pairs)))
 		}
 	}
-	return reply{solve: func(ctx context.Context) (any, error) {
-		pts, err := exper.RuntimeSweepEngineSubset(ctx, s.engine(b), req.Seed, pairs, req.Only)
+	only := req.Only
+	total := len(only)
+	if only == nil {
+		total = len(pairs)
+	}
+	seed := req.Seed
+	run := func(ctx context.Context, prog *jobs.Progress) (any, error) {
+		prog.PointsTotal.Store(int64(total))
+		pts, err := exper.RuntimeSweepEngineSubsetProgress(ctx, s.engine(b), seed, pairs, only,
+			func() { prog.PointsDone.Add(1) })
 		if err != nil {
 			return nil, err
 		}
-		resp := SweepResponse{Backend: b.String(), Points: make([]SweepPointJSON, len(pts))}
-		for i, p := range pts {
-			resp.Points[i] = SweepPointJSON{
-				Reps:       p.Reps,
-				PathCount:  p.PathCount,
-				PolyNs:     p.PolyTime.Nanoseconds(),
-				TPNNs:      p.TPNTime.Nanoseconds(),
-				TPNSkipped: p.TPNSkipped,
-				Period:     p.Period.String(),
-				PeriodF:    p.Period.Float64(),
-			}
+		return sweepResponse(b, pts), nil
+	}
+	return run, cleanup, nil
+}
+
+// sweepResponse renders sweep points in wire form; shared by both
+// population sources so their encodings cannot drift.
+func sweepResponse(b cycles.Backend, pts []exper.SweepPoint) SweepResponse {
+	resp := SweepResponse{Backend: b.String(), Points: make([]SweepPointJSON, len(pts))}
+	for i, p := range pts {
+		resp.Points[i] = SweepPointJSON{
+			Reps:       p.Reps,
+			PathCount:  p.PathCount,
+			PolyNs:     p.PolyTime.Nanoseconds(),
+			TPNNs:      p.TPNTime.Nanoseconds(),
+			TPNSkipped: p.TPNSkipped,
+			Period:     p.Period.String(),
+			PeriodF:    p.Period.Float64(),
 		}
-		return resp, nil
-	}}, nil
+	}
+	return resp
 }
 
 // ---- serving ----

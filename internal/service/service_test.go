@@ -476,10 +476,10 @@ func TestRequestValidationErrors(t *testing.T) {
 				t.Fatalf("status %d, want %d (body %s)", status, c.status, body)
 			}
 			var e struct {
-				Error string `json:"error"`
+				Error ErrorInfo `json:"error"`
 			}
-			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-				t.Fatalf("error body not JSON {error}: %s", body)
+			if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" || e.Error.Code == "" {
+				t.Fatalf("error body not JSON {error:{code,message}}: %s", body)
 			}
 		})
 	}
@@ -725,9 +725,9 @@ func TestPanickingSolveDoesNotLeakCapacity(t *testing.T) {
 			t.Fatalf("request %d: status %d, want 500 (body %s)", i, rec.Code, rec.Body)
 		}
 		var e struct {
-			Error string `json:"error"`
+			Error ErrorInfo `json:"error"`
 		}
-		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "panicked") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error.Message, "panicked") {
 			t.Fatalf("request %d: error body %s (decode err %v)", i, rec.Body, err)
 		}
 	}

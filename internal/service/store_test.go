@@ -99,10 +99,13 @@ func TestUnknownInstanceID404(t *testing.T) {
 			t.Fatalf("status %d, want 404 (body %s)", status, body)
 		}
 		var e struct {
-			Error string `json:"error"`
+			Error ErrorInfo `json:"error"`
 		}
-		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "unknown instance ID") {
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error.Message, "unknown instance ID") {
 			t.Fatalf("error body %s (decode err %v)", body, err)
+		}
+		if e.Error.Code != CodeUnknownInstance {
+			t.Fatalf("error code %q, want %q (body %s)", e.Error.Code, CodeUnknownInstance, body)
 		}
 	}
 
@@ -121,13 +124,13 @@ func TestUnknownInstanceID404(t *testing.T) {
 		}
 		defer resp.Body.Close()
 		var e struct {
-			Error string `json:"error"`
+			Error ErrorInfo `json:"error"`
 		}
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("GET status %d, want 404", resp.StatusCode)
 		}
-		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "unknown instance ID") {
-			t.Fatalf("GET error body %q (decode err %v)", e.Error, err)
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error.Message, "unknown instance ID") {
+			t.Fatalf("GET error body %q (decode err %v)", e.Error.Message, err)
 		}
 	})
 	t.Run("both forms rejected", func(t *testing.T) {

@@ -34,12 +34,15 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
 )
 
 // numModels sizes the per-entry task-key tables; the communication models
@@ -57,14 +60,35 @@ const DefaultCapacity = 4096
 // registration is refused.
 var ErrFull = errors.New("store: capacity reached and every entry is pinned")
 
-// Entry is one registered instance. Entries are immutable after
-// registration; the pin count is the only mutable state.
+// Kind distinguishes the document types the store holds. Instances were
+// first; pipelines and platforms joined when /v1/search learned by-ID
+// references — all three share the registry, the CLOCK discipline and the
+// pin protocol, because an ID's home node in the cluster ring must not
+// depend on what kind of document it names.
+type Kind string
+
+const (
+	// KindInstance is a timed instance (replication structure + times).
+	KindInstance Kind = "instance"
+	// KindPipeline is an application description (stage works + file sizes).
+	KindPipeline Kind = "pipeline"
+	// KindPlatform is a platform description (speeds + bandwidths).
+	KindPlatform Kind = "platform"
+)
+
+// Entry is one registered document. Entries are immutable after
+// registration; the pin count is the only mutable state. Exactly one of
+// Instance, Pipeline and Platform is non-nil, according to Kind.
 type Entry struct {
 	id   string
+	kind Kind
 	inst *model.Instance
+	pipe *pipeline.Pipeline
+	plat *platform.Platform
 
 	// taskHash/taskKey are engine.CanonicalKey(Task{inst, m}) per model,
 	// precomputed so the by-ID hot path never serializes the instance.
+	// Instance entries only.
 	taskHash [numModels]uint64
 	taskKey  [numModels]string
 
@@ -75,8 +99,20 @@ type Entry struct {
 // ID returns the stable content ID (hex SHA-256 of the canonical content).
 func (e *Entry) ID() string { return e.id }
 
-// Instance returns the registered instance (immutable, safe to share).
+// Kind returns the document kind.
+func (e *Entry) Kind() Kind { return e.kind }
+
+// Instance returns the registered instance (immutable, safe to share);
+// nil unless Kind is KindInstance.
 func (e *Entry) Instance() *model.Instance { return e.inst }
+
+// Pipeline returns the registered pipeline; nil unless Kind is
+// KindPipeline.
+func (e *Entry) Pipeline() *pipeline.Pipeline { return e.pipe }
+
+// Platform returns the registered platform; nil unless Kind is
+// KindPlatform.
+func (e *Entry) Platform() *platform.Platform { return e.plat }
 
 // TaskKey returns the engine's canonical (hash, key) pair for this instance
 // under cm, precomputed at registration.
@@ -148,6 +184,34 @@ func ContentID(inst *model.Instance) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// PipelineID computes the stable content ID a pipeline registers under:
+// the hex SHA-256 of its kind-tagged canonical JSON. The tag keeps the
+// three ID spaces disjoint — a pipeline can never alias an instance or a
+// platform — while the JSON form (fixed field order, canonical numbers) is
+// deterministic for equal documents.
+func PipelineID(p *pipeline.Pipeline) string {
+	return docID(KindPipeline, p)
+}
+
+// PlatformID computes the stable content ID a platform registers under;
+// see PipelineID.
+func PlatformID(p *platform.Platform) string {
+	return docID(KindPlatform, p)
+}
+
+func docID(kind Kind, doc any) string {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		// Pipelines and platforms are plain data; Marshal cannot fail.
+		panic("store: canonical marshal: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Put registers an instance and returns its entry. created reports whether a
 // new entry was inserted (false: the content was already registered and the
 // existing entry is returned). Put fails only with ErrFull — capacity
@@ -155,19 +219,35 @@ func ContentID(inst *model.Instance) string {
 func (s *Store) Put(inst *model.Instance) (e *Entry, created bool, err error) {
 	// Hash and serialize outside the lock: registration cost is dominated by
 	// the canonical serializations, and they need no store state.
-	id := ContentID(inst)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if slot, ok := s.byID[id]; ok {
-		ent := s.entries[slot]
-		ent.ref.Store(true)
-		s.dedups++
-		return ent, false, nil
-	}
-	ent := &Entry{id: id, inst: inst}
+	ent := &Entry{id: ContentID(inst), kind: KindInstance, inst: inst}
 	for _, cm := range model.Models() {
 		h, k := engine.CanonicalKey(engine.Task{Inst: inst, Model: cm})
 		ent.taskHash[cm], ent.taskKey[cm] = h, k
+	}
+	return s.insert(ent)
+}
+
+// PutPipeline registers a pipeline document under PipelineID(p).
+func (s *Store) PutPipeline(p *pipeline.Pipeline) (e *Entry, created bool, err error) {
+	return s.insert(&Entry{id: PipelineID(p), kind: KindPipeline, pipe: p})
+}
+
+// PutPlatform registers a platform document under PlatformID(p).
+func (s *Store) PutPlatform(p *platform.Platform) (e *Entry, created bool, err error) {
+	return s.insert(&Entry{id: PlatformID(p), kind: KindPlatform, plat: p})
+}
+
+// insert adds a prepared entry under the CLOCK discipline, deduplicating by
+// content ID.
+func (s *Store) insert(ent *Entry) (e *Entry, created bool, err error) {
+	id := ent.id
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if slot, ok := s.byID[id]; ok {
+		existing := s.entries[slot]
+		existing.ref.Store(true)
+		s.dedups++
+		return existing, false, nil
 	}
 	ent.ref.Store(true)
 	if len(s.entries) < s.capacity {

@@ -1,6 +1,6 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into a JSON
 # array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
-# (BENCH_8.json in CI) and enforce five gates:
+# (BENCH_9.json in CI) and enforce six gates:
 #
 #   * allocation gate — the strict-model Evaluate benchmarks must stay at
 #     or below `gate` allocs/op (the PR-2 zero-allocation refactor brought
@@ -20,12 +20,18 @@
 #     by-ID hit through the cluster router, over real HTTP) must cost at
 #     most `routergate` times BenchmarkRouterHitPath/direct (the same hit
 #     against one node over the same transport), or fronting the cluster
-#     has become more expensive than the extra hop it may add.
+#     has become more expensive than the extra hop it may add;
+#   * job-poll allocation gate — BenchmarkJobSubmitPollOverhead/poll (one
+#     status poll plus one result fetch of a terminal async job, through
+#     the full handler stack) must stay at or below `joballocgate`
+#     allocs/op, or polling an async job has grown a per-cycle cost the
+#     lock-cheap progress design was built to avoid.
 #
 # Exits non-zero after the report if any gate is broken.
 #
 # Usage: awk -v gate=12 -v leafgate=5 -v hitgate=32 -v speedupgate=4 \
-#            -v routergate=2 -f scripts/benchjson.awk bench.txt > BENCH_8.json
+#            -v routergate=2 -v joballocgate=32 \
+#            -f scripts/benchjson.awk bench.txt > BENCH_9.json
 
 BEGIN {
     n = 0
@@ -35,6 +41,7 @@ BEGIN {
     if (hitgate == "") hitgate = 32
     if (speedupgate == "") speedupgate = 4
     if (routergate == "") routergate = 2
+    if (joballocgate == "") joballocgate = 32
     exactLeafRate = ""
     screenedLeafRate = ""
     byIDNs = ""
@@ -90,6 +97,15 @@ BEGIN {
     # The router overhead pair: routed vs direct memoized hit over HTTP.
     if (name == "BenchmarkRouterHitPath/router") { gated[n] = 1; routedNs = ns }
     if (name == "BenchmarkRouterHitPath/direct") { gated[n] = 1; directNs = ns }
+
+    # The async job poll path: allocation ceiling per status+result cycle.
+    if (name == "BenchmarkJobSubmitPollOverhead/poll") {
+        gated[n] = 1
+        if (allocs + 0 > joballocgate + 0) {
+            printf "GATE FAIL: %s at %s allocs/op exceeds the job-poll gate of %s\n", name, allocs, joballocgate > "/dev/stderr"
+            fail = 1
+        }
+    }
 }
 
 END {
