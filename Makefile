@@ -3,9 +3,10 @@ GO ?= go
 # Coverage gate: these packages hold the exact period engines, the serving
 # layer and the exact search, and must stay above the floor (CI enforces it
 # via `make cover`).
-COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb ./internal/sched ./internal/store ./internal/ring ./internal/cluster ./internal/jobs
+COVER_PKGS = ./internal/cycles ./internal/mpa ./internal/core ./internal/engine ./internal/service ./internal/bnb ./internal/sched ./internal/store ./internal/ring ./internal/cluster ./internal/jobs ./internal/checkpoint
 COVER_MIN  = 75
-# The job manager is the new serving keystone (PR 9): it gets a higher floor.
+# The job manager (PR 9) and the checkpoint store (PR 10) are durability
+# keystones: they get a higher floor.
 COVER_MIN_JOBS = 85
 
 # Fuzz smoke budget per target (CI runs `make fuzz` on top of the corpus
@@ -31,14 +32,19 @@ FUZZTIME ?= 10s
 # router's response memo keeps the measured ratio below 1x). The job-poll
 # gate (JOBALLOC_GATE) guards the PR-9 async surface: one status poll plus
 # one result fetch of a terminal job, end to end through the handler stack,
-# must stay at or below JOBALLOC_GATE allocs/op (measured at 13).
-BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch|BenchmarkBnBLeafRate|BenchmarkServeHitPath|BenchmarkRouterHitPath|BenchmarkJobSubmitPollOverhead
+# must stay at or below JOBALLOC_GATE allocs/op (measured at 13). The
+# checkpoint gate (CKPT_GATE) guards the PR-10 durability layer: the same
+# deterministic bnb search with per-root checkpointing on may cost at most
+# CKPT_GATE x the search with it off (BenchmarkCheckpointOverhead on/off in
+# ns/op), or the per-root bookkeeping has grown onto the walker's hot path.
+BENCH_REGRESSION = BenchmarkPeriodStrict|BenchmarkPeriodOverlapPoly|BenchmarkPeriodBackends|BenchmarkSpectralBackends|BenchmarkEngines|BenchmarkEngineBatch|BenchmarkEngineMemoization|BenchmarkBnBSearch|BenchmarkBnBLeafRate|BenchmarkServeHitPath|BenchmarkRouterHitPath|BenchmarkJobSubmitPollOverhead|BenchmarkCheckpointOverhead
 ALLOC_GATE = 12
 LEAF_GATE = 5
 HITALLOC_GATE = 32
 SPEEDUP_GATE = 4
 ROUTER_GATE = 2
 JOBALLOC_GATE = 32
+CKPT_GATE = 1.05
 
 .PHONY: all vet build test race check bench bench-regression cover fuzz fmt lint
 
@@ -83,21 +89,22 @@ lint:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./...
 
-# bench-regression runs the period/backend/engine/bnb/serving/cluster/jobs
-# benchmarks at a fixed iteration count, converts them to BENCH_9.json
-# (uploaded as a CI artifact) and fails if the strict-model Evaluate
-# allocs/op regress above ALLOC_GATE, the screened leaf rate drops below
-# LEAF_GATE x exact, the by-ID serving hit path regresses above
+# bench-regression runs the period/backend/engine/bnb/serving/cluster/jobs/
+# checkpoint benchmarks at a fixed iteration count, converts them to
+# BENCH_10.json (uploaded as a CI artifact) and fails if the strict-model
+# Evaluate allocs/op regress above ALLOC_GATE, the screened leaf rate drops
+# below LEAF_GATE x exact, the by-ID serving hit path regresses above
 # HITALLOC_GATE allocs/op, the by-ID/inline hit-path speedup drops below
 # SPEEDUP_GATE x, the routed hit path costs more than ROUTER_GATE x the
-# direct single-node hit, or the async job poll path regresses above
-# JOBALLOC_GATE allocs/op.
+# direct single-node hit, the async job poll path regresses above
+# JOBALLOC_GATE allocs/op, or checkpointing costs the walker more than
+# CKPT_GATE x the same search without it.
 bench-regression:
-	@status=0; $(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . ./internal/bnb ./internal/service ./internal/cluster > bench_regression.txt || status=$$?; \
+	@status=0; $(GO) test -run xxx -bench '$(BENCH_REGRESSION)' -benchtime 100x -benchmem . ./internal/bnb ./internal/service ./internal/cluster ./internal/checkpoint > bench_regression.txt || status=$$?; \
 	cat bench_regression.txt; \
 	if [ "$$status" != "0" ]; then echo "bench-regression: go test failed ($$status)"; exit $$status; fi
-	awk -v gate=$(ALLOC_GATE) -v leafgate=$(LEAF_GATE) -v hitgate=$(HITALLOC_GATE) -v speedupgate=$(SPEEDUP_GATE) -v routergate=$(ROUTER_GATE) -v joballocgate=$(JOBALLOC_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_9.json
-	@echo "wrote BENCH_9.json ($$(grep -c '"name"' BENCH_9.json) benchmarks, alloc gate $(ALLOC_GATE), leaf-rate gate $(LEAF_GATE)x, hit-alloc gate $(HITALLOC_GATE), speedup gate $(SPEEDUP_GATE)x, router gate $(ROUTER_GATE)x, job-poll gate $(JOBALLOC_GATE))"
+	awk -v gate=$(ALLOC_GATE) -v leafgate=$(LEAF_GATE) -v hitgate=$(HITALLOC_GATE) -v speedupgate=$(SPEEDUP_GATE) -v routergate=$(ROUTER_GATE) -v joballocgate=$(JOBALLOC_GATE) -v ckptgate=$(CKPT_GATE) -f scripts/benchjson.awk bench_regression.txt > BENCH_10.json
+	@echo "wrote BENCH_10.json ($$(grep -c '"name"' BENCH_10.json) benchmarks, alloc gate $(ALLOC_GATE), leaf-rate gate $(LEAF_GATE)x, hit-alloc gate $(HITALLOC_GATE), speedup gate $(SPEEDUP_GATE)x, router gate $(ROUTER_GATE)x, job-poll gate $(JOBALLOC_GATE), checkpoint gate $(CKPT_GATE)x)"
 
 # cover fails when any of COVER_PKGS drops below COVER_MIN% statement
 # coverage. Uses -coverprofile + `go tool cover -func` rather than grepping
@@ -107,7 +114,7 @@ cover:
 	@fail=0; \
 	for p in $(COVER_PKGS); do \
 		floor=$(COVER_MIN); \
-		case $$p in ./internal/jobs) floor=$(COVER_MIN_JOBS);; esac; \
+		case $$p in ./internal/jobs|./internal/checkpoint) floor=$(COVER_MIN_JOBS);; esac; \
 		tmp=$$(mktemp); \
 		if ! $(GO) test -coverprofile=$$tmp $$p > /dev/null 2>&1; then \
 			echo "$$p: tests failed"; fail=1; rm -f $$tmp; continue; \

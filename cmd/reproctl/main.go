@@ -12,8 +12,10 @@
 //
 //	jobs [-kind search|sweep] [-state pending|running|done|failed|canceled]
 //	        list jobs, optionally filtered
-//	job <id>
-//	        show one job's status and live progress
+//	job [-follow] [-interval 500ms] <id>
+//	        show one job's status and live progress; -follow polls until
+//	        the job reaches a terminal state, printing a line whenever the
+//	        state or progress changes, and exits nonzero if it failed
 //	result <id>
 //	        print a finished job's result body (raw JSON, exactly the
 //	        bytes the synchronous endpoint would have answered)
@@ -95,10 +97,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	case "jobs":
 		return c.cmdJobs(ctx, rest, stdout, stderr)
 	case "job":
-		if len(rest) != 1 {
-			return fmt.Errorf("usage: reproctl job <id>")
-		}
-		return c.cmdJob(ctx, rest[0], stdout)
+		return c.cmdJob(ctx, rest, stdout, stderr)
 	case "result":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: reproctl result <id>")
@@ -233,13 +232,73 @@ func progressLine(j service.Job) string {
 	return "-"
 }
 
-// cmdJob prints one job's status document, indented.
-func (c *client) cmdJob(ctx context.Context, id string, stdout io.Writer) error {
-	body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id)
-	if err != nil {
+// cmdJob prints one job's status document, indented. With -follow it polls
+// the status route until the job turns terminal instead, emitting one line
+// per observed change (state transitions and progress-counter movement) and
+// then the terminal document; a failed job makes the command exit nonzero,
+// so scripts can gate on it ("submit && reproctl job -follow $id && fetch").
+func (c *client) cmdJob(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("reproctl job", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	follow := fs.Bool("follow", false, "poll until the job reaches a terminal state")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval with -follow")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return writeIndented(stdout, body)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: reproctl job [-follow] [-interval 500ms] <id>")
+	}
+	id := fs.Arg(0)
+	if !*follow {
+		body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id)
+		if err != nil {
+			return err
+		}
+		return writeIndented(stdout, body)
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive (got %v)", *interval)
+	}
+	return c.followJob(ctx, id, *interval, stdout)
+}
+
+// followJob is the -follow loop: poll, print deltas, stop on a terminal
+// state. Lines repeat only when something changed, so a quiet job costs no
+// output while a running search streams its counter movement.
+func (c *client) followJob(ctx context.Context, id string, interval time.Duration, stdout io.Writer) error {
+	last := ""
+	for {
+		body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id)
+		if err != nil {
+			return err
+		}
+		var j service.Job
+		if err := json.Unmarshal(body, &j); err != nil {
+			return fmt.Errorf("malformed job status: %v", err)
+		}
+		if line := fmt.Sprintf("%-9s %s", j.State, progressLine(j)); line != last {
+			fmt.Fprintf(stdout, "%s %s\n", j.ID, line)
+			last = line
+		}
+		switch j.State {
+		case "done", "failed", "canceled":
+			if err := writeIndented(stdout, body); err != nil {
+				return err
+			}
+			if j.State == "failed" {
+				if j.Error != nil {
+					return fmt.Errorf("job %s failed: %s: %s", id, j.Error.Code, j.Error.Message)
+				}
+				return fmt.Errorf("job %s failed", id)
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
 }
 
 // cmdResult prints a finished job's result verbatim — the exact bytes the

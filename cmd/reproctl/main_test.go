@@ -68,7 +68,8 @@ func TestReproctlUsageErrors(t *testing.T) {
 		{[]string{"jobs"}, "-url is required"},
 		{[]string{"-url", "http://x"}, "missing command"},
 		{[]string{"-url", "http://x", "teleport"}, "unknown command"},
-		{[]string{"-url", "http://x", "job"}, "usage: reproctl job <id>"},
+		{[]string{"-url", "http://x", "job"}, "usage: reproctl job [-follow] [-interval 500ms] <id>"},
+		{[]string{"-url", "http://x", "job", "-follow", "-interval", "-1s", "x-1"}, "-interval must be positive"},
 		{[]string{"-url", "http://x", "result", "a", "b"}, "usage: reproctl result <id>"},
 		{[]string{"-url", "http://x", "cancel"}, "usage: reproctl cancel <id>"},
 	}
@@ -182,6 +183,66 @@ func TestReproctlCancelAndDrain(t *testing.T) {
 	// Draining an idle server is a no-op that still succeeds.
 	if out := ctl(t, url, "drain"); !strings.Contains(out, "0 job(s) canceled") {
 		t.Fatalf("idle drain output %q", out)
+	}
+}
+
+// TestReproctlJobFollow drives the -follow loop over a real async search:
+// the command must stream at least one status line, stop on the terminal
+// state, and print the terminal document. A failed job (budget expiry)
+// must make the command return an error — the nonzero exit scripts gate on.
+func TestReproctlJobFollow(t *testing.T) {
+	url := startServer(t)
+	work := make([]int64, 8)
+	files := make([]int64, 7)
+	for i := range work {
+		work[i] = int64(100 + 37*i)
+	}
+	for i := range files {
+		files[i] = int64(40 + 11*i)
+	}
+	pipe, err := pipeline.New(work, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(base string) service.Job {
+		t.Helper()
+		sub, err := json.Marshal(service.JobSubmitRequest{Kind: "search", Search: &service.SearchRequest{
+			Pipeline: pipe, Platform: platform.Uniform(16, 100, 100),
+			Model: "overlap", Algo: "bnb",
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, status := readAll(t, resp)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit: status %d body %s", status, body)
+		}
+		var j service.Job
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	j := submit(url)
+	out := ctl(t, url, "job", "-follow", "-interval", "5ms", j.ID)
+	if !strings.Contains(out, j.ID) || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("follow output:\n%s", out)
+	}
+
+	// A server whose per-job ceiling is one nanosecond fails every detached
+	// job before its solve starts: -follow must propagate the failure as an
+	// error — the nonzero exit scripts gate on.
+	tsf := httptest.NewServer(service.NewServer(service.Options{Workers: 2, JobTimeout: time.Nanosecond}).Handler())
+	t.Cleanup(tsf.Close)
+	jf := submit(tsf.URL)
+	err = ctlErr(t, "-url", tsf.URL, "job", "-follow", "-interval", "5ms", jf.ID)
+	if !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("follow of failed job: error %v, want mention of failure", err)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	      [-timeout 60s] [-maxrows 0] [-backend auto]
 //	      [-store-entries 0] [-respmemo-entries 0]
 //	      [-job-entries 0] [-job-active 0] [-job-timeout 0]
+//	      [-checkpoint-dir DIR] [-checkpoint-interval 2s]
 //
 // -workers sizes each backend's engine pool (0 = GOMAXPROCS).
 // -cache-entries bounds each engine's memo cache (0 = default 32768,
@@ -22,7 +23,13 @@
 // a solver or encoder (0 = default 8192, negative disables). -job-entries
 // bounds retained terminal async jobs (0 = default 1024), -job-active caps
 // concurrently running async jobs (0 = default 256) and -job-timeout sets
-// the per-job wall-clock ceiling (0 = default 15m).
+// the per-job wall-clock ceiling (0 = default 15m). -checkpoint-dir makes
+// async jobs durable: every submission, per-root search progress and final
+// result persists there (atomic write-rename), and on restart the server
+// rehydrates finished jobs and resumes interrupted ones before listening —
+// a resumed deterministic search re-executes only its unfinished subtree
+// roots and answers byte-identically. -checkpoint-interval batches the
+// per-root writes (0 = write every finished root).
 //
 // Example:
 //
@@ -79,6 +86,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	jobEntries := fs.Int("job-entries", 0, "terminal-job retention bound for /v1/jobs (0 = default 1024)")
 	jobActive := fs.Int("job-active", 0, "max concurrently active async jobs (0 = default 256)")
 	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock ceiling per async job (0 = default 15m)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for durable job checkpoints (empty disables; restart resumes interrupted jobs)")
+	ckptInterval := fs.Duration("checkpoint-interval", 2*time.Second, "min delay between per-root checkpoint writes of a running search (0 = write every root)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,17 +99,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	opts := service.Options{
-		Workers:          *workers,
-		CacheEntries:     *cacheEntries,
-		MaxRows:          *maxRows,
-		MaxInFlight:      *inflight,
-		RequestTimeout:   *timeout,
-		DefaultBackend:   backend,
-		StoreEntries:     *storeEntries,
-		RespCacheEntries: *respEntries,
-		JobEntries:       *jobEntries,
-		JobActive:        *jobActive,
-		JobTimeout:       *jobTimeout,
+		Workers:            *workers,
+		CacheEntries:       *cacheEntries,
+		MaxRows:            *maxRows,
+		MaxInFlight:        *inflight,
+		RequestTimeout:     *timeout,
+		DefaultBackend:     backend,
+		StoreEntries:       *storeEntries,
+		RespCacheEntries:   *respEntries,
+		JobEntries:         *jobEntries,
+		JobActive:          *jobActive,
+		JobTimeout:         *jobTimeout,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
 	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 	if err := service.Serve(ctx, *addr, opts, logf); err != nil {

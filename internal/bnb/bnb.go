@@ -88,13 +88,47 @@ type Options struct {
 	// Deltas never overlap or go missing — the sum over a completed search
 	// equals Result.Stats (minus Frontier, which is not a counter). The
 	// callback runs on walker goroutines and must be safe for concurrent use
-	// and cheap (it sits between engine batches).
+	// and cheap (it sits between engine batches). When a custom Executor or
+	// a Replay entry produces a root's result, that root contributes one
+	// delta (its whole SubResult.Stats) at completion instead of streaming.
 	OnProgress func(Stats)
+
+	// Executor, when non-nil, runs the frontier roots instead of the
+	// in-process walker — the seam the cluster coordinator uses to ship
+	// roots to worker nodes. eng may then be nil. Merge order and the
+	// bit-identity guarantee are unaffected: results are still folded in
+	// frontier order, whatever order they arrive in.
+	Executor Executor
+
+	// Replay maps frontier indices to results already known from a previous
+	// run (a checkpoint). Replayed roots are never dispatched; their stats
+	// and incumbents merge exactly as if the executor had just produced
+	// them, so a resumed deterministic search is byte-identical to an
+	// uninterrupted one. OnRootDone is not called for replayed roots.
+	Replay map[int]SubResult
+
+	// OnRootDone, when non-nil, is called once per executed root as it
+	// completes, from worker goroutines (must be safe for concurrent use).
+	// frontier is the total number of roots in the plan — the checkpoint
+	// layer persists incremental progress through this callback and sizes
+	// its done-bitmap from it. Replayed roots never trigger the callback.
+	OnRootDone func(frontier int, root Root, res SubResult)
+
+	// Racing trades bit-identity for wall-clock speed: each root is
+	// dispatched with the best period known at dispatch time instead of the
+	// original warm start, so one subtree's discovery prunes the others.
+	// The returned period and Proven flag remain exact — pruning against
+	// any feasible incumbent is admissible; only which optimal mapping wins
+	// a tie (and the node counts) may differ from the deterministic mode.
+	Racing bool
 }
 
 const (
 	defaultFrontierTarget = 64
 	defaultChunkSize      = 128
+	// defaultRemoteWorkers is the dispatch concurrency when a custom
+	// Executor is configured without an engine to borrow a pool size from.
+	defaultRemoteWorkers = 8
 )
 
 // Stats counts the work the search performed. With a fixed Options
@@ -103,14 +137,14 @@ const (
 type Stats struct {
 	// Nodes is the number of stage assignments constructed (interior tree
 	// nodes, frontier expansion included).
-	Nodes int64
+	Nodes int64 `json:"nodes"`
 	// Leaves is the number of complete mappings handed to the engine.
-	Leaves int64
+	Leaves int64 `json:"leaves"`
 	// Pruned is the number of nodes cut by the lower bound.
-	Pruned int64
+	Pruned int64 `json:"pruned"`
 	// Infeasible is the number of complete mappings rejected because the
 	// platform lacks a link the mapping requires.
-	Infeasible int64
+	Infeasible int64 `json:"infeasible"`
 	// Screened is the number of leaves the float-screening tier discarded
 	// without an exact evaluation: their enclosure's lower endpoint already
 	// met the incumbent, so they provably could not improve it. Zero unless
@@ -118,9 +152,9 @@ type Stats struct {
 	// in Leaves — screening changes how a leaf is ruled out, not whether it
 	// was visited — so Nodes, Leaves, Pruned and the returned optimum are
 	// bit-identical to an exact-backend run of the same Options.
-	Screened int64
+	Screened int64 `json:"screened"`
 	// Frontier is the number of subtree roots the partitioning produced.
-	Frontier int
+	Frontier int `json:"frontier"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -182,38 +216,19 @@ func (p *problem) work(stage int) int64 { return p.pipe.Stages[stage].Work }
 // Proven false; the error cases are a context canceled before any feasible
 // mapping was known and a space with no feasible mapping at all.
 func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, opts Options) (Result, error) {
-	n := pipe.NumStages()
-	p := plat.NumProcs()
-	if n > p {
-		return Result{}, fmt.Errorf("bnb: %d stages need at least as many processors (got %d)", n, p)
-	}
 	if opts.Workers <= 0 {
-		opts.Workers = eng.Workers()
+		if eng != nil {
+			opts.Workers = eng.Workers()
+		} else {
+			opts.Workers = defaultRemoteWorkers
+		}
 	}
 	if opts.FrontierTarget <= 0 {
 		opts.FrontierTarget = defaultFrontierTarget
 	}
-	if opts.ChunkSize <= 0 {
-		opts.ChunkSize = defaultChunkSize
-	}
-	pr := &problem{
-		pipe:       pipe,
-		plat:       plat,
-		cm:         cm,
-		n:          n,
-		classes:    classesOf(plat),
-		maxWork:    make([]int64, n+1),
-		chunkSize:  opts.ChunkSize,
-		onProgress: opts.OnProgress,
-	}
-	for i := n - 1; i >= 0; i-- {
-		pr.maxWork[i] = pr.maxWork[i+1]
-		if w := pr.work(i); w > pr.maxWork[i] {
-			pr.maxWork[i] = w
-		}
-	}
-	if opts.Incumbent != nil {
-		pr.warm = &incumbent{mapp: opts.Incumbent, period: opts.IncumbentPeriod}
+	pr, err := newProblem(pipe, plat, cm, opts)
+	if err != nil {
+		return Result{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		if pr.warm != nil {
@@ -225,41 +240,50 @@ func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, pl
 	// Phase 1: expand the first levels into the frontier of subtree roots.
 	// The expansion prunes against the warm start only, so the frontier is a
 	// pure function of the problem and FrontierTarget.
-	var stats Stats
-	frontier := []*node{{used: make([]int, len(pr.classes)), free: p}}
-	depth := 0
-	interrupted := false
-	for depth < n-1 && len(frontier) < opts.FrontierTarget && len(frontier) > 0 {
-		var next []*node
-		for _, nd := range frontier {
-			w := newWalker(pr, ctx, eng, nd, depth, depth+1, &next)
-			if err := w.dfs(depth, nd.lb); err != nil {
-				interrupted = true
-			}
-			w.publish()
-			stats.add(w.st)
-			if interrupted {
-				break
-			}
-		}
-		if interrupted {
-			break
-		}
-		frontier = next
-		depth++
-	}
-	stats.Frontier = len(frontier)
+	frontier, depth, stats, interrupted := expandFrontier(ctx, pr, eng, opts.FrontierTarget)
 
-	// Phase 2: workers pull subtree roots from a shared index. Each subtree
-	// is explored depth-first with its own incumbent (warm start + local
-	// discoveries), so its result and counts are deterministic.
-	type subResult struct {
-		best     *incumbent
-		st       Stats
-		complete bool
-	}
-	results := make([]subResult, len(frontier))
+	// Phase 2: workers pull root indices from a shared counter and hand each
+	// root to the executor — the in-process walker by default, or whatever
+	// Options.Executor supplies (remote nodes, checkpoint replay). Each
+	// subtree runs against its dispatch-time warm period plus its own
+	// discoveries, so its result and counts are deterministic (unless Racing
+	// widens the warm period on purpose).
+	results := make([]SubResult, len(frontier))
 	if !interrupted && len(frontier) > 0 {
+		exec := opts.Executor
+		if exec == nil {
+			exec = &LocalExecutor{pr: pr, eng: eng}
+		}
+		// The internal local executor shares pr and streams progress deltas
+		// per engine batch; custom executors and replays contribute one delta
+		// per completed root instead.
+		streams := opts.Executor == nil
+		roots := make([]Root, len(frontier))
+		for i, nd := range frontier {
+			roots[i] = rootOf(nd, i, depth)
+		}
+		warm0 := ""
+		if pr.warm != nil {
+			warm0 = pr.warm.period.String()
+		}
+		var raceMu sync.Mutex
+		raceStr := warm0
+		var raceBest rat.Rat
+		raceHas := pr.warm != nil
+		if raceHas {
+			raceBest = pr.warm.period
+		}
+		improveRace := func(periodStr string) {
+			p, perr := rat.Parse(periodStr)
+			if perr != nil {
+				return
+			}
+			raceMu.Lock()
+			if !raceHas || p.Less(raceBest) {
+				raceBest, raceHas, raceStr = p, true, periodStr
+			}
+			raceMu.Unlock()
+		}
 		workers := opts.Workers
 		if workers > len(frontier) {
 			workers = len(frontier)
@@ -275,13 +299,39 @@ func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, pl
 					if i >= len(frontier) {
 						return
 					}
-					w := newWalker(pr, ctx, eng, frontier[i], depth, n, nil)
-					err := w.dfs(depth, frontier[i].lb)
-					if err == nil {
-						err = w.flush()
+					if rep, ok := opts.Replay[i]; ok {
+						results[i] = rep
+						if pr.onProgress != nil && rep.Stats != (Stats{}) {
+							pr.onProgress(rep.Stats)
+						}
+						if opts.Racing && rep.BestPeriod != "" {
+							improveRace(rep.BestPeriod)
+						}
+						continue
 					}
-					w.publish()
-					results[i] = subResult{best: w.best, st: w.st, complete: err == nil}
+					warm := warm0
+					if opts.Racing {
+						raceMu.Lock()
+						warm = raceStr
+						raceMu.Unlock()
+					}
+					res, err := exec.RunRoot(ctx, roots[i], warm)
+					if err != nil {
+						// The root was not explored (lost worker, malformed
+						// descriptor). The search stays anytime: everything
+						// else still merges, just without a certificate.
+						res = SubResult{}
+					}
+					results[i] = res
+					if !streams && pr.onProgress != nil && res.Stats != (Stats{}) {
+						pr.onProgress(res.Stats)
+					}
+					if opts.Racing && res.BestPeriod != "" {
+						improveRace(res.BestPeriod)
+					}
+					if err == nil && opts.OnRootDone != nil {
+						opts.OnRootDone(len(roots), roots[i], res)
+					}
 				}
 			}()
 		}
@@ -293,12 +343,17 @@ func Search(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, pl
 	best := pr.warm
 	proven := !interrupted
 	for i := range results {
-		stats.add(results[i].st)
-		if !results[i].complete {
+		stats.add(results[i].Stats)
+		if !results[i].Complete {
 			proven = false
 		}
-		if b := results[i].best; b != nil && (best == nil || b.period.Less(best.period)) {
-			best = b
+		inc, incErr := results[i].incumbentOf(plat.NumProcs())
+		if incErr != nil {
+			proven = false // a corrupt wire result never certifies anything
+			continue
+		}
+		if inc != nil && (best == nil || inc.period.Less(best.period)) {
+			best = inc
 		}
 	}
 	if best == nil {
@@ -360,7 +415,7 @@ func (w *walker) publish() {
 	}
 }
 
-func newWalker(pr *problem, ctx context.Context, eng *engine.Engine, nd *node, depth, depthLimit int, out *[]*node) *walker {
+func newWalker(pr *problem, ctx context.Context, eng *engine.Engine, nd *node, depth, depthLimit int, out *[]*node, ref rat.Rat, hasRef bool) *walker {
 	w := &walker{
 		pr:         pr,
 		ctx:        ctx,
@@ -370,13 +425,11 @@ func newWalker(pr *problem, ctx context.Context, eng *engine.Engine, nd *node, d
 		replicas:   make([][]int, pr.n),
 		used:       append([]int(nil), nd.used...),
 		free:       nd.free,
-		screen:     eng.Backend() == cycles.BackendFloatScreen,
+		screen:     eng != nil && eng.Backend() == cycles.BackendFloatScreen,
+		ref:        ref,
+		hasRef:     hasRef,
 	}
 	copy(w.replicas, nd.replicas)
-	if pr.warm != nil {
-		w.ref = pr.warm.period
-		w.hasRef = true
-	}
 	return w
 }
 

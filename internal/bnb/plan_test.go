@@ -1,0 +1,245 @@
+package bnb
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+)
+
+// wireExecutor drives a LocalExecutor through a JSON round trip of both the
+// root and the result — exactly what the cluster coordinator's remote
+// executor does over HTTP — so any serialization loss would surface as a
+// bit-identity failure in the tests below.
+type wireExecutor struct {
+	local *LocalExecutor
+	ran   atomic.Int64
+}
+
+func (e *wireExecutor) RunRoot(ctx context.Context, root Root, warm string) (SubResult, error) {
+	e.ran.Add(1)
+	b, err := json.Marshal(root)
+	if err != nil {
+		return SubResult{}, err
+	}
+	var decoded Root
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		return SubResult{}, err
+	}
+	res, err := e.local.RunRoot(ctx, decoded, warm)
+	if err != nil {
+		return SubResult{}, err
+	}
+	rb, err := json.Marshal(res)
+	if err != nil {
+		return SubResult{}, err
+	}
+	var out SubResult
+	if err := json.Unmarshal(rb, &out); err != nil {
+		return SubResult{}, err
+	}
+	return out, nil
+}
+
+// TestExecutorWireRoundTripBitIdentical pins the refactor's core claim: a
+// Search whose roots travel through JSON to a LocalExecutor and whose
+// results travel back the same way returns the identical mapping, period,
+// proven flag and Stats as the default in-process Search.
+func TestExecutorWireRoundTripBitIdentical(t *testing.T) {
+	for _, f := range generatedFamilies(t, []int64{11, 12}) {
+		t.Run(f.name, func(t *testing.T) {
+			eng := engine.New(engine.Options{Workers: 4})
+			opts := Options{FrontierTarget: 16, ChunkSize: 8}
+			ref, refErr := Search(context.Background(), eng, f.pipe, f.plat, f.cm, opts)
+
+			local, err := NewLocalExecutor(eng, f.pipe, f.plat, f.cm, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := opts
+			o.Executor = &wireExecutor{local: local}
+			o.Workers = 3
+			res, resErr := Search(context.Background(), nil, f.pipe, f.plat, f.cm, o)
+			if (refErr == nil) != (resErr == nil) {
+				t.Fatalf("err mismatch: local %v, wire %v", refErr, resErr)
+			}
+			if refErr != nil {
+				return
+			}
+			if res.Mapping.String() != ref.Mapping.String() ||
+				!res.Period.Equal(ref.Period) ||
+				res.Proven != ref.Proven ||
+				res.Stats != ref.Stats {
+				t.Fatalf("wire executor diverged:\n got %v %v proven=%v %+v\nwant %v %v proven=%v %+v",
+					res.Mapping, res.Period, res.Proven, res.Stats,
+					ref.Mapping, ref.Period, ref.Proven, ref.Stats)
+			}
+		})
+	}
+}
+
+// TestReplaySkipsRootsAndStaysBitIdentical simulates a checkpoint resume:
+// the results of a first run are captured per root through OnRootDone, then
+// a second run replays half of them — only the other half may execute, and
+// the merged result must be identical.
+func TestReplaySkipsRootsAndStaysBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pipe := pipeline.Random(rng, 3, 50, 500)
+	plat := platform.Random(rng, 6, 5, 25, 20, 200)
+	eng := engine.New(engine.Options{Workers: 4})
+	opts := Options{FrontierTarget: 16, ChunkSize: 8}
+
+	var mu sync.Mutex
+	captured := map[int]SubResult{}
+	o := opts
+	var seenFrontier atomic.Int64
+	o.OnRootDone = func(frontier int, root Root, res SubResult) {
+		seenFrontier.Store(int64(frontier))
+		mu.Lock()
+		captured[root.Index] = res
+		mu.Unlock()
+	}
+	ref, err := Search(context.Background(), eng, pipe, plat, model.Overlap, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != ref.Stats.Frontier {
+		t.Fatalf("OnRootDone saw %d roots, frontier has %d", len(captured), ref.Stats.Frontier)
+	}
+	if got := int(seenFrontier.Load()); got != ref.Stats.Frontier {
+		t.Fatalf("OnRootDone reported frontier %d, want %d", got, ref.Stats.Frontier)
+	}
+
+	replay := map[int]SubResult{}
+	for idx, res := range captured {
+		if idx%2 == 0 {
+			replay[idx] = res
+		}
+	}
+	local, err := NewLocalExecutor(eng, pipe, plat, model.Overlap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := &wireExecutor{local: local}
+	o2 := opts
+	o2.Executor = exec
+	o2.Replay = replay
+	res, err := Search(context.Background(), nil, pipe, plat, model.Overlap, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(exec.ran.Load()), ref.Stats.Frontier-len(replay); got != want {
+		t.Fatalf("executor ran %d roots, want only the %d unreplayed ones", got, want)
+	}
+	if res.Mapping.String() != ref.Mapping.String() ||
+		!res.Period.Equal(ref.Period) ||
+		res.Proven != ref.Proven ||
+		res.Stats != ref.Stats {
+		t.Fatalf("replayed search diverged:\n got %v %v proven=%v %+v\nwant %v %v proven=%v %+v",
+			res.Mapping, res.Period, res.Proven, res.Stats,
+			ref.Mapping, ref.Period, ref.Proven, ref.Stats)
+	}
+}
+
+// TestRacingReturnsSameProvenOptimum: racing mode reorders incumbent flow
+// for speed, which may change node counts and tie winners — but the proven
+// optimal period must be exactly the deterministic one.
+func TestRacingReturnsSameProvenOptimum(t *testing.T) {
+	for _, f := range generatedFamilies(t, []int64{13}) {
+		t.Run(f.name, func(t *testing.T) {
+			eng := engine.New(engine.Options{Workers: 4})
+			opts := Options{FrontierTarget: 16, ChunkSize: 8}
+			ref, refErr := Search(context.Background(), eng, f.pipe, f.plat, f.cm, opts)
+			o := opts
+			o.Racing = true
+			o.Workers = 3
+			res, resErr := Search(context.Background(), eng, f.pipe, f.plat, f.cm, o)
+			if (refErr == nil) != (resErr == nil) {
+				t.Fatalf("err mismatch: deterministic %v, racing %v", refErr, resErr)
+			}
+			if refErr != nil {
+				return
+			}
+			if !res.Proven {
+				t.Fatal("racing search did not prove its answer")
+			}
+			if !res.Period.Equal(ref.Period) {
+				t.Fatalf("racing optimum %v, deterministic %v", res.Period, ref.Period)
+			}
+		})
+	}
+}
+
+// TestFrontierIsPureAndMatchesSearch: Frontier must be deterministic,
+// engine-free, JSON-stable, and produce exactly the FrontierTarget behavior
+// Search reports in Stats.Frontier.
+func TestFrontierIsPureAndMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pipe := pipeline.Random(rng, 3, 50, 500)
+	plat := platform.Random(rng, 6, 5, 25, 20, 200)
+	eng := engine.New(engine.Options{Workers: 2})
+
+	res, err := Search(context.Background(), eng, pipe, plat, model.Overlap, Options{FrontierTarget: 16, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, stats, err := Frontier(context.Background(), pipe, plat, "", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != res.Stats.Frontier || stats.Frontier != res.Stats.Frontier {
+		t.Fatalf("Frontier produced %d roots (stats %d), Search reported %d",
+			len(roots), stats.Frontier, res.Stats.Frontier)
+	}
+	b1, err := json.Marshal(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := Frontier(context.Background(), pipe, plat, "", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("Frontier is not deterministic across calls")
+	}
+	for i, r := range roots {
+		if r.Index != i {
+			t.Fatalf("root %d carries index %d", i, r.Index)
+		}
+		var rt Root
+		if err := json.Unmarshal(mustJSON(t, r), &rt); err != nil {
+			t.Fatal(err)
+		}
+		nd1, err := r.node()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd2, err := rt.node()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nd1.lb.Equal(nd2.lb) || nd1.free != nd2.free {
+			t.Fatalf("root %d does not survive a JSON round trip", i)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

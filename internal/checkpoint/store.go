@@ -1,0 +1,158 @@
+// Package checkpoint persists job state to disk so long searches survive
+// process restarts: it is the jobs.Persister implementation behind
+// `serve -checkpoint-dir`. A record holds everything needed to resume a
+// branch-and-bound job from its last flush — the raw submission body (the
+// job re-plans from the identical bytes), the frontier size, the set of
+// finished roots with their exact SubResults, the incumbent, and once
+// terminal the final response body — so a resumed deterministic search
+// replays finished subtrees from disk, re-executes only the unfinished
+// ones, and returns bytes identical to an uninterrupted run.
+//
+// Durability discipline: every write goes to a fresh temp file in the same
+// directory, is synced, and then renamed over the final name — a reader
+// never observes a half-written record. Each record additionally carries a
+// SHA-256 of its payload inside a versioned envelope, so a torn final
+// write (a crash mid-rename on a filesystem without atomic rename
+// semantics) is detected and discarded instead of loaded.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the durable record layer: named JSON records in one directory,
+// written atomically. Safe for concurrent use on distinct names; callers
+// serialize per-name access (the Manager holds a per-job lock).
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the directory backing the store.
+func (s *Store) Dir() string { return s.dir }
+
+// envelope is the on-disk frame: a version, the SHA-256 of the payload
+// bytes, and the payload itself. Load refuses anything whose digest does
+// not match — a record is either the bytes Save wrote or it is nothing.
+type envelope struct {
+	V   int             `json:"v"`
+	Sum string          `json:"sum"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+const envelopeVersion = 1
+
+// suffix for in-flight temp files; List and Load ignore them.
+const tmpSuffix = ".tmp"
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+".json")
+}
+
+// Save atomically writes rec under name: temp file, sync, rename.
+func (s *Store) Save(name string, rec any) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s: %w", name, err)
+	}
+	sum := sha256.Sum256(payload)
+	body, err := json.Marshal(envelope{
+		V:   envelopeVersion,
+		Sum: hex.EncodeToString(sum[:]),
+		Rec: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s: %w", name, err)
+	}
+	f, err := os.CreateTemp(s.dir, name+".json"+tmpSuffix+"*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(body); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync() // best effort; the write error wins below
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.path(name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write %s: %w", name, err)
+	}
+	return nil
+}
+
+// Load reads the record under name into out. It fails — never partially
+// decodes — on missing files, temp leftovers, truncated or torn writes,
+// version mismatches, and digest mismatches.
+func (s *Store) Load(name string, out any) error {
+	body, err := os.ReadFile(s.path(name))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("checkpoint: %s is not a complete record: %w", name, err)
+	}
+	if env.V != envelopeVersion {
+		return fmt.Errorf("checkpoint: %s has record version %d, want %d", name, env.V, envelopeVersion)
+	}
+	sum := sha256.Sum256(env.Rec)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		return fmt.Errorf("checkpoint: %s failed its integrity check (torn write?)", name)
+	}
+	if err := json.Unmarshal(env.Rec, out); err != nil {
+		return fmt.Errorf("checkpoint: decode %s: %w", name, err)
+	}
+	return nil
+}
+
+// Delete removes the record under name (missing is not an error).
+func (s *Store) Delete(name string) error {
+	err := os.Remove(s.path(name))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// List returns the names of all complete records, sorted (os.ReadDir
+// orders by filename). Temp leftovers from interrupted writes are skipped —
+// and their presence is harmless: the next Save of the same name writes a
+// fresh temp file.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".json") || strings.Contains(n, tmpSuffix) {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(n, ".json"))
+	}
+	return names, nil
+}

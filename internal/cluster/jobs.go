@@ -192,10 +192,92 @@ func (rt *Router) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	if i := strings.LastIndexByte(id, '-'); i > 0 {
 		key = id[:i]
 	}
+	if !hashPrefix(key) {
+		// Sync-born jobs carry their kind name as prefix ("search-3",
+		// "sweep-1"), minted independently by whichever node served the
+		// synchronous request — the prefix names no home node, and hashing
+		// it would route every such poll to one arbitrary node. Look the ID
+		// up on every alive node instead.
+		rt.jobFanoutByID(w, r, name)
+		return
+	}
 	res, err := rt.forward(r.Context(), key, r.Method, r.URL.Path, nil, nil)
 	if err != nil {
 		rt.failErr(w, name, err)
 		return
 	}
 	rt.passthrough(w, name, res)
+}
+
+// hashPrefix reports whether a job-ID prefix is a body-hash shard key —
+// service.JobKeyPrefix output, 16 lowercase hex characters. Only those
+// prefixes identify the submission's home node.
+func hashPrefix(p string) bool {
+	if len(p) != 16 {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// jobFanoutByID resolves a job item route whose ID prefix names no home
+// node: ask every alive node in deterministic (sorted) order and relay the
+// first conclusive answer. A 404 means "not mine" and the scan continues; a
+// retriable status is kept as a fallback verdict in case a better answer
+// never appears (the job's owner draining beats an unknown-ID 404 for
+// truthfulness); transport errors burn health streaks exactly as forward's
+// do.
+func (rt *Router) jobFanoutByID(w http.ResponseWriter, r *http.Request, name string) {
+	rt.mu.RLock()
+	var alive []string
+	for _, ns := range rt.nodes {
+		if ns.alive {
+			alive = append(alive, ns.name)
+		}
+	}
+	rt.mu.RUnlock()
+	if len(alive) == 0 {
+		rt.fail(w, name, errNoNodes.status, errNoNodes.msg)
+		return
+	}
+	sort.Strings(alive)
+	var notFound, soft *proxyResult
+	var lastErr error
+	for _, node := range alive {
+		res, err := rt.attempt(r.Context(), node, r.Method, r.URL.Path, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				rt.failErr(w, name, r.Context().Err())
+				return
+			}
+			rt.recordFailure(rt.nodes[node])
+			lastErr = err
+			continue
+		}
+		switch {
+		case res.status == http.StatusNotFound:
+			if notFound == nil {
+				notFound = &res
+			}
+		case retriable(res.status):
+			soft = &res
+		default:
+			rt.passthrough(w, name, res)
+			return
+		}
+	}
+	switch {
+	case soft != nil:
+		rt.passthrough(w, name, *soft)
+	case notFound != nil:
+		rt.passthrough(w, name, *notFound)
+	default:
+		rt.fail(w, name, http.StatusBadGateway,
+			fmt.Sprintf("no reachable node could answer (tried %d): %v", len(alive), lastErr))
+	}
 }

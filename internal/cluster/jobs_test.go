@@ -168,6 +168,84 @@ func TestRouterJobSubmitReplaysDocRefs(t *testing.T) {
 	}
 }
 
+// TestRouterSyncJobIDRoutesByFanout: a synchronous request mints a
+// kind-prefixed job ID ("search-1") on whichever node served it — a prefix
+// that names no home node. The router must still answer item routes for it
+// (status poll and result fetch), byte-identically to asking the owning
+// node directly, and keep honest 404s for IDs no node minted.
+func TestRouterSyncJobIDRoutesByFanout(t *testing.T) {
+	nodes, _, base := startCluster(t, 3, service.Options{}, nil)
+
+	pipe, err := pipeline.New([]int64{100, 200, 100}, []int64{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := mustJSON(t, service.SearchRequest{
+		Pipeline: pipe, Platform: platform.Uniform(5, 100, 100),
+		Model: "overlap", Algo: "greedy",
+	})
+	if resp, status := postRaw(t, base+"/v1/search", body); status != http.StatusOK {
+		t.Fatalf("sync search: status %d body %s", status, resp)
+	}
+
+	// The router listing (a fan-out merge) surfaces the sync-born ID.
+	listBody, status := getRaw(t, base+"/v1/jobs?kind=search")
+	if status != http.StatusOK {
+		t.Fatalf("list: status %d body %s", status, listBody)
+	}
+	var list service.JobListResponse
+	if err := json.Unmarshal(listBody, &list); err != nil {
+		t.Fatal(err)
+	}
+	id := ""
+	for _, lj := range list.Jobs {
+		if strings.HasPrefix(lj.ID, "search-") {
+			id = lj.ID
+		}
+	}
+	if id == "" {
+		t.Fatalf("no sync-born job in router listing: %s", listBody)
+	}
+
+	// Exactly one node minted the ID; its direct answers are the reference.
+	var wantStatusBody, wantResultBody []byte
+	owners := 0
+	for _, n := range nodes {
+		if b, s := getRaw(t, n.url()+"/v1/jobs/"+id); s == http.StatusOK {
+			owners++
+			wantStatusBody = b
+			if rb, rs := getRaw(t, n.url()+"/v1/jobs/"+id+"/result"); rs == http.StatusOK {
+				wantResultBody = rb
+			} else {
+				t.Fatalf("owner result fetch: status %d body %s", rs, rb)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("sync job %s resident on %d nodes, want exactly 1", id, owners)
+	}
+
+	gotStatusBody, status := getRaw(t, base+"/v1/jobs/"+id)
+	if status != http.StatusOK {
+		t.Fatalf("router poll of %s: status %d body %s", id, status, gotStatusBody)
+	}
+	if !bytes.Equal(gotStatusBody, wantStatusBody) {
+		t.Fatalf("router poll differs from owner:\nrouter: %s\nowner:  %s", gotStatusBody, wantStatusBody)
+	}
+	gotResultBody, status := getRaw(t, base+"/v1/jobs/"+id+"/result")
+	if status != http.StatusOK {
+		t.Fatalf("router result of %s: status %d body %s", id, status, gotResultBody)
+	}
+	if !bytes.Equal(gotResultBody, wantResultBody) {
+		t.Fatalf("router result differs from owner:\nrouter: %s\nowner:  %s", gotResultBody, wantResultBody)
+	}
+
+	// An ID no node minted stays a truthful 404 through the fan-out.
+	if b, s := getRaw(t, base+"/v1/jobs/search-999"); s != http.StatusNotFound {
+		t.Fatalf("unknown sync ID: status %d body %s", s, b)
+	}
+}
+
 // TestRouterJobCancelRoutesByPrefix: DELETE through the router reaches the
 // node that owns the job and answers its canceled status.
 func TestRouterJobCancelRoutesByPrefix(t *testing.T) {

@@ -420,6 +420,13 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		rt.failErr(w, name, err)
 		return
 	}
+	if req.Distributed != "" {
+		// The cluster execution modes: instead of proxying the search whole,
+		// the router runs the deterministic plan itself and scatters the
+		// subtree roots across the ring (search.go).
+		rt.distributedSearch(w, r, body, &req)
+		return
+	}
 	var ids []string
 	if req.PipelineID != "" {
 		ids = append(ids, req.PipelineID)

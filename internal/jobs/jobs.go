@@ -112,6 +112,10 @@ type Persister interface {
 	// Terminal is called once per job after its terminal transition, with
 	// result or failure recorded.
 	Terminal(j *Job)
+	// Evicted is called when a terminal job is recycled out of the registry
+	// by the CLOCK hand — the signal to drop its durable record too, so the
+	// checkpoint directory stays bounded by the same policy as memory.
+	Evicted(j *Job)
 }
 
 // nopPersister discards all events (the default).
@@ -119,6 +123,7 @@ type nopPersister struct{}
 
 func (nopPersister) Submitted(*Job) {}
 func (nopPersister) Terminal(*Job)  {}
+func (nopPersister) Evicted(*Job)   {}
 
 // Job is one registered execution. The progress block is updated by the
 // runner and read by pollers; everything else mutates only under the
@@ -127,6 +132,7 @@ type Job struct {
 	id       string
 	kind     string
 	detached bool
+	body     []byte // raw submission body (detached jobs; nil otherwise)
 	ctx      context.Context
 	cancel   context.CancelFunc
 	prog     Progress
@@ -151,6 +157,12 @@ func (j *Job) Kind() string { return j.kind }
 // Detached reports whether the job outlives its submitting request (an
 // async POST /v1/jobs submission) rather than being waited on inline.
 func (j *Job) Detached() bool { return j.detached }
+
+// Body returns the raw submission body recorded at Submit, nil when none
+// was supplied (inline jobs). The checkpoint layer persists it so a resumed
+// process can re-plan the job from the identical request bytes. Callers
+// must not mutate the slice.
+func (j *Job) Body() []byte { return j.body }
 
 // Context is the job's run context: canceled by Cancel, by the submission
 // parent, or by the job timeout.
@@ -284,8 +296,10 @@ func New(opts Options) *Manager {
 // derives from parent (nil = background) and is canceled by Cancel or, when
 // timeout > 0, after timeout. detached marks an async submission: it counts
 // against MaxActive and Submit fails with ErrBusy past the cap; inline
-// submissions always succeed.
-func (m *Manager) Submit(kind, prefix string, parent context.Context, timeout time.Duration, detached bool) (*Job, error) {
+// submissions always succeed. body, when non-nil, is the raw submission
+// body retained for the Persister (pass nil for inline jobs — their
+// lifetime is the request's).
+func (m *Manager) Submit(kind, prefix string, body []byte, parent context.Context, timeout time.Duration, detached bool) (*Job, error) {
 	if parent == nil {
 		parent = context.Background()
 	}
@@ -311,6 +325,109 @@ func (m *Manager) Submit(kind, prefix string, parent context.Context, timeout ti
 			break
 		}
 	}
+	j := m.registerLocked(id, kind, body, ps, parent, timeout, detached)
+	m.mu.Unlock()
+	m.opts.Persister.Submitted(j)
+	return j, nil
+}
+
+// Resume registers a job under its exact original ID — the restart path: a
+// checkpointed job interrupted by a crash re-enters the registry with the
+// identity every client already holds. It fails when the ID is taken or
+// malformed, and advances the prefix allocator past the resumed sequence
+// number so future submissions cannot collide.
+func (m *Manager) Resume(id, kind string, body []byte, parent context.Context, timeout time.Duration) (*Job, error) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	prefix, seq, err := splitID(id)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if _, taken := m.byID[id]; taken {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: id %q already registered", id)
+	}
+	ps := m.seq[prefix]
+	if ps == nil {
+		ps = &prefixSeq{}
+		m.seq[prefix] = ps
+	}
+	if ps.next < seq {
+		ps.next = seq
+	}
+	j := m.registerLocked(id, kind, body, ps, parent, timeout, true)
+	m.mu.Unlock()
+	m.opts.Persister.Submitted(j)
+	return j, nil
+}
+
+// Rehydrate injects an already-terminal job — restart replay of a job that
+// finished before the crash, so pollers keep getting the answer they were
+// promised. state must be terminal and is kept verbatim (a canceled bnb job
+// stays canceled, even when its anytime result rode along). The job enters
+// the CLOCK ring like any terminal transition; the Persister observes
+// nothing (the durable record already exists). It fails when the ID is
+// taken or malformed.
+func (m *Manager) Rehydrate(id, kind string, state State, result []byte, failure *Failure) (*Job, error) {
+	prefix, seq, err := splitID(id)
+	if err != nil {
+		return nil, err
+	}
+	if !state.Terminal() {
+		return nil, fmt.Errorf("jobs: cannot rehydrate %q in non-terminal state %q", id, state)
+	}
+	m.mu.Lock()
+	if _, taken := m.byID[id]; taken {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: id %q already registered", id)
+	}
+	ps := m.seq[prefix]
+	if ps == nil {
+		ps = &prefixSeq{}
+		m.seq[prefix] = ps
+	}
+	if ps.next < seq {
+		ps.next = seq
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		id:       id,
+		kind:     kind,
+		detached: true,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		m:        m,
+		state:    state,
+		result:   result,
+		failure:  failure,
+	}
+	close(j.done)
+	m.byID[id] = j
+	ps.resident++
+	m.submitted++
+	switch state {
+	case StateFailed:
+		m.finished[1]++
+	case StateCanceled:
+		m.finished[2]++
+	default:
+		m.finished[0]++
+	}
+	victim := m.retain(j)
+	m.mu.Unlock()
+	if victim != nil {
+		m.opts.Persister.Evicted(victim)
+	}
+	return j, nil
+}
+
+// registerLocked creates and indexes a non-terminal job. Caller holds m.mu
+// and has reserved the ID.
+func (m *Manager) registerLocked(id, kind string, body []byte, ps *prefixSeq, parent context.Context, timeout time.Duration, detached bool) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(parent, timeout)
@@ -319,6 +436,7 @@ func (m *Manager) Submit(kind, prefix string, parent context.Context, timeout ti
 		id:       id,
 		kind:     kind,
 		detached: detached,
+		body:     body,
 		ctx:      ctx,
 		cancel:   cancel,
 		done:     make(chan struct{}),
@@ -332,9 +450,22 @@ func (m *Manager) Submit(kind, prefix string, parent context.Context, timeout ti
 		m.detached++
 	}
 	m.submitted++
-	m.mu.Unlock()
-	m.opts.Persister.Submitted(j)
-	return j, nil
+	return j
+}
+
+// splitID splits "<prefix>-<seq>" and parses the sequence number.
+func splitID(id string) (prefix string, seq uint64, err error) {
+	i := lastDash(id)
+	if i <= 0 || i == len(id)-1 {
+		return "", 0, fmt.Errorf("jobs: malformed id %q", id)
+	}
+	for _, c := range id[i+1:] {
+		if c < '0' || c > '9' {
+			return "", 0, fmt.Errorf("jobs: malformed id %q", id)
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return id[:i], seq, nil
 }
 
 // Start transitions a pending job to running.
@@ -378,10 +509,13 @@ func (m *Manager) Finish(j *Job, result []byte, failure *Failure) {
 	// Inserted cold: only a Get sets the reference bit, so retained jobs
 	// that are never polled are the first recycled.
 	j.ref.Store(false)
-	m.retain(j)
+	victim := m.retain(j)
 	m.mu.Unlock()
 	j.cancel() // release the context's timer/goroutine
 	close(j.done)
+	if victim != nil {
+		m.opts.Persister.Evicted(victim)
+	}
 	m.opts.Persister.Terminal(j)
 }
 
@@ -400,11 +534,12 @@ func (m *Manager) Deposit(j *Job, body []byte) {
 }
 
 // retain inserts a terminal job into the CLOCK ring, recycling the coldest
-// entry when full. Caller holds m.mu.
-func (m *Manager) retain(j *Job) {
+// entry when full. Caller holds m.mu and must offer the returned victim (if
+// any) to the Persister's Evicted hook after releasing the lock.
+func (m *Manager) retain(j *Job) *Job {
 	if len(m.terminal) < m.opts.TerminalEntries {
 		m.terminal = append(m.terminal, j)
-		return
+		return nil
 	}
 	// Every ring entry is terminal and unpinned, so at most two revolutions
 	// find a victim: the first clears reference bits, the second takes the
@@ -418,7 +553,7 @@ func (m *Manager) retain(j *Job) {
 		}
 		m.evict(victim)
 		m.terminal[slot] = j
-		return
+		return victim
 	}
 }
 

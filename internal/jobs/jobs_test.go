@@ -39,7 +39,7 @@ func TestParseState(t *testing.T) {
 
 func TestSubmitFinishHappyPath(t *testing.T) {
 	m := New(Options{})
-	j, err := m.Submit("search", "abc", context.Background(), 0, true)
+	j, err := m.Submit("search", "abc", nil, context.Background(), 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestPerPrefixIDsAreIndependent(t *testing.T) {
 	m := New(Options{})
 	ids := []string{}
 	for _, prefix := range []string{"a", "b", "a", "b", "a"} {
-		j, err := m.Submit("search", prefix, nil, 0, false)
+		j, err := m.Submit("search", prefix, nil, nil, 0, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestPerPrefixIDsAreIndependent(t *testing.T) {
 
 func TestFinishFailed(t *testing.T) {
 	m := New(Options{})
-	j, _ := m.Submit("sweep", "x", nil, 0, true)
+	j, _ := m.Submit("sweep", "x", nil, nil, 0, true)
 	m.Start(j)
 	m.Finish(j, nil, &Failure{Status: 400, Code: "invalid_request", Message: "boom"})
 	if j.State() != StateFailed {
@@ -137,7 +137,7 @@ func TestFinishFailed(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	m := New(Options{})
-	j, _ := m.Submit("search", "c", nil, 0, true)
+	j, _ := m.Submit("search", "c", nil, nil, 0, true)
 	m.Start(j)
 	got, ok := m.Cancel(j.ID())
 	if !ok || got != j {
@@ -173,7 +173,7 @@ func TestCancel(t *testing.T) {
 
 func TestDepositSyncPath(t *testing.T) {
 	m := New(Options{})
-	j, _ := m.Submit("search", "search", nil, 0, false)
+	j, _ := m.Submit("search", "search", nil, nil, 0, false)
 	m.Start(j)
 	m.Finish(j, nil, nil) // sync path: terminal before the body is encoded
 	src := []byte(`{"period":7}`)
@@ -192,17 +192,17 @@ func TestDepositSyncPath(t *testing.T) {
 
 func TestMaxActiveRejectsDetachedOnly(t *testing.T) {
 	m := New(Options{MaxActive: 2})
-	a, _ := m.Submit("search", "p", nil, 0, true)
-	b, _ := m.Submit("search", "p", nil, 0, true)
-	if _, err := m.Submit("search", "p", nil, 0, true); err != ErrBusy {
+	a, _ := m.Submit("search", "p", nil, nil, 0, true)
+	b, _ := m.Submit("search", "p", nil, nil, 0, true)
+	if _, err := m.Submit("search", "p", nil, nil, 0, true); err != ErrBusy {
 		t.Fatalf("third detached submit err = %v, want ErrBusy", err)
 	}
 	// Inline submissions are exempt from the cap.
-	if _, err := m.Submit("search", "search", nil, 0, false); err != nil {
+	if _, err := m.Submit("search", "search", nil, nil, 0, false); err != nil {
 		t.Fatalf("inline submit rejected: %v", err)
 	}
 	m.Finish(a, nil, nil)
-	if _, err := m.Submit("search", "p", nil, 0, true); err != nil {
+	if _, err := m.Submit("search", "p", nil, nil, 0, true); err != nil {
 		t.Fatalf("submit after Finish rejected: %v", err)
 	}
 	m.Finish(b, nil, nil)
@@ -218,7 +218,7 @@ func TestTerminalRetentionBound(t *testing.T) {
 	// 10x oversubscription: the registry must stay bounded.
 	var last *Job
 	for i := 0; i < 10*cap; i++ {
-		j, err := m.Submit("search", "p", nil, 0, true)
+		j, err := m.Submit("search", "p", nil, nil, 0, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,14 +241,14 @@ func TestTerminalRetentionBound(t *testing.T) {
 
 func TestClockPrefersUnreferenced(t *testing.T) {
 	m := New(Options{TerminalEntries: 2})
-	a, _ := m.Submit("search", "p", nil, 0, true)
+	a, _ := m.Submit("search", "p", nil, nil, 0, true)
 	m.Finish(a, nil, nil)
-	b, _ := m.Submit("search", "p", nil, 0, true)
+	b, _ := m.Submit("search", "p", nil, nil, 0, true)
 	m.Finish(b, nil, nil)
 	// Touch a so its reference bit is hot, then age both with one insertion:
 	// the hand clears a's bit but recycles b.
 	m.Get(a.ID())
-	c, _ := m.Submit("search", "p", nil, 0, true)
+	c, _ := m.Submit("search", "p", nil, nil, 0, true)
 	m.Finish(c, nil, nil)
 	if _, ok := m.Get(a.ID()); !ok {
 		t.Fatal("hot entry a was evicted")
@@ -261,7 +261,7 @@ func TestClockPrefersUnreferenced(t *testing.T) {
 func TestPrefixAllocatorFreedOnEviction(t *testing.T) {
 	m := New(Options{TerminalEntries: 1})
 	for i := 0; i < 50; i++ {
-		j, _ := m.Submit("search", fmt.Sprintf("p%d", i), nil, 0, true)
+		j, _ := m.Submit("search", fmt.Sprintf("p%d", i), nil, nil, 0, true)
 		m.Finish(j, nil, nil)
 	}
 	m.mu.Lock()
@@ -274,18 +274,18 @@ func TestPrefixAllocatorFreedOnEviction(t *testing.T) {
 
 func TestIDCollisionAfterAllocatorReset(t *testing.T) {
 	m := New(Options{TerminalEntries: 2})
-	a, _ := m.Submit("search", "p", nil, 0, true) // p-1
-	b, _ := m.Submit("search", "p", nil, 0, true) // p-2
+	a, _ := m.Submit("search", "p", nil, nil, 0, true) // p-1
+	b, _ := m.Submit("search", "p", nil, nil, 0, true) // p-2
 	m.Finish(a, nil, nil)
 	// Evict p-1 (only resident terminal when the ring overflows is forced by
 	// filling with another prefix).
-	x, _ := m.Submit("search", "q", nil, 0, true)
+	x, _ := m.Submit("search", "q", nil, nil, 0, true)
 	m.Finish(x, nil, nil) // ring now [p-1, q-1]
-	y, _ := m.Submit("search", "q", nil, 0, true)
+	y, _ := m.Submit("search", "q", nil, nil, 0, true)
 	m.Finish(y, nil, nil) // evicts one of the ring entries
 	// b (p-2) is still resident and non-terminal; whatever the allocator
 	// state, new p IDs must not collide with it.
-	c, _ := m.Submit("search", "p", nil, 0, true)
+	c, _ := m.Submit("search", "p", nil, nil, 0, true)
 	if c.ID() == b.ID() {
 		t.Fatalf("ID collision: %s minted twice", c.ID())
 	}
@@ -295,7 +295,7 @@ func TestIDCollisionAfterAllocatorReset(t *testing.T) {
 
 func TestSubmitTimeoutCancelsContext(t *testing.T) {
 	m := New(Options{})
-	j, _ := m.Submit("search", "t", nil, 5*time.Millisecond, true)
+	j, _ := m.Submit("search", "t", nil, nil, 5*time.Millisecond, true)
 	select {
 	case <-j.Context().Done():
 	case <-time.After(2 * time.Second):
@@ -309,9 +309,9 @@ func TestSubmitTimeoutCancelsContext(t *testing.T) {
 
 func TestList(t *testing.T) {
 	m := New(Options{})
-	a, _ := m.Submit("search", "s", nil, 0, true)
-	b, _ := m.Submit("sweep", "w", nil, 0, true)
-	c, _ := m.Submit("search", "s", nil, 0, true)
+	a, _ := m.Submit("search", "s", nil, nil, 0, true)
+	b, _ := m.Submit("sweep", "w", nil, nil, 0, true)
+	c, _ := m.Submit("search", "s", nil, nil, 0, true)
 	m.Finish(a, nil, nil)
 	m.Start(b)
 	all := m.List("", "")
@@ -340,6 +340,7 @@ type recordingPersister struct {
 	mu        sync.Mutex
 	submitted []string
 	terminal  []string
+	evicted   []string
 }
 
 func (p *recordingPersister) Submitted(j *Job) {
@@ -354,10 +355,16 @@ func (p *recordingPersister) Terminal(j *Job) {
 	p.terminal = append(p.terminal, j.ID())
 }
 
+func (p *recordingPersister) Evicted(j *Job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.evicted = append(p.evicted, j.ID())
+}
+
 func TestPersisterObservesLifecycle(t *testing.T) {
 	p := &recordingPersister{}
 	m := New(Options{Persister: p})
-	j, _ := m.Submit("search", "p", nil, 0, true)
+	j, _ := m.Submit("search", "p", nil, nil, 0, true)
 	m.Finish(j, nil, nil)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -371,7 +378,7 @@ func TestPersisterObservesLifecycle(t *testing.T) {
 
 func TestProgressCounters(t *testing.T) {
 	m := New(Options{})
-	j, _ := m.Submit("search", "p", nil, 0, false)
+	j, _ := m.Submit("search", "p", nil, nil, 0, false)
 	j.Progress().Nodes.Add(10)
 	j.Progress().Leaves.Add(3)
 	j.Progress().PointsTotal.Store(25)
@@ -393,7 +400,7 @@ func TestStorm(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				j, err := m.Submit("search", fmt.Sprintf("w%d", w), nil, 0, true)
+				j, err := m.Submit("search", fmt.Sprintf("w%d", w), nil, nil, 0, true)
 				if err != nil {
 					continue // ErrBusy under load is expected
 				}
@@ -440,5 +447,84 @@ func TestStorm(t *testing.T) {
 	}
 	if mm.Done+mm.Failed+mm.Canceled+mm.Rejected != int64(workers*perWorker) {
 		t.Fatalf("metrics do not add up: %+v", mm)
+	}
+}
+
+// TestResumeAndRehydrate covers the restart path: a rehydrated terminal job
+// answers result polls under its original ID, a resumed job re-registers
+// under its original ID, and the prefix allocator never re-mints either.
+func TestResumeAndRehydrate(t *testing.T) {
+	m := New(Options{})
+	if _, err := m.Rehydrate("h-3", "search", StateDone, []byte(`{"ok":true}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := m.Get("h-3")
+	if !ok || j.State() != StateDone {
+		t.Fatalf("rehydrated job missing or not done: %v %v", ok, j.State())
+	}
+	if body, ok := j.Result(); !ok || string(body) != `{"ok":true}` {
+		t.Fatalf("rehydrated result = %q, %v", body, ok)
+	}
+	if _, err := m.Rehydrate("h-3", "search", StateDone, nil, nil); err == nil {
+		t.Fatal("duplicate rehydrate accepted")
+	}
+	if _, err := m.Rehydrate("noseq", "search", StateDone, nil, nil); err == nil {
+		t.Fatal("malformed id accepted")
+	}
+	if _, err := m.Rehydrate("h-4", "search", StateRunning, nil, nil); err == nil {
+		t.Fatal("non-terminal rehydrate accepted")
+	}
+	if _, err := m.Rehydrate("h-6", "search", StateCanceled, []byte(`{"partial":true}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := m.Get("h-6"); j.State() != StateCanceled {
+		t.Fatalf("canceled rehydrate became %v", j.State())
+	}
+	f := &Failure{Status: 422, Code: "invalid_request", Message: "boom"}
+	if _, err := m.Rehydrate("h-7", "sweep", StateFailed, nil, f); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := m.Get("h-7"); j.State() != StateFailed || j.Failure().Code != "invalid_request" {
+		t.Fatalf("rehydrated failure lost: %v %+v", j.State(), j.Failure())
+	}
+
+	r, err := m.Resume("h-5", "search", []byte(`body`), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "h-5" || r.State() != StatePending || !r.Detached() || string(r.Body()) != "body" {
+		t.Fatalf("resumed job wrong: %v %v %v %q", r.ID(), r.State(), r.Detached(), r.Body())
+	}
+	if _, err := m.Resume("h-5", "search", nil, nil, 0); err == nil {
+		t.Fatal("duplicate resume accepted")
+	}
+	// The allocator must have advanced past every injected sequence number.
+	next, err := m.Submit("search", "h", nil, nil, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID() != "h-8" {
+		t.Fatalf("next minted id = %q, want h-8 (allocator past rehydrated 7)", next.ID())
+	}
+	m.Finish(r, nil, nil)
+	m.Finish(next, nil, nil)
+}
+
+// TestEvictedHookFires: recycling a terminal job out of a full CLOCK ring
+// must offer the victim to the Persister so its durable record is dropped.
+func TestEvictedHookFires(t *testing.T) {
+	p := &recordingPersister{}
+	m := New(Options{Persister: p, TerminalEntries: 2, MaxActive: 8})
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit("search", fmt.Sprintf("e%d", i), nil, nil, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(j, nil, nil)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.evicted) != 1 || p.evicted[0] != "e0-1" {
+		t.Fatalf("evicted = %v, want [e0-1]", p.evicted)
 	}
 }

@@ -1,0 +1,41 @@
+package rat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseRoundTripsString(t *testing.T) {
+	cases := []Rat{
+		Zero(),
+		One(),
+		New(-7, 3),
+		New(22, 7),
+		FromInt(math.MaxInt64),
+		New(math.MaxInt64, math.MaxInt64-1),
+		// Past int64: force the big representation through arithmetic.
+		FromInt(math.MaxInt64).Mul(FromInt(math.MaxInt64)).Add(New(1, 3)),
+		FromInt(math.MaxInt64).Mul(FromInt(math.MaxInt64)).Neg().Sub(New(5, 7)),
+	}
+	for _, r := range cases {
+		s := r.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("Parse(%q) = %v, want %v", s, back, r)
+		}
+		if back.String() != s {
+			t.Fatalf("Parse(%q).String() = %q, round trip not canonical", s, back.String())
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "x", "1/", "/2", "1//2", "one half", "1/0"} {
+		if v, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) accepted as %v", s, v)
+		}
+	}
+}

@@ -47,6 +47,23 @@ func FromFloat(f float64) (Rat, bool) {
 	return fromBig(br), true
 }
 
+// Parse converts the String form back into a Rat: "n" or "n/d" with an
+// optionally signed decimal numerator and positive denominator, at any
+// magnitude (values beyond int64 land on the big-rational representation,
+// so Parse∘String is the identity). The wire protocol uses it to carry
+// exact periods — subtree results and checkpoints round-trip through JSON
+// strings without losing exactness.
+func Parse(s string) (Rat, error) {
+	if s == "" {
+		return Rat{}, fmt.Errorf("rat: empty string")
+	}
+	br, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
+	}
+	return fromBig(br), nil
+}
+
 // New returns the rational n/d in lowest terms. It panics if d == 0.
 func New(n, d int64) Rat {
 	if d == 0 {

@@ -48,9 +48,21 @@ func BranchAndBoundEngine(ctx context.Context, eng *engine.Engine, pipe *pipelin
 // counters so pollers watch the tree walk advance; the returned result is
 // unchanged by observation.
 func BranchAndBoundEngineProgress(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, onProgress func(bnb.Stats)) (ExactResult, error) {
-	opts := bnb.Options{OnProgress: onProgress}
-	if warm, err := GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
-		opts.Incumbent, opts.IncumbentPeriod = warm.Mapping, warm.Period
+	return BranchAndBoundEngineOpts(ctx, eng, pipe, plat, cm, bnb.Options{OnProgress: onProgress})
+}
+
+// BranchAndBoundEngineOpts exposes the full bnb.Options surface — the
+// executor seam, checkpoint replay, per-root completion hooks and racing
+// mode — while keeping the greedy warm start this package contributes:
+// unless the caller supplied an incumbent of its own, Greedy seeds the
+// bound exactly as in the plain entry points, so a resumed or distributed
+// search prunes from the same reference as a solo one (which is what makes
+// its frontier, and therefore its checkpoint indices, line up).
+func BranchAndBoundEngineOpts(ctx context.Context, eng *engine.Engine, pipe *pipeline.Pipeline, plat *platform.Platform, cm model.CommModel, opts bnb.Options) (ExactResult, error) {
+	if opts.Incumbent == nil {
+		if warm, err := GreedyEngine(ctx, eng, pipe, plat, cm); err == nil {
+			opts.Incumbent, opts.IncumbentPeriod = warm.Mapping, warm.Period
+		}
 	}
 	res, err := bnb.Search(ctx, eng, pipe, plat, cm, opts)
 	if err != nil {

@@ -32,9 +32,10 @@ import (
 // execution path and the sync responses stay byte-identical.
 
 // jobRunner is a validated, ready-to-execute solve: what a plan function
-// (searchPlan, sweepPlan) compiles a request into. It runs under a job's
-// context and feeds the job's progress gauges (never nil).
-type jobRunner func(ctx context.Context, prog *jobs.Progress) (any, error)
+// (searchPlan, sweepPlan) compiles a request into. It runs under the job
+// whose lifecycle brackets it (never nil) — runners read their progress
+// gauges from it, and the checkpoint hook reads its identity.
+type jobRunner func(ctx context.Context, j *jobs.Job) (any, error)
 
 // JobKeyPrefix derives the job-ID prefix of an async submission from the
 // raw POST /v1/jobs body: the first 16 hex digits of its SHA-256. Job IDs
@@ -151,7 +152,7 @@ func (s *Server) inlineJob(kind string, r *http.Request, run jobRunner, cleanup 
 	// The prefix is the kind name: sync jobs are per-node bookkeeping (the
 	// router does not route them), so a content-derived prefix would buy
 	// nothing and cost a hash per request.
-	j, err := s.jobs.Submit(kind, kind, r.Context(), 0, false)
+	j, err := s.jobs.Submit(kind, kind, nil, r.Context(), 0, false)
 	if err != nil {
 		// Inline submissions are exempt from the active cap; Submit cannot
 		// refuse them. Guarded anyway: a failure here must release pins.
@@ -206,7 +207,7 @@ func (s *Server) runInline(ctx context.Context, j *jobs.Job, run jobRunner) (res
 			panic(p)
 		}
 	}()
-	resp, err = run(jctx, j.Progress())
+	resp, err = run(jctx, j)
 	if err != nil {
 		s.jobs.Finish(j, nil, failureOf(err))
 		return nil, err
@@ -259,7 +260,7 @@ func (s *Server) runDetached(j *jobs.Job, run jobRunner, cleanup func()) {
 	}
 	defer release()
 	s.jobs.Start(j)
-	resp, err := run(j.Context(), j.Progress())
+	resp, err := run(j.Context(), j)
 	release()
 	if err != nil {
 		s.met.errors.Add(name, 1)
@@ -357,7 +358,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// Detached: the job outlives this request (parent context is the
 	// process, lifetime bounded by JobTimeout) and counts against the
 	// active cap — capacity refusal is back-pressure, like a full queue.
-	j, err := s.jobs.Submit(req.Kind, JobKeyPrefix(body), context.Background(), s.opts.JobTimeout, true)
+	j, err := s.jobs.Submit(req.Kind, JobKeyPrefix(body), body, context.Background(), s.opts.JobTimeout, true)
 	if err != nil {
 		if cleanup != nil {
 			cleanup()

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/bnb"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cycles"
 	"repro/internal/engine"
@@ -120,6 +121,18 @@ type Options struct {
 	// requests keep RequestTimeout; this ceiling exists because an async job
 	// outlives its submitting request and would otherwise run forever.
 	JobTimeout time.Duration
+	// CheckpointDir, when non-empty, persists every detached job to disk
+	// (internal/checkpoint): submissions, per-root bnb progress and terminal
+	// results survive a process restart, and ResumeJobs replays them — a
+	// resumed deterministic search re-executes only its unfinished subtree
+	// roots and returns bytes identical to an uninterrupted run. Empty
+	// disables checkpointing (the pre-checkpoint in-memory behavior).
+	CheckpointDir string
+	// CheckpointInterval batches per-root checkpoint writes: a running job's
+	// record is rewritten at most once per interval (plus once at each
+	// lifecycle boundary). <= 0 writes through on every finished root — the
+	// most durable and most write-heavy setting.
+	CheckpointInterval time.Duration
 }
 
 func (o *Options) defaults() {
@@ -154,9 +167,11 @@ type Server struct {
 	sem     chan struct{}                // in-flight solve budget
 	met     *metrics
 	flights flightGroup
-	store   *store.Store  // content-addressed documents (POST /v1/instances)
-	resp    *respCache    // pre-encoded /v1/evaluate bodies; nil when disabled
-	jobs    *jobs.Manager // the job registry every solve runs under
+	store   *store.Store        // content-addressed documents (POST /v1/instances)
+	resp    *respCache          // pre-encoded /v1/evaluate bodies; nil when disabled
+	jobs    *jobs.Manager       // the job registry every solve runs under
+	ckpt    *checkpoint.Manager // durable job state; nil when CheckpointDir is empty
+	ckptErr error               // deferred CheckpointDir failure; Serve refuses to start on it
 }
 
 // NewServer builds a server and its routes.
@@ -168,11 +183,24 @@ func NewServer(opts Options) *Server {
 		sem:   make(chan struct{}, opts.MaxInFlight),
 		met:   newMetrics(),
 		store: store.New(opts.StoreEntries),
-		jobs: jobs.New(jobs.Options{
-			TerminalEntries: opts.JobEntries,
-			MaxActive:       opts.JobActive,
-		}),
 	}
+	jo := jobs.Options{
+		TerminalEntries: opts.JobEntries,
+		MaxActive:       opts.JobActive,
+	}
+	if opts.CheckpointDir != "" {
+		ckpt, err := checkpoint.NewManager(opts.CheckpointDir, opts.CheckpointInterval)
+		if err != nil {
+			// NewServer cannot return an error without breaking every caller;
+			// the failure is deferred to Serve, which refuses to start. A
+			// directly-embedded server (tests) can check CheckpointErr.
+			s.ckptErr = err
+		} else {
+			s.ckpt = ckpt
+			jo.Persister = ckpt
+		}
+	}
+	s.jobs = jobs.New(jo)
 	if opts.RespCacheEntries >= 0 {
 		s.resp = newRespCache(opts.RespCacheEntries)
 	}
@@ -188,6 +216,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/v1/batch", s.solveEndpoint("batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/search", s.solveEndpoint("search", s.handleSearch))
 	s.mux.HandleFunc("/v1/sweep", s.solveEndpoint("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/internal/subtree", s.solveEndpoint("subtree", s.handleSubtree))
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/instances", s.handleInstancePost)
@@ -209,6 +238,12 @@ func (s *Server) engine(b cycles.Backend) *engine.Engine { return s.engines[b] }
 // Store exposes the content-addressed instance store (tests pin entries
 // through it; cmd/serve reports its capacity).
 func (s *Server) Store() *store.Store { return s.store }
+
+// CheckpointErr reports a CheckpointDir that could not be opened. NewServer
+// cannot fail, so the error is surfaced here (and by Serve, which refuses
+// to start on it) instead of being silently swallowed — a server asked to
+// be durable must not run undurable.
+func (s *Server) CheckpointErr() error { return s.ckptErr }
 
 // httpError is an error with a dedicated HTTP status and, optionally, a
 // machine-readable error code more specific than the status default.
@@ -767,6 +802,16 @@ type SearchRequest struct {
 	Restarts    int `json:"restarts,omitempty"`
 	Moves       int `json:"moves,omitempty"`
 	AnnealSteps int `json:"annealSteps,omitempty"`
+	// Distributed selects the cluster execution mode for algo "bnb":
+	// "deterministic" splits the frontier across the ring's alive nodes and
+	// merges in frontier order — bit-identical to a solo search; "racing"
+	// additionally flows the best incumbent into later dispatches, so one
+	// node's discovery prunes the others — same proven optimum, possibly a
+	// different tie-winning mapping and node counts. The field only changes
+	// where subtrees execute when the request reaches a router; a solo node
+	// accepts both values and runs the same exact search either way ("racing"
+	// races its local workers).
+	Distributed string `json:"distributed,omitempty"`
 }
 
 // SearchResponse is the best mapping found. The Proven/Nodes/Pruned block
@@ -817,6 +862,15 @@ func (s *Server) handleSearch(r *http.Request) (reply, error) {
 // one invocation once the run is over); on error the plan has already
 // released everything.
 func (s *Server) searchPlan(req *SearchRequest) (jobRunner, func(), error) {
+	return s.searchPlanReplay(req, nil)
+}
+
+// searchPlanReplay is searchPlan with checkpointed subtree results injected:
+// the resume path hands the finished roots of an interrupted bnb job here,
+// and the search replays them from disk instead of re-executing — the
+// tentpole guarantee that a resumed deterministic search is byte-identical
+// to an uninterrupted one while only the unfinished roots cost anything.
+func (s *Server) searchPlanReplay(req *SearchRequest, replay map[int]bnb.SubResult) (jobRunner, func(), error) {
 	var pinned []*store.Entry
 	cleanup := func() {
 		for _, e := range pinned {
@@ -876,9 +930,19 @@ func (s *Server) searchPlan(req *SearchRequest) (jobRunner, func(), error) {
 	default:
 		return fail(badRequest("unknown algo %q (want best, greedy, random, anneal, exhaustive or bnb)", algo))
 	}
+	switch req.Distributed {
+	case "", "deterministic", "racing":
+	default:
+		return fail(badRequest("unknown distributed mode %q (want \"deterministic\" or \"racing\")", req.Distributed))
+	}
+	if req.Distributed != "" && algo != "bnb" {
+		return fail(badRequest("\"distributed\" applies only to algo \"bnb\" (got %q)", algo))
+	}
+	racing := req.Distributed == "racing"
 	budgetMs := req.BudgetMs
 	seed := req.Seed
-	run := func(outer context.Context, prog *jobs.Progress) (any, error) {
+	run := func(outer context.Context, j *jobs.Job) (any, error) {
+		prog := j.Progress()
 		ctx := outer
 		if budgetMs > 0 {
 			var cancel context.CancelFunc
@@ -905,14 +969,28 @@ func (s *Server) searchPlan(req *SearchRequest) (jobRunner, func(), error) {
 			// The walkers stream their counter deltas into the job's atomic
 			// progress gauges; pollers of GET /v1/jobs/{id} watch the tree
 			// walk advance. Observation never changes the result.
-			onProg := func(d bnb.Stats) {
-				prog.Nodes.Add(d.Nodes)
-				prog.Leaves.Add(d.Leaves)
-				prog.Pruned.Add(d.Pruned)
-				prog.Screened.Add(d.Screened)
+			bopts := bnb.Options{
+				OnProgress: func(d bnb.Stats) {
+					prog.Nodes.Add(d.Nodes)
+					prog.Leaves.Add(d.Leaves)
+					prog.Pruned.Add(d.Pruned)
+					prog.Screened.Add(d.Screened)
+				},
+				Replay: replay,
+				Racing: racing,
+			}
+			if s.ckpt != nil {
+				// Per-root durability: each finished subtree lands in the
+				// job's checkpoint record as it completes. RootDone is a no-op
+				// for jobs the persister never registered (inline requests),
+				// so the hook is safe on every path.
+				jobID := j.ID()
+				bopts.OnRootDone = func(frontier int, root bnb.Root, res bnb.SubResult) {
+					s.ckpt.RootDone(jobID, frontier, root, res)
+				}
 			}
 			var x sched.ExactResult
-			x, err = sched.BranchAndBoundEngineProgress(ctx, eng, pipe, plat, cm, onProg)
+			x, err = sched.BranchAndBoundEngineOpts(ctx, eng, pipe, plat, cm, bopts)
 			if err == nil {
 				res, exact = x.Result, &x
 			}
@@ -948,6 +1026,69 @@ func (s *Server) searchPlan(req *SearchRequest) (jobRunner, func(), error) {
 		return resp, nil
 	}
 	return run, cleanup, nil
+}
+
+// ---- /v1/internal/subtree ----
+
+// SubtreeRequest is the body of POST /v1/internal/subtree: one frontier
+// root of a distributed branch-and-bound search, shipped by the cluster
+// coordinator to whichever node the ring assigns it. The instance always
+// travels inline — a worker node must be able to run its roots with no
+// shared store — and the root carries its exact bound as a rational string,
+// so the exploration is bit-identical to the same root running inside a
+// solo search.
+type SubtreeRequest struct {
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	Platform *platform.Platform `json:"platform"`
+	Model    string             `json:"model"`
+	Backend  string             `json:"backend,omitempty"`
+	// ChunkSize mirrors bnb.Options.ChunkSize (0 = the bnb default); the
+	// coordinator forwards the value the original request implied so counts
+	// stay deterministic.
+	ChunkSize int `json:"chunkSize,omitempty"`
+	// Root is the subtree to explore, exactly as bnb.Frontier planned it.
+	Root bnb.Root `json:"root"`
+	// WarmPeriod is the pruning reference the root starts from ("" = none):
+	// the coordinator's warm start in deterministic mode, the best incumbent
+	// so far in racing mode.
+	WarmPeriod string `json:"warmPeriod,omitempty"`
+}
+
+// SubtreeResponse is the explored root's outcome in wire form.
+type SubtreeResponse struct {
+	Backend string        `json:"backend"`
+	Result  bnb.SubResult `json:"result"`
+}
+
+func (r SubtreeResponse) backendLabel() string { return r.Backend }
+
+func (s *Server) handleSubtree(r *http.Request) (rep reply, err error) {
+	var req SubtreeRequest
+	if err := decode(r, &req); err != nil {
+		return rep, err
+	}
+	if req.Pipeline == nil || req.Platform == nil {
+		return rep, badRequest("missing \"pipeline\" or \"platform\"")
+	}
+	cm, b, err := s.parseSelectors(req.Model, req.Backend)
+	if err != nil {
+		return rep, err
+	}
+	exec, err := bnb.NewLocalExecutor(s.engine(b), req.Pipeline, req.Platform, cm, bnb.Options{ChunkSize: req.ChunkSize})
+	if err != nil {
+		return rep, badRequest("%v", err)
+	}
+	root, warm := req.Root, req.WarmPeriod
+	rep.solve = func(ctx context.Context) (any, error) {
+		res, err := exec.RunRoot(ctx, root, warm)
+		if err != nil {
+			// RunRoot errors are malformed descriptors (bad bound or warm
+			// string) — a caller problem, not a solver one.
+			return nil, badRequest("%v", err)
+		}
+		return SubtreeResponse{Backend: b.String(), Result: res}, nil
+	}
+	return rep, nil
 }
 
 // ---- /v1/sweep ----
@@ -1063,7 +1204,8 @@ func (s *Server) sweepPlan(req *SweepRequest) (jobRunner, func(), error) {
 		if only == nil {
 			total = len(insts)
 		}
-		run := func(ctx context.Context, prog *jobs.Progress) (any, error) {
+		run := func(ctx context.Context, j *jobs.Job) (any, error) {
+			prog := j.Progress()
 			prog.PointsTotal.Store(int64(total))
 			pts, err := exper.RuntimeSweepInstances(ctx, s.engine(b), insts, only,
 				func() { prog.PointsDone.Add(1) })
@@ -1121,7 +1263,8 @@ func (s *Server) sweepPlan(req *SweepRequest) (jobRunner, func(), error) {
 		total = len(pairs)
 	}
 	seed := req.Seed
-	run := func(ctx context.Context, prog *jobs.Progress) (any, error) {
+	run := func(ctx context.Context, j *jobs.Job) (any, error) {
+		prog := j.Progress()
 		prog.PointsTotal.Store(int64(total))
 		pts, err := exper.RuntimeSweepEngineSubsetProgress(ctx, s.engine(b), seed, pairs, only,
 			func() { prog.PointsDone.Add(1) })
@@ -1159,6 +1302,15 @@ func sweepResponse(b cycles.Backend, pts []exper.SweepPoint) SweepResponse {
 // reports the bound address for :0 listeners.
 func Serve(ctx context.Context, addr string, opts Options, logf func(format string, args ...any)) error {
 	s := NewServer(opts)
+	if err := s.CheckpointErr(); err != nil {
+		return err
+	}
+	// Resume checkpointed jobs before the listener opens: a poller that
+	// reconnects the instant the port is back must already find its job.
+	if resumed, rehydrated := s.ResumeJobs(); logf != nil && resumed+rehydrated > 0 {
+		logf("checkpoint: resumed %d interrupted job(s), rehydrated %d terminal record(s) from %s",
+			resumed, rehydrated, opts.CheckpointDir)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

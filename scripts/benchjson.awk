@@ -1,6 +1,6 @@
 # benchjson.awk — convert `go test -bench -benchmem` output into a JSON
 # array of {name, iterations, nsPerOp, bytesPerOp, allocsPerOp} records
-# (BENCH_9.json in CI) and enforce six gates:
+# (BENCH_10.json in CI) and enforce seven gates:
 #
 #   * allocation gate — the strict-model Evaluate benchmarks must stay at
 #     or below `gate` allocs/op (the PR-2 zero-allocation refactor brought
@@ -25,13 +25,18 @@
 #     status poll plus one result fetch of a terminal async job, through
 #     the full handler stack) must stay at or below `joballocgate`
 #     allocs/op, or polling an async job has grown a per-cycle cost the
-#     lock-cheap progress design was built to avoid.
+#     lock-cheap progress design was built to avoid;
+#   * checkpoint overhead gate — BenchmarkCheckpointOverhead/on (the same
+#     deterministic bnb search with per-root checkpointing to a real
+#     on-disk store) must cost at most `ckptgate` times
+#     BenchmarkCheckpointOverhead/off in ns/op, or the durability
+#     bookkeeping has grown onto the walker's hot path.
 #
 # Exits non-zero after the report if any gate is broken.
 #
 # Usage: awk -v gate=12 -v leafgate=5 -v hitgate=32 -v speedupgate=4 \
-#            -v routergate=2 -v joballocgate=32 \
-#            -f scripts/benchjson.awk bench.txt > BENCH_9.json
+#            -v routergate=2 -v joballocgate=32 -v ckptgate=1.05 \
+#            -f scripts/benchjson.awk bench.txt > BENCH_10.json
 
 BEGIN {
     n = 0
@@ -42,12 +47,15 @@ BEGIN {
     if (speedupgate == "") speedupgate = 4
     if (routergate == "") routergate = 2
     if (joballocgate == "") joballocgate = 32
+    if (ckptgate == "") ckptgate = 1.05
     exactLeafRate = ""
     screenedLeafRate = ""
     byIDNs = ""
     inlineNs = ""
     routedNs = ""
     directNs = ""
+    ckptOnNs = ""
+    ckptOffNs = ""
 }
 
 /^Benchmark/ && / allocs\/op/ {
@@ -106,6 +114,10 @@ BEGIN {
             fail = 1
         }
     }
+
+    # The checkpoint overhead pair: the same search with persistence on/off.
+    if (name == "BenchmarkCheckpointOverhead/on") { gated[n] = 1; ckptOnNs = ns }
+    if (name == "BenchmarkCheckpointOverhead/off") { gated[n] = 1; ckptOffNs = ns }
 }
 
 END {
@@ -140,6 +152,16 @@ END {
         } else if (directNs + 0 <= 0 || routedNs + 0 > routergate * (directNs + 0)) {
             printf "GATE FAIL: routed hit path at %s ns/op exceeds %sx the direct hit path at %s ns/op\n", \
                 routedNs, routergate, directNs > "/dev/stderr"
+            fail = 1
+        }
+    }
+    if (ckptOnNs != "" || ckptOffNs != "") {
+        if (ckptOnNs == "" || ckptOffNs == "") {
+            print "GATE FAIL: BenchmarkCheckpointOverhead ran only one of on/off" > "/dev/stderr"
+            fail = 1
+        } else if (ckptOffNs + 0 <= 0 || ckptOnNs + 0 > ckptgate * (ckptOffNs + 0)) {
+            printf "GATE FAIL: checkpointed search at %s ns/op exceeds %sx the plain search at %s ns/op\n", \
+                ckptOnNs, ckptgate, ckptOffNs > "/dev/stderr"
             fail = 1
         }
     }
